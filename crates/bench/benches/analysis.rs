@@ -1,0 +1,35 @@
+//! Conflict-analysis cost: pigeonhole formulas generate dense conflicts,
+//! so conflicts/second here is dominated by the 1-UIP resolution walk and
+//! the BerkMin sensitivity bookkeeping (paper §4). The two arms quantify
+//! the bookkeeping overhead of crediting every responsible clause.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use berkmin::{Sensitivity, Solver, SolverConfig};
+use berkmin_gens::hole;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conflict_analysis");
+    group.sample_size(15);
+    let inst = hole::pigeonhole(7);
+    for (name, sens) in [
+        ("berkmin_sensitivity", Sensitivity::Berkmin),
+        ("conflict_clause_only", Sensitivity::ConflictClauseOnly),
+    ] {
+        let mut cfg = SolverConfig::berkmin();
+        cfg.sensitivity = sens;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Solver::new(&inst.cnf, cfg.clone()),
+                |mut s| {
+                    assert!(s.solve().is_unsat());
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

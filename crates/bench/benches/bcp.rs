@@ -1,0 +1,73 @@
+//! BCP throughput micro-benchmarks: solving propagation-dominated
+//! formulas measures the two-watched-literal engine (SATO/Chaff-style fast
+//! BCP, paper §2) with almost no search on top.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use berkmin::{Solver, SolverConfig};
+use berkmin_cnf::{Cnf, Lit, Var};
+
+/// A long implication chain: x0 → x1 → … → xn, with x0 forced. Solved by
+/// pure unit propagation. The unit comes *last* so the chain is still
+/// intact when the solver's BCP runs (adding it first would let the
+/// level-0 clause simplification in `add_clause` resolve everything).
+fn implication_chain(n: usize) -> Cnf {
+    let mut cnf = Cnf::with_vars(n);
+    for i in 0..n - 1 {
+        cnf.add_clause([Lit::neg(Var::new(i as u32)), Lit::pos(Var::new(i as u32 + 1))]);
+    }
+    cnf.add_clause([Lit::pos(Var::new(0))]);
+    cnf
+}
+
+/// A wide fan-out: x0 implies n variables directly through ternary clauses
+/// watched at various positions — exercises watcher-list traversal.
+fn fanout(n: usize) -> Cnf {
+    let mut cnf = Cnf::with_vars(n + 2);
+    let root = Var::new(0);
+    for i in 1..=n {
+        cnf.add_clause([
+            Lit::neg(root),
+            Lit::pos(Var::new(i as u32)),
+        ]);
+        cnf.add_clause([
+            Lit::neg(Var::new(i as u32)),
+            Lit::pos(Var::new((i % n + 1) as u32)),
+            Lit::pos(Var::new(((i + 1) % n + 1) as u32)),
+        ]);
+    }
+    cnf.add_clause([Lit::pos(root)]); // unit last: see implication_chain
+    cnf
+}
+
+fn bench_bcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcp");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let chain = implication_chain(n);
+        group.bench_function(format!("chain_{n}"), |b| {
+            b.iter_batched(
+                || Solver::new(&chain, SolverConfig::berkmin()),
+                |mut s| {
+                    assert!(s.solve().is_sat());
+                    assert!(s.stats().propagations >= n as u64 - 1);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let fan = fanout(n);
+        group.bench_function(format!("fanout_{n}"), |b| {
+            b.iter_batched(
+                || Solver::new(&fan, SolverConfig::berkmin()),
+                |mut s| {
+                    assert!(s.solve().is_sat());
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bcp);
+criterion_main!(benches);

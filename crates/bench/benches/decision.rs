@@ -1,0 +1,55 @@
+//! Decision-making cost: the naive most-active-variable scan the paper's
+//! experiments used vs. the BerkMin561-style heap index (Remark 1), and
+//! the stack-scan overhead of the top-clause rule itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use berkmin::{ActivityIndex, DecisionStrategy, Solver, SolverConfig};
+use berkmin_gens::{ksat, parity};
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision");
+    group.sample_size(15);
+    // Many variables, decision-heavy: planted 3-SAT below the threshold.
+    let wide = ksat::planted_ksat(2_000, 6_000, 3, 7);
+    for (name, index) in [
+        ("most_active_naive_scan", ActivityIndex::NaiveScan),
+        ("most_active_heap", ActivityIndex::Heap),
+    ] {
+        let mut cfg = SolverConfig::berkmin();
+        cfg.decision = DecisionStrategy::MostActiveVar;
+        cfg.activity_index = index;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Solver::new(&wide.cnf, cfg.clone()),
+                |mut s| {
+                    assert!(s.solve().is_sat());
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    // The full BerkMin decision path (stack scan + polarity heuristics) on
+    // a conflict-rich instance.
+    let par = parity::parity_learning(24, 26, 3);
+    for (name, strat) in [
+        ("berkmin_top_clause", DecisionStrategy::BerkMin),
+        ("vsids", DecisionStrategy::Vsids),
+    ] {
+        let mut cfg = SolverConfig::berkmin();
+        cfg.decision = strat;
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || Solver::new(&par.cnf, cfg.clone()),
+                |mut s| {
+                    assert!(s.solve().is_sat());
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

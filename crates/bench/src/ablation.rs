@@ -1,0 +1,74 @@
+//! Shared driver for the ablation tables (Tables 1, 2, 4, 5): run several
+//! solver configurations over the 12 paper classes and print one column
+//! per configuration.
+
+use berkmin::SolverConfig;
+use berkmin_gens::suites::{class_suite, ABLATION_ORDER};
+
+use crate::{class_budget, run_class, ClassResult, TextTable};
+
+/// Runs every class under every named configuration and prints the
+/// paper-style table (rows = classes + total, columns = configurations).
+/// Returns the per-class results for further inspection.
+pub fn run_ablation(
+    title: &str,
+    arms: &[(&str, SolverConfig)],
+) -> Vec<(String, Vec<ClassResult>)> {
+    let mut headers = vec!["Class of benchmarks"];
+    for (name, _) in arms {
+        headers.push(name);
+    }
+    let mut table = TextTable::new(title, &headers);
+    let mut all: Vec<(String, Vec<ClassResult>)> = Vec::new();
+    let mut totals = vec![(0.0f64, 0usize); arms.len()];
+
+    for class in ABLATION_ORDER {
+        let suite = class_suite(class);
+        let budget = class_budget(class);
+        let mut row = vec![class.name().to_string()];
+        let mut class_results = Vec::new();
+        for (i, (_, config)) in arms.iter().enumerate() {
+            let result = run_class(class.name(), &suite, config, budget);
+            totals[i].0 += result.total_time().as_secs_f64();
+            totals[i].1 += result.aborted();
+            row.push(result.time_cell());
+            class_results.push(result);
+        }
+        table.add_row(row);
+        all.push((class.name().to_string(), class_results));
+    }
+
+    let mut total_row = vec!["Total".to_string()];
+    for (secs, aborts) in &totals {
+        total_row.push(if *aborts > 0 {
+            format!(">{secs:.2} ({aborts})")
+        } else {
+            format!("{secs:.2}")
+        });
+    }
+    table.add_row(total_row);
+    table.print();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berkmin::Budget;
+    use berkmin_gens::hole;
+
+    #[test]
+    fn ablation_driver_smoke() {
+        // A miniature two-arm run over a single tiny class exercises the
+        // aggregation path without the full table cost.
+        let arms = [
+            ("berkmin", SolverConfig::berkmin()),
+            ("less_sensitivity", SolverConfig::less_sensitivity()),
+        ];
+        let suite = vec![hole::pigeonhole(4)];
+        for (_, cfg) in &arms {
+            let r = crate::run_class("Hole", &suite, cfg, Budget::conflicts(100_000));
+            assert_eq!(r.aborted(), 0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Runs every table and figure reproduction in sequence, teeing output to
+//! `EXPERIMENTS-results/` next to the workspace root.
+//!
+//! Usage: `cargo run --release -p berkmin-bench --bin all_experiments`
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+        "table9", "table10", "fig1",
+    ];
+    let out_dir = PathBuf::from("EXPERIMENTS-results");
+    fs::create_dir_all(&out_dir).expect("create results directory");
+    let self_exe = std::env::current_exe().expect("own path");
+    let bin_dir = self_exe.parent().expect("bin directory").to_path_buf();
+
+    for bin in bins {
+        let started = Instant::now();
+        println!("=== running {bin} ===");
+        let output = Command::new(bin_dir.join(bin))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(output.status.success(), "{bin} exited with {}", output.status);
+        let text = String::from_utf8_lossy(&output.stdout);
+        print!("{text}");
+        fs::write(out_dir.join(format!("{bin}.txt")), text.as_bytes())
+            .expect("write result file");
+        println!("=== {bin} done in {:.1}s ===\n", started.elapsed().as_secs_f64());
+    }
+    println!("all experiments written to {}", out_dir.display());
+}

@@ -1,0 +1,30 @@
+//! Calibration utility: times every class suite under the default BerkMin
+//! configuration so the table budgets and instance sizes can be tuned.
+//! Not part of the paper's artifact set.
+
+use berkmin::SolverConfig;
+use berkmin_bench::{class_budget, run_class};
+use berkmin_gens::suites::{class_suite, ABLATION_ORDER};
+use std::time::Instant;
+
+fn main() {
+    let config = SolverConfig::berkmin();
+    for class in ABLATION_ORDER {
+        let gen_start = Instant::now();
+        let suite = class_suite(class);
+        let gen_time = gen_start.elapsed();
+        let result = run_class(class.name(), &suite, &config, class_budget(class));
+        print!(
+            "{:<14} gen {:>6.2}s solve {:>8.3}s conflicts {:>9} aborts {}  [",
+            class.name(),
+            gen_time.as_secs_f64(),
+            result.total_time().as_secs_f64(),
+            result.total_conflicts(),
+            result.aborted()
+        );
+        for r in &result.runs {
+            print!(" {}:{:.2}s/{}c", r.name, r.time.as_secs_f64(), r.stats.conflicts);
+        }
+        println!(" ]");
+    }
+}

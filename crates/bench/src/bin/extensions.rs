@@ -1,0 +1,54 @@
+//! Extensions ablation — the paper's §10 future-work directions, measured.
+//!
+//! Not a paper table: this grid evaluates the features the paper *proposes*
+//! but does not implement, against the published BerkMin baseline:
+//!
+//! * Remark 2 — pick the branching variable from a small *window* of top
+//!   clauses instead of only the first (`BerkMinWindow`);
+//! * §10 "restart strategy … can be significantly improved" — Luby
+//!   restarts in place of the fixed 550-conflict interval;
+//! * post-paper conflict-clause minimization (MiniSat 2005);
+//! * the BerkMin561 "strategy 3" heap index for the most-active-variable
+//!   fallback (Remark 1).
+
+use berkmin::{ActivityIndex, DecisionStrategy, RestartPolicy, SolverConfig};
+use berkmin_bench::run_ablation;
+
+fn main() {
+    let window4 = {
+        let mut c = SolverConfig::berkmin();
+        c.decision = DecisionStrategy::BerkMinWindow { window: 4 };
+        c
+    };
+    let window16 = {
+        let mut c = SolverConfig::berkmin();
+        c.decision = DecisionStrategy::BerkMinWindow { window: 16 };
+        c
+    };
+    let luby = {
+        let mut c = SolverConfig::berkmin();
+        c.restart = RestartPolicy::Luby(128);
+        c
+    };
+    let minimize = {
+        let mut c = SolverConfig::berkmin();
+        c.minimize_learnt = true;
+        c
+    };
+    let heap = {
+        let mut c = SolverConfig::berkmin();
+        c.activity_index = ActivityIndex::Heap;
+        c
+    };
+    run_ablation(
+        "Extensions: the paper's future-work features vs published BerkMin",
+        &[
+            ("BerkMin (s)", SolverConfig::berkmin()),
+            ("Window4 (s)", window4),
+            ("Window16 (s)", window16),
+            ("Luby (s)", luby),
+            ("Minimize (s)", minimize),
+            ("HeapIdx (s)", heap),
+        ],
+    );
+}

@@ -1,0 +1,181 @@
+//! Fig. 1 — "Switching of cone variables from 'idle' to active" (paper
+//! §3/§5).
+//!
+//! The paper's figure shows an AND gate whose control pin gates a cone of
+//! logic: with the pin at 0 the cone variables cannot matter; once it
+//! switches to 1 they suddenly do, and a *mobile* decision heuristic must
+//! refocus on them quickly. This experiment builds exactly that circuit —
+//! `out = (cone ∧ control) ⊕ beyond` with a multiplier-parity cone (hard to
+//! justify) and an adder-parity "beyond" region — and measures:
+//!
+//! 1. **idle vs active** — the share of decisions on cone variables with
+//!    the control pin forced 0 vs forced 1;
+//! 2. **mobility** — the per-window cone-decision fraction for BerkMin vs
+//!    the `Less_mobility` arm on the engaged instance.
+
+use berkmin::{Budget, SolveStatus, Solver, SolverConfig};
+use berkmin_bench::TextTable;
+use berkmin_circuit::{arith, tseitin::encode, Netlist};
+use berkmin_cnf::{Lit, Var};
+use std::collections::HashSet;
+
+const MUL_BITS: usize = 6;
+
+/// Builds Fig. 1's circuit with arithmetic contents. Returns the CNF and
+/// the set of CNF variables belonging to the cone region.
+///
+/// The cone is the parity of (alternating bits of) an array multiplier's
+/// product, so driving the cone output to 1 requires real multiplier
+/// reasoning; the beyond region is the parity of a ripple-carry-adder sum
+/// over its own inputs.
+fn build(control: bool, engage_cone: bool) -> (berkmin_cnf::Cnf, HashSet<usize>) {
+    let mut n = Netlist::new();
+    // Beyond inputs are declared FIRST so that zero-activity index-order
+    // tie-breaking (before any conflicts exist) lands outside the cone.
+    let beyond_in = n.inputs_n(2 * MUL_BITS + 1);
+    let control_in = n.input();
+    let cone_in = n.inputs_n(2 * MUL_BITS);
+
+    // Cone: "the product equals N" for a semiprime N — justifying the cone
+    // output is a factoring search, rich in conflicts.
+    let target: u64 = 37 * 53; // both factors fit in MUL_BITS bits
+    let cone_start = n.num_nodes();
+    let mul = arith::array_multiplier(MUL_BITS);
+    let product = n.import(&mul, &cone_in);
+    let eq_bits: Vec<_> = product
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let want = target >> i & 1 == 1;
+            if want {
+                p
+            } else {
+                n.not(p)
+            }
+        })
+        .collect();
+    let cone_out = n.and_reduce(&eq_bits);
+    let cone_end = n.num_nodes();
+
+    // Beyond: sum parity of an embedded adder.
+    let add = arith::ripple_carry_adder(MUL_BITS);
+    let sums = n.import(&add, &beyond_in);
+    let beyond_out = n.xor_reduce(&sums);
+
+    let gated = n.and(cone_out, control_in);
+    let out = n.xor(gated, beyond_out);
+    n.set_output(out);
+    n.set_output(beyond_out);
+
+    let mut enc = encode(&n);
+    enc.constrain_output(0, true);
+    if engage_cone {
+        // Pin the beyond parity to 0 so the cone must supply the 1.
+        let b = enc.output_vars[1];
+        enc.cnf.add_clause([Lit::neg(b)]);
+    }
+    let control_var = enc.node_vars[control_in.index()];
+    enc.cnf.add_clause([Lit::new(control_var, !control)]);
+
+    let cone_vars: HashSet<usize> = (cone_start..cone_end)
+        .map(|i| enc.node_vars[i].index())
+        .chain(cone_in.iter().map(|c| enc.node_vars[c.index()].index()))
+        .collect();
+    (enc.cnf, cone_vars)
+}
+
+fn decision_log(cnf: &berkmin_cnf::Cnf, mut cfg: SolverConfig) -> (Vec<Var>, f64, &'static str) {
+    cfg.record_decisions = true;
+    cfg.budget = Budget::conflicts(30_000);
+    let mut solver = Solver::new(cnf, cfg);
+    let verdict = match solver.solve() {
+        SolveStatus::Sat(m) => {
+            assert!(cnf.is_satisfied_by(&m));
+            "SAT"
+        }
+        SolveStatus::Unsat => "UNSAT",
+        SolveStatus::Unknown(_) => "budget",
+    };
+    (solver.stats().decision_log.clone(), solver.stats().conflicts as f64, verdict)
+}
+
+/// Share of total var_activity mass sitting on cone variables — the
+/// paper's own notion of "taking part in conflict making" (§3).
+fn cone_activity_share(cnf: &berkmin_cnf::Cnf, cone: &HashSet<usize>, control: bool, engage: bool) -> (f64, u64) {
+    let _ = (control, engage);
+    let mut cfg = SolverConfig::berkmin();
+    cfg.budget = Budget::conflicts(30_000);
+    let mut solver = Solver::new(cnf, cfg);
+    let _ = solver.solve();
+    let mut cone_mass = 0u64;
+    let mut total_mass = 0u64;
+    for i in 0..solver.num_vars() {
+        let a = solver.var_activity(Var::new(i as u32));
+        total_mass += a;
+        if cone.contains(&i) {
+            cone_mass += a;
+        }
+    }
+    let share = if total_mass == 0 { 0.0 } else { cone_mass as f64 / total_mass as f64 };
+    (share, solver.stats().conflicts)
+}
+
+fn cone_fraction(log: &[Var], cone: &HashSet<usize>) -> f64 {
+    if log.is_empty() {
+        return 0.0;
+    }
+    log.iter().filter(|v| cone.contains(&v.index())).count() as f64 / log.len() as f64
+}
+
+fn main() {
+    // Part 1: idle vs active under the full BerkMin configuration.
+    let (idle_cnf, idle_cone) = build(false, false);
+    let (active_cnf, active_cone) = build(true, true);
+    let (idle_share, idle_conf) = cone_activity_share(&idle_cnf, &idle_cone, false, false);
+    let (active_share, active_conf) = cone_activity_share(&active_cnf, &active_cone, true, true);
+    println!(
+        "Fig. 1a — cone share of conflict activity (var_activity mass), control 0 vs 1:\n  \
+         idle   (control=0): {idle_share:.3}  ({idle_conf} conflicts)\n  \
+         active (control=1): {active_share:.3}  ({active_conf} conflicts)\n",
+    );
+
+    // Part 2: windowed mobility comparison on the active instance.
+    let window = 50usize;
+    let mut table = TextTable::new(
+        "Fig. 1b: fraction of decisions on cone variables per window of 50 decisions (control = 1)",
+        &["Decision window", "BerkMin", "Less_mobility"],
+    );
+    let series: Vec<Vec<f64>> = [SolverConfig::berkmin(), SolverConfig::less_mobility()]
+        .into_iter()
+        .map(|cfg| {
+            let (log, _, _) = decision_log(&active_cnf, cfg);
+            log.chunks(window)
+                .map(|chunk| cone_fraction(chunk, &active_cone))
+                .collect()
+        })
+        .collect();
+    let rows = series[0].len().max(series[1].len()).min(24);
+    for w in 0..rows {
+        let fmt = |s: &Vec<f64>| {
+            s.get(w).map(|f| format!("{f:.3}")).unwrap_or_else(|| "-".into())
+        };
+        table.add_row([
+            format!("{}..{}", w * window, (w + 1) * window),
+            fmt(&series[0]),
+            fmt(&series[1]),
+        ]);
+    }
+    table.print();
+    let avg = |s: &Vec<f64>| {
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    };
+    println!(
+        "mean cone-decision fraction (active): BerkMin {:.3} vs Less_mobility {:.3}",
+        avg(&series[0]),
+        avg(&series[1]),
+    );
+}

@@ -1,0 +1,75 @@
+//! Table 10 — "Performance of BerkMin, zChaff and limmat on SAT-2002
+//! competition instances" (paper §9).
+//!
+//! Three complete CDCL solvers over the 17 final-stage industrial rows
+//! (regenerated analogs; see DESIGN.md §4). The paper's shape: BerkMin
+//! solves the most instances overall and the most satisfiable ones, with
+//! each solver having rows only it handles comfortably — the robustness
+//! argument.
+
+use berkmin::{Budget, SolverConfig};
+use berkmin_bench::{run_instance, TextTable, Verdict};
+
+fn main() {
+    let suite = berkmin_gens::suites::sat2002_suite();
+    let budget = Budget::conflicts(700_000);
+    let solvers = [
+        ("BerkMin", SolverConfig::berkmin()),
+        ("Limmat", SolverConfig::limmat_like()),
+        ("zChaff", SolverConfig::chaff_like()),
+    ];
+    let mut table = TextTable::new(
+        "Table 10: SAT-2002 final-stage analogs, three solvers",
+        &[
+            "Family", "Instance", "Sat/Unsat", "BerkMin (s)", "Limmat (s)", "zChaff (s)",
+        ],
+    );
+    let mut solved = [0usize; 3];
+    let mut solved_sat = [0usize; 3];
+    for (family, inst) in &suite {
+        let mut cells = Vec::new();
+        let mut satness = "?".to_string();
+        for (i, (_, cfg)) in solvers.iter().enumerate() {
+            let r = run_instance(inst, cfg, budget);
+            match r.verdict {
+                Verdict::Aborted => cells.push("*".to_string()),
+                v => {
+                    solved[i] += 1;
+                    if v == Verdict::Sat {
+                        solved_sat[i] += 1;
+                        satness = "Sat".into();
+                    } else {
+                        satness = "Unsat".into();
+                    }
+                    cells.push(format!("{:.1}", r.time.as_secs_f64()));
+                }
+            }
+        }
+        table.add_row([
+            family.to_string(),
+            inst.name.clone(),
+            satness,
+            cells[0].clone(),
+            cells[1].clone(),
+            cells[2].clone(),
+        ]);
+    }
+    table.add_row([
+        "Total solved".to_string(),
+        String::new(),
+        String::new(),
+        solved[0].to_string(),
+        solved[1].to_string(),
+        solved[2].to_string(),
+    ]);
+    table.add_row([
+        "Total solved satisfiable".to_string(),
+        String::new(),
+        String::new(),
+        solved_sat[0].to_string(),
+        solved_sat[1].to_string(),
+        solved_sat[2].to_string(),
+    ]);
+    table.print();
+    println!("* = aborted on the conflict budget (the paper's 6 h timeout analog)");
+}

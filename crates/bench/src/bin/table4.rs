@@ -1,0 +1,39 @@
+//! Table 4 — "Branch selection" (paper §7).
+//!
+//! Six polarity heuristics for decisions taken on the current top clause:
+//! BerkMin's database symmetrization, `Sat_top`, `Unsat_top`, `Take_0`,
+//! `Take_1` and `Take_rand`. The paper finds BerkMin's heuristic and
+//! `Take_rand` best (both symmetrize the clause census), with `Unsat_top`
+//! and `Take_1` aborting on Hole/Beijing/Miters.
+
+use berkmin::{SolverConfig, TopClausePolarity};
+use berkmin_bench::run_ablation;
+
+fn main() {
+    run_ablation(
+        "Table 4: Branch selection (time s, budget-aborts in parens)",
+        &[
+            ("BerkMin (s)", SolverConfig::berkmin()),
+            (
+                "Sat_top (s)",
+                SolverConfig::with_top_polarity(TopClausePolarity::SatTop),
+            ),
+            (
+                "Unsat_top (s)",
+                SolverConfig::with_top_polarity(TopClausePolarity::UnsatTop),
+            ),
+            (
+                "Take_0 (s)",
+                SolverConfig::with_top_polarity(TopClausePolarity::Take0),
+            ),
+            (
+                "Take_1 (s)",
+                SolverConfig::with_top_polarity(TopClausePolarity::Take1),
+            ),
+            (
+                "Take_rand (s)",
+                SolverConfig::with_top_polarity(TopClausePolarity::TakeRand),
+            ),
+        ],
+    );
+}

@@ -1,0 +1,19 @@
+//! Table 5 — "Database management" (paper §8).
+//!
+//! BerkMin's age/length/activity clause-retention policy vs.
+//! `limited_keeping` (GRASP-style: drop every learnt clause longer than
+//! 42). The paper reports ≥2× slowdowns on Hanoi, Miters and
+//! Fvp_unsat2.0 — keeping a few long-but-active clauses pays off.
+
+use berkmin::SolverConfig;
+use berkmin_bench::run_ablation;
+
+fn main() {
+    run_ablation(
+        "Table 5: Database management (time s, budget-aborts in parens)",
+        &[
+            ("BerkMin (s)", SolverConfig::berkmin()),
+            ("Limited_keeping (s)", SolverConfig::limited_keeping()),
+        ],
+    );
+}

@@ -1,0 +1,51 @@
+//! Table 6 — "Benchmarks on which Chaff's and BerkMin's performances are
+//! comparable" (paper §9).
+//!
+//! zChaff (VSIDS baseline) vs. BerkMin over the eight easier classes,
+//! reporting instance counts and total times. The paper's shape: Chaff
+//! wins Hole, BerkMin wins the rest, and neither aborts.
+
+use berkmin::SolverConfig;
+use berkmin_bench::{class_budget, run_class, TextTable};
+use berkmin_gens::suites::{class_suite, PaperClass};
+
+fn main() {
+    let classes = [
+        PaperClass::Blocksworld,
+        PaperClass::Hole,
+        PaperClass::Par16,
+        PaperClass::Sss10,
+        PaperClass::Sss10a,
+        PaperClass::SssSat10,
+        PaperClass::FvpUnsat10,
+        PaperClass::VliwSat10,
+    ];
+    let mut table = TextTable::new(
+        "Table 6: Benchmarks on which zChaff's and BerkMin's performances are comparable",
+        &["Class of benchmarks", "Number of instances", "zChaff (s)", "BerkMin (s)"],
+    );
+    let chaff = SolverConfig::chaff_like();
+    let berkmin = SolverConfig::berkmin();
+    let (mut chaff_total, mut berkmin_total) = (0.0, 0.0);
+    for class in classes {
+        let suite = class_suite(class);
+        let budget = class_budget(class);
+        let rc = run_class(class.name(), &suite, &chaff, budget);
+        let rb = run_class(class.name(), &suite, &berkmin, budget);
+        chaff_total += rc.total_time().as_secs_f64();
+        berkmin_total += rb.total_time().as_secs_f64();
+        table.add_row([
+            class.name().to_string(),
+            suite.len().to_string(),
+            rc.time_cell(),
+            rb.time_cell(),
+        ]);
+    }
+    table.add_row([
+        "Total".to_string(),
+        String::new(),
+        format!("{chaff_total:.2}"),
+        format!("{berkmin_total:.2}"),
+    ]);
+    table.print();
+}

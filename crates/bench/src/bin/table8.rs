@@ -1,0 +1,59 @@
+//! Table 8 — "Details of Chaff's and BerkMin's performance on some
+//! instances (runtimes)" (paper §9).
+//!
+//! Per-instance decision counts and runtimes on the named hard instances
+//! (9vliw_bp_mc, hanoi5/6, 4pipe–7pipe). The paper's shape: BerkMin
+//! builds much smaller search trees (fewer decisions) and zChaff aborts
+//! 7pipe.
+
+use berkmin::{Budget, SolverConfig};
+use berkmin_bench::{run_instance, TextTable, Verdict};
+use berkmin_gens::{hanoi, pipeline, BenchInstance};
+
+fn named_instances() -> Vec<BenchInstance> {
+    vec![
+        pipeline::npipe_ooo(4), // 9vliw_bp_mc analog
+        hanoi::hanoi(6),        // hanoi5 analog
+        hanoi::hanoi(7),        // hanoi6 analog
+        pipeline::npipe(4),
+        pipeline::npipe(5),
+        pipeline::npipe(6),
+        pipeline::npipe(7),
+    ]
+}
+
+fn main() {
+    let mut table = TextTable::new(
+        "Table 8: per-instance decisions and runtimes (zChaff vs BerkMin)",
+        &[
+            "Instance",
+            "Satisfiable",
+            "zChaff decisions",
+            "zChaff time (s)",
+            "BerkMin decisions",
+            "BerkMin time (s)",
+        ],
+    );
+    let budget = Budget::conflicts(1_200_000);
+    for inst in named_instances() {
+        let rc = run_instance(&inst, &SolverConfig::chaff_like(), budget);
+        let rb = run_instance(&inst, &SolverConfig::berkmin(), budget);
+        let sat = match rb.verdict {
+            Verdict::Sat => "Yes",
+            Verdict::Unsat => "No",
+            Verdict::Aborted => "?",
+        };
+        let cell = |r: &berkmin_bench::RunResult| {
+            if r.verdict == Verdict::Aborted {
+                (format!("{} *", r.stats.decisions), format!(">{:.1} *", r.time.as_secs_f64()))
+            } else {
+                (r.stats.decisions.to_string(), format!("{:.1}", r.time.as_secs_f64()))
+            }
+        };
+        let (cd, ct) = cell(&rc);
+        let (bd, bt) = cell(&rb);
+        table.add_row([inst.name.clone(), sat.to_string(), cd, ct, bd, bt]);
+    }
+    table.print();
+    println!("* = aborted on the conflict budget (the paper's timeout analog)");
+}

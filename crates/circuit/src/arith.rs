@@ -1,0 +1,532 @@
+//! A library of arithmetic circuits: the building blocks of the paper's
+//! circuit-derived benchmark classes (Beijing adders, Miters, pipelined
+//! datapaths, BMC counters).
+
+use crate::netlist::{Netlist, NodeId};
+
+/// An n-bit bus within a netlist (least-significant bit first).
+pub type Bus = Vec<NodeId>;
+
+/// Adds a full adder to `n`; returns `(sum, carry_out)`.
+pub fn full_adder(n: &mut Netlist, a: NodeId, b: NodeId, cin: NodeId) -> (NodeId, NodeId) {
+    let axb = n.xor(a, b);
+    let sum = n.xor(axb, cin);
+    let g = n.and(a, b);
+    let p = n.and(axb, cin);
+    let cout = n.or(g, p);
+    (sum, cout)
+}
+
+/// Builds an n-bit ripple-carry adder as a standalone netlist.
+///
+/// Inputs: `a[0..bits]`, `b[0..bits]`, `cin`. Outputs: `sum[0..bits]`,
+/// `cout`.
+pub fn ripple_carry_adder(bits: usize) -> Netlist {
+    assert!(bits > 0, "adder width must be positive");
+    let mut n = Netlist::new();
+    let a = n.inputs_n(bits);
+    let b = n.inputs_n(bits);
+    let cin = n.input();
+    let (sum, cout) = ripple_add(&mut n, &a, &b, cin);
+    for s in sum {
+        n.set_output(s);
+    }
+    n.set_output(cout);
+    n
+}
+
+/// Adds ripple-carry addition logic to an existing netlist; returns
+/// `(sum_bus, carry_out)`.
+pub fn ripple_add(n: &mut Netlist, a: &[NodeId], b: &[NodeId], cin: NodeId) -> (Bus, NodeId) {
+    assert_eq!(a.len(), b.len(), "bus width mismatch");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for (&ai, &bi) in a.iter().zip(b) {
+        let (s, c) = full_adder(n, ai, bi, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Builds an n-bit carry-select adder (blocks of `block` bits computed for
+/// both carry hypotheses, selected by the incoming carry). Same interface
+/// as [`ripple_carry_adder`] — and provably the same function, which makes
+/// the pair a natural equivalence-checking miter.
+pub fn carry_select_adder(bits: usize, block: usize) -> Netlist {
+    assert!(bits > 0 && block > 0, "widths must be positive");
+    let mut n = Netlist::new();
+    let a = n.inputs_n(bits);
+    let b = n.inputs_n(bits);
+    let cin = n.input();
+    let mut carry = cin;
+    let mut sum: Bus = Vec::with_capacity(bits);
+    let mut lo = 0;
+    while lo < bits {
+        let hi = (lo + block).min(bits);
+        let zero = n.constant(false);
+        let one = n.constant(true);
+        let (sum0, cout0) = ripple_add(&mut n, &a[lo..hi], &b[lo..hi], zero);
+        let (sum1, cout1) = ripple_add(&mut n, &a[lo..hi], &b[lo..hi], one);
+        for (s0, s1) in sum0.iter().zip(&sum1) {
+            let s = n.mux(carry, *s0, *s1);
+            sum.push(s);
+        }
+        carry = n.mux(carry, cout0, cout1);
+        lo = hi;
+    }
+    for s in sum {
+        n.set_output(s);
+    }
+    n.set_output(carry);
+    n
+}
+
+/// Builds an n×n-bit array multiplier (unsigned). Inputs `a`, `b`; outputs
+/// the `2n`-bit product.
+pub fn array_multiplier(bits: usize) -> Netlist {
+    array_multiplier_rect(bits, bits)
+}
+
+/// Builds an `abits`×`bbits` rectangular array multiplier (unsigned).
+/// Inputs `a` (`abits` wide) then `b` (`bbits` wide); outputs the
+/// `abits + bbits`-bit product. The rectangular form gives the benchmark
+/// generators a fine-grained difficulty dial: equivalence-checking
+/// hardness grows with the number of partial products `abits · bbits`.
+pub fn array_multiplier_rect(abits: usize, bbits: usize) -> Netlist {
+    assert!(abits > 0 && bbits > 0, "multiplier widths must be positive");
+    let out_bits = abits + bbits;
+    let mut n = Netlist::new();
+    let a = n.inputs_n(abits);
+    let b = n.inputs_n(bbits);
+    let zero = n.constant(false);
+    // Partial products, added row by row with ripple carries.
+    let mut acc: Bus = vec![zero; out_bits];
+    for (j, &bj) in b.iter().enumerate() {
+        let row: Bus = a.iter().map(|&ai| n.and(ai, bj)).collect();
+        let mut carry = zero;
+        for (i, &pp) in row.iter().enumerate() {
+            let (s, c) = full_adder(&mut n, acc[i + j], pp, carry);
+            acc[i + j] = s;
+            carry = c;
+        }
+        // Propagate the final carry up the accumulator.
+        let mut k = j + abits;
+        while k < out_bits {
+            let (s, c) = full_adder(&mut n, acc[k], carry, zero);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    for s in acc {
+        n.set_output(s);
+    }
+    n
+}
+
+/// Builds an n-bit Kogge–Stone (parallel-prefix) adder with the same
+/// interface as [`ripple_carry_adder`] — logarithmic depth instead of
+/// linear, and a completely different gate structure, making the pair a
+/// classic equivalence-checking benchmark.
+pub fn kogge_stone_adder(bits: usize) -> Netlist {
+    assert!(bits > 0, "adder width must be positive");
+    let mut n = Netlist::new();
+    let a = n.inputs_n(bits);
+    let b = n.inputs_n(bits);
+    let cin = n.input();
+
+    // Bitwise propagate/generate.
+    let p0: Bus = a.iter().zip(&b).map(|(&x, &y)| n.xor(x, y)).collect();
+    let g0: Bus = a.iter().zip(&b).map(|(&x, &y)| n.and(x, y)).collect();
+
+    // Parallel-prefix combine: (G, P) ∘ (G', P') = (G ∨ (P ∧ G'), P ∧ P').
+    let mut g = g0.clone();
+    let mut p = p0.clone();
+    let mut d = 1;
+    while d < bits {
+        let mut g_next = g.clone();
+        let mut p_next = p.clone();
+        for i in d..bits {
+            let t = n.and(p[i], g[i - d]);
+            g_next[i] = n.or(g[i], t);
+            p_next[i] = n.and(p[i], p[i - d]);
+        }
+        g = g_next;
+        p = p_next;
+        d *= 2;
+    }
+
+    // Carry into bit i: prefix(i-1) with cin folded in; sum = p0 ⊕ carry.
+    let mut carry_into = Vec::with_capacity(bits + 1);
+    carry_into.push(cin);
+    for i in 0..bits {
+        let via_p = n.and(p[i], cin);
+        let c = n.or(g[i], via_p);
+        carry_into.push(c);
+    }
+    for i in 0..bits {
+        let s = n.xor(p0[i], carry_into[i]);
+        n.set_output(s);
+    }
+    n.set_output(carry_into[bits]);
+    n
+}
+
+/// Builds an n×n Wallace-tree multiplier: partial products reduced with a
+/// tree of 3:2/2:2 compressors, then one final ripple addition. Same
+/// interface and function as [`array_multiplier`], radically different
+/// structure — the classic hard multiplier-equivalence pair.
+pub fn wallace_multiplier(bits: usize) -> Netlist {
+    assert!(bits > 0, "multiplier width must be positive");
+    let out_bits = 2 * bits;
+    let mut n = Netlist::new();
+    let a = n.inputs_n(bits);
+    let b = n.inputs_n(bits);
+
+    // Column-wise partial products (column = output weight).
+    let mut columns: Vec<Vec<NodeId>> = vec![Vec::new(); out_bits];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = n.and(ai, bj);
+            columns[i + j].push(pp);
+        }
+    }
+
+    // Reduce until every column has at most two entries.
+    while columns.iter().any(|c| c.len() > 2) {
+        let mut next: Vec<Vec<NodeId>> = vec![Vec::new(); out_bits];
+        for (w, col) in columns.iter().enumerate() {
+            let mut k = 0;
+            while col.len() - k >= 3 {
+                let (s, c) = full_adder(&mut n, col[k], col[k + 1], col[k + 2]);
+                next[w].push(s);
+                if w + 1 < out_bits {
+                    next[w + 1].push(c);
+                }
+                k += 3;
+            }
+            if col.len() - k == 2 {
+                // Half adder.
+                let s = n.xor(col[k], col[k + 1]);
+                let c = n.and(col[k], col[k + 1]);
+                next[w].push(s);
+                if w + 1 < out_bits {
+                    next[w + 1].push(c);
+                }
+            } else if col.len() - k == 1 {
+                next[w].push(col[k]);
+            }
+        }
+        columns = next;
+    }
+
+    // Final addition of the two remaining rows.
+    let zero = n.constant(false);
+    let row_a: Bus = columns.iter().map(|c| c.first().copied().unwrap_or(zero)).collect();
+    let row_b: Bus = columns.iter().map(|c| c.get(1).copied().unwrap_or(zero)).collect();
+    let (sum, _overflow) = ripple_add(&mut n, &row_a, &row_b, zero);
+    for s in sum {
+        n.set_output(s);
+    }
+    n
+}
+
+/// Builds an unsigned n-bit comparator. Inputs `a`, `b`; outputs
+/// `[a < b, a == b]`.
+pub fn comparator(bits: usize) -> Netlist {
+    assert!(bits > 0, "comparator width must be positive");
+    let mut n = Netlist::new();
+    let a = n.inputs_n(bits);
+    let b = n.inputs_n(bits);
+    let mut lt = n.constant(false);
+    let mut eq = n.constant(true);
+    // From MSB down: lt = lt_prev ∨ (eq_prev ∧ ¬a_i ∧ b_i).
+    for i in (0..bits).rev() {
+        let na = n.not(a[i]);
+        let this_lt = n.and(na, b[i]);
+        let take = n.and(eq, this_lt);
+        lt = n.or(lt, take);
+        let bit_eq = n.xnor(a[i], b[i]);
+        eq = n.and(eq, bit_eq);
+    }
+    n.set_output(lt);
+    n.set_output(eq);
+    n
+}
+
+/// Operations supported by [`alu`].
+pub const ALU_OPS: usize = 4;
+
+/// Builds a small n-bit ALU with a 2-bit opcode: `00` add, `01` subtract
+/// (a − b), `10` AND, `11` XOR. Inputs: `a`, `b`, `op0`, `op1`;
+/// outputs: `result[0..bits]`, `flag` (carry/borrow for arithmetic ops,
+/// zero-detect for logic ops).
+pub fn alu(bits: usize) -> Netlist {
+    assert!(bits > 0, "ALU width must be positive");
+    let mut n = Netlist::new();
+    let a = n.inputs_n(bits);
+    let b = n.inputs_n(bits);
+    let op0 = n.input();
+    let op1 = n.input();
+
+    // Adder/subtractor: b ⊕ sub, carry-in = sub (two's complement).
+    let sub = n.and_reduce(&[op0]); // op0 selects subtract when op1 = 0
+    let b_inv: Bus = b.iter().map(|&bi| n.xor(bi, sub)).collect();
+    let (arith, cout) = {
+        let (s, c) = ripple_add(&mut n, &a, &b_inv, sub);
+        (s, c)
+    };
+
+    let and_bus: Bus = a.iter().zip(&b).map(|(&x, &y)| n.and(x, y)).collect();
+    let xor_bus: Bus = a.iter().zip(&b).map(|(&x, &y)| n.xor(x, y)).collect();
+    let logic: Bus = and_bus
+        .iter()
+        .zip(&xor_bus)
+        .map(|(&x, &y)| n.mux(op0, x, y))
+        .collect();
+    let result: Bus = arith
+        .iter()
+        .zip(&logic)
+        .map(|(&ar, &lo)| n.mux(op1, ar, lo))
+        .collect();
+
+    // Flag: carry-out for arithmetic, NOR-reduce (zero flag) for logic.
+    let nonzero = n.or_reduce(&logic);
+    let zero = n.not(nonzero);
+    let flag = n.mux(op1, cout, zero);
+
+    for r in result {
+        n.set_output(r);
+    }
+    n.set_output(flag);
+    n
+}
+
+/// Builds an n-bit binary up-counter (sequential, free-running). Outputs
+/// the count bits; no inputs.
+pub fn counter(bits: usize) -> Netlist {
+    assert!(bits > 0, "counter width must be positive");
+    let mut n = Netlist::new();
+    let q: Bus = (0..bits).map(|_| n.dff(false)).collect();
+    // q[i] toggles when all lower bits are 1.
+    let mut all_lower = n.constant(true);
+    for i in 0..bits {
+        let next = n.xor(q[i], all_lower);
+        n.connect_dff(q[i], next);
+        all_lower = n.and(all_lower, q[i]);
+    }
+    for &bit in &q {
+        n.set_output(bit);
+    }
+    n
+}
+
+/// Builds an n-bit odd-parity tree. Input: `bits` wires; output: their XOR.
+pub fn parity_tree(bits: usize) -> Netlist {
+    assert!(bits > 0, "parity width must be positive");
+    let mut n = Netlist::new();
+    let ins = n.inputs_n(bits);
+    // Balanced tree reduction (different structure from the linear chain
+    // that xor_reduce builds — handy for miters).
+    let mut layer = ins;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 {
+                n.xor(pair[0], pair[1])
+            } else {
+                pair[0]
+            });
+        }
+        layer = next;
+    }
+    n.set_output(layer[0]);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{equivalent_exhaustive, eval64, Simulator};
+
+    /// Drives an adder netlist with concrete numbers via simulation.
+    fn add_via_circuit(n: &Netlist, bits: usize, a: u64, b: u64, cin: bool) -> u64 {
+        let mut words = Vec::new();
+        for i in 0..bits {
+            words.push(if a >> i & 1 == 1 { u64::MAX } else { 0 });
+        }
+        for i in 0..bits {
+            words.push(if b >> i & 1 == 1 { u64::MAX } else { 0 });
+        }
+        words.push(if cin { u64::MAX } else { 0 });
+        let out = eval64(n, &words);
+        let mut r = 0u64;
+        for (i, o) in out.iter().enumerate() {
+            if o & 1 == 1 {
+                r |= 1 << i;
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn ripple_adder_adds() {
+        let bits = 5;
+        let n = ripple_carry_adder(bits);
+        for (a, b, c) in [(0u64, 0u64, false), (7, 9, false), (31, 31, true), (20, 11, true)] {
+            let want = a + b + c as u64;
+            assert_eq!(add_via_circuit(&n, bits, a, b, c), want, "{a}+{b}+{c}");
+        }
+    }
+
+    #[test]
+    fn carry_select_equals_ripple() {
+        for (bits, block) in [(4, 2), (6, 3), (7, 2)] {
+            let r = ripple_carry_adder(bits);
+            let cs = carry_select_adder(bits, block);
+            assert!(
+                equivalent_exhaustive(&r, &cs),
+                "carry-select({bits},{block}) differs from ripple"
+            );
+        }
+    }
+
+    #[test]
+    fn kogge_stone_equals_ripple() {
+        for bits in [1, 2, 5, 8] {
+            let r = ripple_carry_adder(bits);
+            let ks = kogge_stone_adder(bits);
+            assert!(equivalent_exhaustive(&r, &ks), "kogge-stone({bits})");
+        }
+    }
+
+    #[test]
+    fn wallace_equals_array_multiplier() {
+        for bits in [1, 2, 4, 5] {
+            let a = array_multiplier(bits);
+            let w = wallace_multiplier(bits);
+            assert!(equivalent_exhaustive(&a, &w), "wallace({bits})");
+        }
+    }
+
+    #[test]
+    fn wallace_has_different_structure() {
+        // Same function, different circuit: node counts must differ for
+        // non-trivial widths (otherwise the miter benchmark is vacuous).
+        let a = array_multiplier(5);
+        let w = wallace_multiplier(5);
+        assert_ne!(a.num_nodes(), w.num_nodes());
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let bits = 4;
+        let n = array_multiplier(bits);
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let mut words = Vec::new();
+                for i in 0..bits {
+                    words.push(if a >> i & 1 == 1 { u64::MAX } else { 0 });
+                }
+                for i in 0..bits {
+                    words.push(if b >> i & 1 == 1 { u64::MAX } else { 0 });
+                }
+                let out = eval64(&n, &words);
+                let mut r = 0u64;
+                for (i, o) in out.iter().enumerate() {
+                    if o & 1 == 1 {
+                        r |= 1 << i;
+                    }
+                }
+                assert_eq!(r, a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let bits = 4;
+        let n = comparator(bits);
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let mut words = Vec::new();
+                for i in 0..bits {
+                    words.push(if a >> i & 1 == 1 { u64::MAX } else { 0 });
+                }
+                for i in 0..bits {
+                    words.push(if b >> i & 1 == 1 { u64::MAX } else { 0 });
+                }
+                let out = eval64(&n, &words);
+                assert_eq!(out[0] & 1 == 1, a < b, "lt({a},{b})");
+                assert_eq!(out[1] & 1 == 1, a == b, "eq({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_implements_all_ops() {
+        let bits = 3;
+        let n = alu(bits);
+        let mask = (1u64 << bits) - 1;
+        for a in 0..=mask {
+            for b in 0..=mask {
+                for op in 0u64..4 {
+                    let mut words = Vec::new();
+                    for i in 0..bits {
+                        words.push(if a >> i & 1 == 1 { u64::MAX } else { 0 });
+                    }
+                    for i in 0..bits {
+                        words.push(if b >> i & 1 == 1 { u64::MAX } else { 0 });
+                    }
+                    words.push(if op & 1 == 1 { u64::MAX } else { 0 }); // op0
+                    words.push(if op & 2 == 2 { u64::MAX } else { 0 }); // op1
+                    let out = eval64(&n, &words);
+                    let mut r = 0u64;
+                    for i in 0..bits {
+                        if out[i] & 1 == 1 {
+                            r |= 1 << i;
+                        }
+                    }
+                    let want = match op {
+                        0 => (a + b) & mask,
+                        1 => (a.wrapping_sub(b)) & mask,
+                        2 => a & b,
+                        3 => a ^ b,
+                        _ => unreachable!(),
+                    };
+                    assert_eq!(r, want, "alu op={op} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counter_counts_through_wraparound() {
+        let bits = 3;
+        let n = counter(bits);
+        let mut sim = Simulator::new(&n);
+        for step in 0..20u64 {
+            let out = sim.step(&[]);
+            let mut v = 0u64;
+            for (i, o) in out.iter().enumerate() {
+                if o & 1 == 1 {
+                    v |= 1 << i;
+                }
+            }
+            assert_eq!(v, step % 8, "step {step}");
+        }
+    }
+
+    #[test]
+    fn parity_tree_equals_linear_chain() {
+        for bits in [1, 2, 5, 8, 9] {
+            let tree = parity_tree(bits);
+            let mut chain = Netlist::new();
+            let ins = chain.inputs_n(bits);
+            let r = chain.xor_reduce(&ins);
+            chain.set_output(r);
+            assert!(equivalent_exhaustive(&tree, &chain), "parity({bits})");
+        }
+    }
+}

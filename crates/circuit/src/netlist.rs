@@ -1,0 +1,456 @@
+//! Gate-level netlists.
+
+use std::fmt;
+
+/// Handle to a node (gate, input, constant or flip-flop) in a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// 0-based index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single node of a gate-level netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Primary input number `n` (in declaration order).
+    Input(u32),
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Inverter.
+    Not(NodeId),
+    /// 2-input AND.
+    And(NodeId, NodeId),
+    /// 2-input OR.
+    Or(NodeId, NodeId),
+    /// 2-input XOR.
+    Xor(NodeId, NodeId),
+    /// 2-input NAND.
+    Nand(NodeId, NodeId),
+    /// 2-input NOR.
+    Nor(NodeId, NodeId),
+    /// 2-input XNOR.
+    Xnor(NodeId, NodeId),
+    /// Multiplexer: output = `if sel { hi } else { lo }`.
+    Mux {
+        /// Select signal.
+        sel: NodeId,
+        /// Value when `sel` is 0.
+        lo: NodeId,
+        /// Value when `sel` is 1.
+        hi: NodeId,
+    },
+    /// D flip-flop with an initial value; its data input is connected after
+    /// creation via [`Netlist::connect_dff`] (allowing feedback loops).
+    Dff {
+        /// Data input (`self` as a placeholder until connected).
+        d: NodeId,
+        /// Power-on value.
+        init: bool,
+    },
+}
+
+/// A gate-level netlist: combinational logic plus optional D flip-flops.
+///
+/// Nodes are created through builder methods and may only reference
+/// already-created nodes, so the creation order is a topological order of
+/// the combinational logic (flip-flop data inputs are the one exception,
+/// wired up by [`Netlist::connect_dff`]).
+///
+/// # Examples
+///
+/// ```
+/// use berkmin_circuit::Netlist;
+///
+/// // A full adder out of gates.
+/// let mut n = Netlist::new();
+/// let a = n.input();
+/// let b = n.input();
+/// let cin = n.input();
+/// let s1 = n.xor(a, b);
+/// let sum = n.xor(s1, cin);
+/// let c1 = n.and(a, b);
+/// let c2 = n.and(s1, cin);
+/// let cout = n.or(c1, c2);
+/// n.set_output(sum);
+/// n.set_output(cout);
+/// assert_eq!(n.num_inputs(), 3);
+/// assert_eq!(n.outputs().len(), 2);
+/// assert!(n.is_combinational());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    dffs: Vec<NodeId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    fn push(&mut self, gate: Gate) -> NodeId {
+        let id = NodeId(self.gates.len() as u32);
+        self.gates.push(gate);
+        id
+    }
+
+    fn check(&self, operand: NodeId) -> NodeId {
+        assert!(
+            operand.index() < self.gates.len(),
+            "operand {operand:?} does not exist yet"
+        );
+        operand
+    }
+
+    /// Adds a primary input.
+    pub fn input(&mut self) -> NodeId {
+        let n = self.inputs.len() as u32;
+        let id = self.push(Gate::Input(n));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds `n` primary inputs and returns them in order.
+    pub fn inputs_n(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// Adds a constant node.
+    pub fn constant(&mut self, value: bool) -> NodeId {
+        self.push(Gate::Const(value))
+    }
+
+    /// Adds an inverter.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        let a = self.check(a);
+        self.push(Gate::Not(a))
+    }
+
+    /// Adds a 2-input AND gate.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = (self.check(a), self.check(b));
+        self.push(Gate::And(a, b))
+    }
+
+    /// Adds a 2-input OR gate.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = (self.check(a), self.check(b));
+        self.push(Gate::Or(a, b))
+    }
+
+    /// Adds a 2-input XOR gate.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = (self.check(a), self.check(b));
+        self.push(Gate::Xor(a, b))
+    }
+
+    /// Adds a 2-input NAND gate.
+    pub fn nand(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = (self.check(a), self.check(b));
+        self.push(Gate::Nand(a, b))
+    }
+
+    /// Adds a 2-input NOR gate.
+    pub fn nor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = (self.check(a), self.check(b));
+        self.push(Gate::Nor(a, b))
+    }
+
+    /// Adds a 2-input XNOR gate.
+    pub fn xnor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (a, b) = (self.check(a), self.check(b));
+        self.push(Gate::Xnor(a, b))
+    }
+
+    /// Adds a multiplexer (`sel ? hi : lo`).
+    pub fn mux(&mut self, sel: NodeId, lo: NodeId, hi: NodeId) -> NodeId {
+        let (sel, lo, hi) = (self.check(sel), self.check(lo), self.check(hi));
+        self.push(Gate::Mux { sel, lo, hi })
+    }
+
+    /// Reduces a slice of signals with AND (returns constant 1 when empty).
+    pub fn and_reduce(&mut self, xs: &[NodeId]) -> NodeId {
+        match xs {
+            [] => self.constant(true),
+            [x] => *x,
+            _ => {
+                let mut acc = xs[0];
+                for &x in &xs[1..] {
+                    acc = self.and(acc, x);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Reduces a slice of signals with OR (returns constant 0 when empty).
+    pub fn or_reduce(&mut self, xs: &[NodeId]) -> NodeId {
+        match xs {
+            [] => self.constant(false),
+            [x] => *x,
+            _ => {
+                let mut acc = xs[0];
+                for &x in &xs[1..] {
+                    acc = self.or(acc, x);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Reduces a slice of signals with XOR (returns constant 0 when empty).
+    pub fn xor_reduce(&mut self, xs: &[NodeId]) -> NodeId {
+        match xs {
+            [] => self.constant(false),
+            [x] => *x,
+            _ => {
+                let mut acc = xs[0];
+                for &x in &xs[1..] {
+                    acc = self.xor(acc, x);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Adds a D flip-flop with power-on value `init`. Its data input is a
+    /// self-loop until [`Netlist::connect_dff`] is called.
+    pub fn dff(&mut self, init: bool) -> NodeId {
+        let id = NodeId(self.gates.len() as u32);
+        self.gates.push(Gate::Dff { d: id, init });
+        self.dffs.push(id);
+        id
+    }
+
+    /// Connects the data input of flip-flop `dff` to `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dff` is not a flip-flop node.
+    pub fn connect_dff(&mut self, dff: NodeId, d: NodeId) {
+        let d = self.check(d);
+        match &mut self.gates[dff.index()] {
+            Gate::Dff { d: slot, .. } => *slot = d,
+            g => panic!("{dff:?} is a {g:?}, not a flip-flop"),
+        }
+    }
+
+    /// Marks `node` as a primary output (order of calls = output order).
+    pub fn set_output(&mut self, node: NodeId) {
+        let node = self.check(node);
+        self.outputs.push(node);
+    }
+
+    /// The gate defining `node`.
+    pub fn gate(&self, node: NodeId) -> Gate {
+        self.gates[node.index()]
+    }
+
+    /// All gates in creation (topological) order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Flip-flop nodes in declaration order.
+    pub fn dffs(&self) -> &[NodeId] {
+        &self.dffs
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Total number of nodes (inputs, constants, gates, flip-flops).
+    pub fn num_nodes(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// `true` when the netlist has no flip-flops.
+    pub fn is_combinational(&self) -> bool {
+        self.dffs.is_empty()
+    }
+
+    /// Copies all of `other`'s gates into `self`, mapping `other`'s primary
+    /// input `i` to the given `input_map[i]` nodes, and returns the node ids
+    /// corresponding to `other`'s outputs. Flip-flops are copied too
+    /// (without sharing state). Used to stitch miters together.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_map.len() != other.num_inputs()`.
+    pub fn import(&mut self, other: &Netlist, input_map: &[NodeId]) -> Vec<NodeId> {
+        assert_eq!(
+            input_map.len(),
+            other.num_inputs(),
+            "input_map must cover every input of the imported netlist"
+        );
+        let mut map: Vec<NodeId> = Vec::with_capacity(other.gates.len());
+        let mut imported_dffs: Vec<(usize, NodeId)> = Vec::new();
+        for (i, &gate) in other.gates.iter().enumerate() {
+            let new_id = match gate {
+                Gate::Input(n) => input_map[n as usize],
+                Gate::Const(v) => self.constant(v),
+                Gate::Not(a) => self.not(map[a.index()]),
+                Gate::And(a, b) => self.and(map[a.index()], map[b.index()]),
+                Gate::Or(a, b) => self.or(map[a.index()], map[b.index()]),
+                Gate::Xor(a, b) => self.xor(map[a.index()], map[b.index()]),
+                Gate::Nand(a, b) => self.nand(map[a.index()], map[b.index()]),
+                Gate::Nor(a, b) => self.nor(map[a.index()], map[b.index()]),
+                Gate::Xnor(a, b) => self.xnor(map[a.index()], map[b.index()]),
+                Gate::Mux { sel, lo, hi } => {
+                    self.mux(map[sel.index()], map[lo.index()], map[hi.index()])
+                }
+                Gate::Dff { init, .. } => {
+                    let id = self.dff(init);
+                    imported_dffs.push((i, id));
+                    id
+                }
+            };
+            map.push(new_id);
+        }
+        // Second pass: wire up copied flip-flop data inputs (which may
+        // reference nodes created after the flip-flop).
+        for (orig_idx, new_id) in imported_dffs {
+            if let Gate::Dff { d, .. } = other.gates[orig_idx] {
+                self.connect_dff(new_id, map[d.index()]);
+            }
+        }
+        other.outputs.iter().map(|o| map[o.index()]).collect()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "netlist({} inputs, {} outputs, {} nodes, {} dffs)",
+            self.inputs.len(),
+            self.outputs.len(),
+            self.gates.len(),
+            self.dffs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let g = n.and(a, b);
+        assert_eq!((a.index(), b.index(), g.index()), (0, 1, 2));
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_nodes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn forward_references_are_rejected() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let _ = n.and(a, NodeId(5));
+    }
+
+    #[test]
+    fn dff_connect_allows_feedback() {
+        let mut n = Netlist::new();
+        let q = n.dff(false);
+        let nq = n.not(q);
+        n.connect_dff(q, nq); // toggle flip-flop
+        n.set_output(q);
+        assert!(!n.is_combinational());
+        match n.gate(q) {
+            Gate::Dff { d, init } => {
+                assert_eq!(d, nq);
+                assert!(!init);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a flip-flop")]
+    fn connect_dff_rejects_non_dff() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        n.connect_dff(a, b);
+    }
+
+    #[test]
+    fn reduce_helpers_handle_degenerate_sizes() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        assert_eq!(n.and_reduce(&[a]), a);
+        let t = n.and_reduce(&[]);
+        assert_eq!(n.gate(t), Gate::Const(true));
+        let f = n.or_reduce(&[]);
+        assert_eq!(n.gate(f), Gate::Const(false));
+    }
+
+    #[test]
+    fn import_remaps_inputs_and_outputs() {
+        let mut inner = Netlist::new();
+        let a = inner.input();
+        let b = inner.input();
+        let g = inner.xor(a, b);
+        inner.set_output(g);
+
+        let mut outer = Netlist::new();
+        let x = outer.input();
+        let y = outer.input();
+        let outs = outer.import(&inner, &[x, y]);
+        assert_eq!(outs.len(), 1);
+        match outer.gate(outs[0]) {
+            Gate::Xor(p, q) => assert_eq!((p, q), (x, y)),
+            g => panic!("unexpected gate {g:?}"),
+        }
+        // Outer still has only its own two inputs.
+        assert_eq!(outer.num_inputs(), 2);
+    }
+
+    #[test]
+    fn import_copies_dffs_with_wiring() {
+        let mut inner = Netlist::new();
+        let q = inner.dff(true);
+        let nq = inner.not(q);
+        inner.connect_dff(q, nq);
+        inner.set_output(q);
+
+        let mut outer = Netlist::new();
+        let outs = outer.import(&inner, &[]);
+        assert_eq!(outer.dffs().len(), 1);
+        let new_q = outer.dffs()[0];
+        assert_eq!(outs[0], new_q);
+        match outer.gate(new_q) {
+            Gate::Dff { d, init } => {
+                assert!(init);
+                assert_eq!(outer.gate(d), Gate::Not(new_q));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

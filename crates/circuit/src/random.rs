@@ -1,0 +1,143 @@
+//! Seeded random combinational circuits — the "artificial combinational
+//! circuits" whose miters form the paper's Miters class (§4: complexity is
+//! easy to control via size and depth parameters).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::netlist::{Netlist, NodeId};
+
+/// Parameters for [`random_circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomCircuitSpec {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of internal 2-input gates.
+    pub gates: usize,
+    /// Number of primary outputs (chosen among the last gates).
+    pub outputs: usize,
+    /// Locality window: gate operands are drawn from the most recent
+    /// `window` nodes, controlling circuit depth (small window ⇒ deep,
+    /// chain-like circuit; large window ⇒ shallow DAG).
+    pub window: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl RandomCircuitSpec {
+    /// A reasonable default shape: `gates` gates over 16 inputs.
+    pub fn with_gates(gates: usize, seed: u64) -> Self {
+        RandomCircuitSpec {
+            inputs: 16,
+            gates,
+            outputs: 8.min(gates.max(1)),
+            window: 24,
+            seed,
+        }
+    }
+}
+
+/// Generates a random combinational DAG circuit.
+///
+/// Every gate draws its operands from the preceding `window` nodes, with
+/// gate types sampled uniformly from {AND, OR, XOR, NAND, NOR, XNOR, NOT,
+/// MUX}. Outputs are the last `outputs` gates, guaranteeing deep cones.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0`, `gates == 0`, or `outputs > gates`.
+pub fn random_circuit(spec: &RandomCircuitSpec) -> Netlist {
+    assert!(spec.inputs > 0, "need at least one input");
+    assert!(spec.gates > 0, "need at least one gate");
+    assert!(spec.outputs <= spec.gates, "more outputs than gates");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut n = Netlist::new();
+    let _ = n.inputs_n(spec.inputs);
+    for _ in 0..spec.gates {
+        let hi = n.num_nodes();
+        let lo = hi.saturating_sub(spec.window);
+        let pick = |rng: &mut StdRng| NodeId((rng.gen_range(lo..hi)) as u32);
+        let a = pick(&mut rng);
+        let b = pick(&mut rng);
+        match rng.gen_range(0..8u8) {
+            0 => n.and(a, b),
+            1 => n.or(a, b),
+            2 => n.xor(a, b),
+            3 => n.nand(a, b),
+            4 => n.nor(a, b),
+            5 => n.xnor(a, b),
+            6 => n.not(a),
+            _ => {
+                let s = pick(&mut rng);
+                n.mux(s, a, b)
+            }
+        };
+    }
+    let total = n.num_nodes();
+    for k in 0..spec.outputs {
+        n.set_output(NodeId((total - 1 - k) as u32));
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::restructure;
+    use crate::sim::{equivalent_exhaustive, eval64};
+
+    #[test]
+    fn respects_spec_shape() {
+        let spec = RandomCircuitSpec {
+            inputs: 5,
+            gates: 40,
+            outputs: 3,
+            window: 8,
+            seed: 1,
+        };
+        let n = random_circuit(&spec);
+        assert_eq!(n.num_inputs(), 5);
+        assert_eq!(n.outputs().len(), 3);
+        assert!(n.num_nodes() >= 45);
+        assert!(n.is_combinational());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = RandomCircuitSpec::with_gates(30, 9);
+        assert_eq!(random_circuit(&spec), random_circuit(&spec));
+        let other = RandomCircuitSpec::with_gates(30, 10);
+        assert_ne!(random_circuit(&spec), random_circuit(&other));
+    }
+
+    #[test]
+    fn evaluates_without_panicking() {
+        let spec = RandomCircuitSpec {
+            inputs: 6,
+            gates: 64,
+            outputs: 4,
+            window: 10,
+            seed: 3,
+        };
+        let n = random_circuit(&spec);
+        let words = vec![0b1010u64; 6];
+        let out = eval64(&n, &words);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn restructured_random_circuit_stays_equivalent() {
+        // The Miters-class recipe end to end (small enough to verify
+        // exhaustively).
+        let spec = RandomCircuitSpec {
+            inputs: 6,
+            gates: 48,
+            outputs: 4,
+            window: 12,
+            seed: 11,
+        };
+        let c = random_circuit(&spec);
+        let c2 = restructure(&c, 99);
+        assert!(equivalent_exhaustive(&c, &c2));
+    }
+}

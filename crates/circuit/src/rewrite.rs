@@ -1,0 +1,278 @@
+//! Equivalence-preserving restructuring and fault injection.
+//!
+//! The paper's *Miters* class compares artificial circuits against
+//! structurally different but functionally identical copies (§4: "artificial
+//! circuits were used because their complexity was easy to control").
+//! [`restructure`] produces such a copy by applying random local rewrites
+//! (De Morgan, double negation, XOR decomposition, operand swaps);
+//! [`inject_fault`] flips one gate to create an almost-equivalent circuit,
+//! yielding satisfiable miters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::netlist::{Gate, Netlist, NodeId};
+
+/// Rewrites `netlist` into a functionally equivalent netlist with a
+/// different gate-level structure, driven by `seed`. Rewrites applied per
+/// gate (chosen at random):
+///
+/// * `a ∧ b` → `¬(¬a ∨ ¬b)` and dually for OR (De Morgan);
+/// * `a ⊕ b` → `(a ∧ ¬b) ∨ (¬a ∧ b)` and the XNOR dual;
+/// * `¬¬a` insertion on a random operand;
+/// * operand order swap (for commutative gates).
+///
+/// # Panics
+///
+/// Panics if the netlist is sequential.
+pub fn restructure(netlist: &Netlist, seed: u64) -> Netlist {
+    assert!(netlist.is_combinational(), "restructure handles combinational netlists");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Netlist::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(netlist.num_nodes());
+    for gate in netlist.gates() {
+        let new_id = match *gate {
+            Gate::Input(_) => out.input(),
+            Gate::Const(v) => out.constant(v),
+            Gate::Not(a) => {
+                let a = map[a.index()];
+                if rng.gen_bool(0.25) {
+                    // Triple negation.
+                    let n1 = out.not(a);
+                    let n2 = out.not(n1);
+                    out.not(n2)
+                } else {
+                    out.not(a)
+                }
+            }
+            Gate::And(a, b) => rewrite_and(&mut out, &mut rng, map[a.index()], map[b.index()]),
+            Gate::Or(a, b) => rewrite_or(&mut out, &mut rng, map[a.index()], map[b.index()]),
+            Gate::Xor(a, b) => rewrite_xor(&mut out, &mut rng, map[a.index()], map[b.index()]),
+            Gate::Nand(a, b) => {
+                let g = rewrite_and(&mut out, &mut rng, map[a.index()], map[b.index()]);
+                out.not(g)
+            }
+            Gate::Nor(a, b) => {
+                let g = rewrite_or(&mut out, &mut rng, map[a.index()], map[b.index()]);
+                out.not(g)
+            }
+            Gate::Xnor(a, b) => {
+                let g = rewrite_xor(&mut out, &mut rng, map[a.index()], map[b.index()]);
+                out.not(g)
+            }
+            Gate::Mux { sel, lo, hi } => {
+                let (s, l, h) = (map[sel.index()], map[lo.index()], map[hi.index()]);
+                if rng.gen_bool(0.5) {
+                    // mux(s, lo, hi) = (¬s ∧ lo) ∨ (s ∧ hi)
+                    let ns = out.not(s);
+                    let t1 = out.and(ns, l);
+                    let t2 = out.and(s, h);
+                    out.or(t1, t2)
+                } else {
+                    out.mux(s, l, h)
+                }
+            }
+            Gate::Dff { .. } => unreachable!("checked combinational above"),
+        };
+        map.push(new_id);
+    }
+    for o in netlist.outputs() {
+        out.set_output(map[o.index()]);
+    }
+    out
+}
+
+fn maybe_swap(rng: &mut StdRng, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if rng.gen_bool(0.5) {
+        (b, a)
+    } else {
+        (a, b)
+    }
+}
+
+fn rewrite_and(out: &mut Netlist, rng: &mut StdRng, a: NodeId, b: NodeId) -> NodeId {
+    let (a, b) = maybe_swap(rng, a, b);
+    match rng.gen_range(0..3u8) {
+        0 => out.and(a, b),
+        1 => {
+            // De Morgan: ¬(¬a ∨ ¬b)
+            let na = out.not(a);
+            let nb = out.not(b);
+            out.nor(na, nb)
+        }
+        _ => {
+            // NAND + NOT
+            let g = out.nand(a, b);
+            out.not(g)
+        }
+    }
+}
+
+fn rewrite_or(out: &mut Netlist, rng: &mut StdRng, a: NodeId, b: NodeId) -> NodeId {
+    let (a, b) = maybe_swap(rng, a, b);
+    match rng.gen_range(0..3u8) {
+        0 => out.or(a, b),
+        1 => {
+            // De Morgan: ¬(¬a ∧ ¬b)
+            let na = out.not(a);
+            let nb = out.not(b);
+            out.nand(na, nb)
+        }
+        _ => {
+            let g = out.nor(a, b);
+            out.not(g)
+        }
+    }
+}
+
+fn rewrite_xor(out: &mut Netlist, rng: &mut StdRng, a: NodeId, b: NodeId) -> NodeId {
+    let (a, b) = maybe_swap(rng, a, b);
+    match rng.gen_range(0..3u8) {
+        0 => out.xor(a, b),
+        1 => {
+            // (a ∧ ¬b) ∨ (¬a ∧ b)
+            let na = out.not(a);
+            let nb = out.not(b);
+            let t1 = out.and(a, nb);
+            let t2 = out.and(na, b);
+            out.or(t1, t2)
+        }
+        _ => {
+            // ¬(a ≡ b)
+            let g = out.xnor(a, b);
+            out.not(g)
+        }
+    }
+}
+
+/// Returns a copy of `netlist` with exactly one randomly chosen 2-input
+/// gate replaced by a different gate type (e.g. AND → OR), plus the index
+/// of the mutated node. The result is *almost* equivalent to the input —
+/// ideal for generating satisfiable miters whose distinguishing patterns
+/// are rare.
+///
+/// Returns `None` if the netlist contains no mutable gate.
+pub fn inject_fault(netlist: &Netlist, seed: u64) -> Option<(Netlist, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let candidates: Vec<usize> = netlist
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| {
+            matches!(
+                g,
+                Gate::And(..) | Gate::Or(..) | Gate::Xor(..) | Gate::Nand(..) | Gate::Nor(..) | Gate::Xnor(..)
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let target = candidates[rng.gen_range(0..candidates.len())];
+    let mut out = Netlist::new();
+    let mut map: Vec<NodeId> = Vec::with_capacity(netlist.num_nodes());
+    let mut mutated = None;
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        let new_id = if i == target {
+            let id = match *gate {
+                // Swap gate function for a near miss.
+                Gate::And(a, b) => out.or(map[a.index()], map[b.index()]),
+                Gate::Or(a, b) => out.and(map[a.index()], map[b.index()]),
+                Gate::Xor(a, b) => out.or(map[a.index()], map[b.index()]),
+                Gate::Nand(a, b) => out.nor(map[a.index()], map[b.index()]),
+                Gate::Nor(a, b) => out.nand(map[a.index()], map[b.index()]),
+                Gate::Xnor(a, b) => out.xnor(map[b.index()], map[a.index()]), // swap + same = keep trying below
+                _ => unreachable!("candidates are 2-input gates"),
+            };
+            mutated = Some(id);
+            id
+        } else {
+            match *gate {
+                Gate::Input(_) => out.input(),
+                Gate::Const(v) => out.constant(v),
+                Gate::Not(a) => out.not(map[a.index()]),
+                Gate::And(a, b) => out.and(map[a.index()], map[b.index()]),
+                Gate::Or(a, b) => out.or(map[a.index()], map[b.index()]),
+                Gate::Xor(a, b) => out.xor(map[a.index()], map[b.index()]),
+                Gate::Nand(a, b) => out.nand(map[a.index()], map[b.index()]),
+                Gate::Nor(a, b) => out.nor(map[a.index()], map[b.index()]),
+                Gate::Xnor(a, b) => out.xnor(map[a.index()], map[b.index()]),
+                Gate::Mux { sel, lo, hi } => {
+                    out.mux(map[sel.index()], map[lo.index()], map[hi.index()])
+                }
+                Gate::Dff { init, .. } => {
+                    let id = out.dff(init);
+                    id
+                }
+            }
+        };
+        map.push(new_id);
+    }
+    // Re-wire any flip-flops (faults are applied to sequential circuits too).
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        if let Gate::Dff { d, .. } = gate {
+            out.connect_dff(map[i], map[d.index()]);
+        }
+    }
+    for o in netlist.outputs() {
+        out.set_output(map[o.index()]);
+    }
+    mutated.map(|m| (out, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{parity_tree, ripple_carry_adder};
+    use crate::sim::equivalent_exhaustive;
+
+    #[test]
+    fn restructure_preserves_function() {
+        let adder = ripple_carry_adder(3); // 7 inputs: exhaustive is cheap
+        for seed in 0..8 {
+            let rewritten = restructure(&adder, seed);
+            assert!(
+                equivalent_exhaustive(&adder, &rewritten),
+                "seed {seed} broke equivalence"
+            );
+        }
+    }
+
+    #[test]
+    fn restructure_changes_structure() {
+        let parity = parity_tree(6);
+        let rewritten = restructure(&parity, 42);
+        // With XOR decomposition, the node count almost surely grows.
+        assert_ne!(parity.gates(), rewritten.gates());
+    }
+
+    #[test]
+    fn restructure_is_deterministic_in_seed() {
+        let adder = ripple_carry_adder(2);
+        assert_eq!(restructure(&adder, 7), restructure(&adder, 7));
+        assert_ne!(restructure(&adder, 7), restructure(&adder, 8));
+    }
+
+    #[test]
+    fn injected_fault_changes_function() {
+        let adder = ripple_carry_adder(2);
+        let mut changed = 0;
+        for seed in 0..10 {
+            let (buggy, _node) = inject_fault(&adder, seed).expect("adder has gates");
+            if !equivalent_exhaustive(&adder, &buggy) {
+                changed += 1;
+            }
+        }
+        // Most single-gate swaps in an adder are observable at the outputs.
+        assert!(changed >= 7, "only {changed}/10 faults were observable");
+    }
+
+    #[test]
+    fn inject_fault_none_for_gateless_netlist() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        n.set_output(a);
+        assert!(inject_fault(&n, 0).is_none());
+    }
+}

@@ -1,0 +1,320 @@
+//! Bit-parallel simulation of netlists (64 patterns per step).
+
+use crate::netlist::{Gate, Netlist};
+
+/// Evaluates a *combinational* netlist on up to 64 input patterns at once:
+/// bit `k` of `inputs[i]` is the value of input `i` in pattern `k`.
+/// Returns one word per output, with the same bit-to-pattern mapping.
+///
+/// # Panics
+///
+/// Panics if the netlist contains flip-flops or if `inputs.len()` differs
+/// from the number of primary inputs.
+pub fn eval64(netlist: &Netlist, inputs: &[u64]) -> Vec<u64> {
+    assert!(
+        netlist.is_combinational(),
+        "eval64 requires a combinational netlist; use Simulator for sequential ones"
+    );
+    assert_eq!(inputs.len(), netlist.num_inputs(), "one word per input required");
+    let values = eval_nodes(netlist, inputs, &[]);
+    netlist.outputs().iter().map(|o| values[o.index()]).collect()
+}
+
+/// Exhaustively compares two combinational netlists with identical
+/// interfaces; returns `true` iff they compute the same function.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ or if there are more than 20 inputs
+/// (exhaustive check would be infeasible — use a miter and the solver).
+pub fn equivalent_exhaustive(a: &Netlist, b: &Netlist) -> bool {
+    assert_eq!(a.num_inputs(), b.num_inputs(), "input arity mismatch");
+    assert_eq!(a.outputs().len(), b.outputs().len(), "output arity mismatch");
+    let n = a.num_inputs();
+    assert!(n <= 20, "exhaustive equivalence limited to 20 inputs, got {n}");
+    let total: u64 = 1 << n;
+    let mut base = 0u64;
+    while base < total {
+        let chunk = (total - base).min(64);
+        // Pattern k in this chunk is the assignment (base + k).
+        let words: Vec<u64> = (0..n)
+            .map(|i| {
+                let mut w = 0u64;
+                for k in 0..chunk {
+                    if (base + k) >> i & 1 == 1 {
+                        w |= 1 << k;
+                    }
+                }
+                w
+            })
+            .collect();
+        let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+        let oa = eval64(a, &words);
+        let ob = eval64(b, &words);
+        if oa
+            .iter()
+            .zip(&ob)
+            .any(|(x, y)| (x ^ y) & mask != 0)
+        {
+            return false;
+        }
+        base += chunk;
+    }
+    true
+}
+
+/// Cycle-accurate simulator for sequential netlists, 64 patterns in
+/// parallel.
+///
+/// # Examples
+///
+/// ```
+/// use berkmin_circuit::{Netlist, Simulator};
+///
+/// // A toggle flip-flop divides the clock by two.
+/// let mut n = Netlist::new();
+/// let q = n.dff(false);
+/// let nq = n.not(q);
+/// n.connect_dff(q, nq);
+/// n.set_output(q);
+///
+/// let mut sim = Simulator::new(&n);
+/// assert_eq!(sim.step(&[]), vec![0]);      // starts at 0
+/// assert_eq!(sim.step(&[]), vec![u64::MAX]); // toggles to 1
+/// assert_eq!(sim.step(&[]), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    /// Current flip-flop state, one word per dff (pattern-parallel).
+    state: Vec<u64>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator with every flip-flop at its power-on value
+    /// (replicated across all 64 patterns).
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let state = netlist
+            .dffs()
+            .iter()
+            .map(|&d| match netlist.gate(d) {
+                Gate::Dff { init, .. } => {
+                    if init {
+                        u64::MAX
+                    } else {
+                        0
+                    }
+                }
+                _ => unreachable!("dffs() returns only flip-flops"),
+            })
+            .collect();
+        Simulator { netlist, state }
+    }
+
+    /// Advances one clock cycle: evaluates outputs for the *current* state
+    /// and the given inputs, then latches the next state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn step(&mut self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.netlist.num_inputs());
+        let values = eval_nodes(self.netlist, inputs, &self.state);
+        let outputs = self
+            .netlist
+            .outputs()
+            .iter()
+            .map(|o| values[o.index()])
+            .collect();
+        for (slot, &dff) in self.state.iter_mut().zip(self.netlist.dffs()) {
+            if let Gate::Dff { d, .. } = self.netlist.gate(dff) {
+                *slot = values[d.index()];
+            }
+        }
+        outputs
+    }
+
+    /// Current flip-flop state (one word per flip-flop, pattern-parallel).
+    pub fn state(&self) -> &[u64] {
+        &self.state
+    }
+}
+
+/// Evaluates all node values for one clock phase. `state` supplies flip-flop
+/// outputs (empty for combinational netlists).
+fn eval_nodes(netlist: &Netlist, inputs: &[u64], state: &[u64]) -> Vec<u64> {
+    let mut dff_idx = 0usize;
+    let mut values = vec![0u64; netlist.num_nodes()];
+    for (i, gate) in netlist.gates().iter().enumerate() {
+        values[i] = match *gate {
+            Gate::Input(n) => inputs[n as usize],
+            Gate::Const(v) => {
+                if v {
+                    u64::MAX
+                } else {
+                    0
+                }
+            }
+            Gate::Not(a) => !values[a.index()],
+            Gate::And(a, b) => values[a.index()] & values[b.index()],
+            Gate::Or(a, b) => values[a.index()] | values[b.index()],
+            Gate::Xor(a, b) => values[a.index()] ^ values[b.index()],
+            Gate::Nand(a, b) => !(values[a.index()] & values[b.index()]),
+            Gate::Nor(a, b) => !(values[a.index()] | values[b.index()]),
+            Gate::Xnor(a, b) => !(values[a.index()] ^ values[b.index()]),
+            Gate::Mux { sel, lo, hi } => {
+                let s = values[sel.index()];
+                (s & values[hi.index()]) | (!s & values[lo.index()])
+            }
+            Gate::Dff { .. } => {
+                let v = state[dff_idx];
+                dff_idx += 1;
+                v
+            }
+        };
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    /// Full adder truth table via bit-parallel eval.
+    #[test]
+    fn full_adder_truth_table() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let c = n.input();
+        let s1 = n.xor(a, b);
+        let sum = n.xor(s1, c);
+        let g1 = n.and(a, b);
+        let g2 = n.and(s1, c);
+        let cout = n.or(g1, g2);
+        n.set_output(sum);
+        n.set_output(cout);
+        // 8 patterns: a=0b10101010 style enumeration.
+        let av = 0b1010_1010u64;
+        let bv = 0b1100_1100u64;
+        let cv = 0b1111_0000u64;
+        let out = eval64(&n, &[av, bv, cv]);
+        let expect_sum = av ^ bv ^ cv;
+        let expect_cout = (av & bv) | ((av ^ bv) & cv);
+        assert_eq!(out[0] & 0xFF, expect_sum & 0xFF);
+        assert_eq!(out[1] & 0xFF, expect_cout & 0xFF);
+    }
+
+    #[test]
+    fn all_gate_types_evaluate() {
+        let mut n = Netlist::new();
+        let a = n.input();
+        let b = n.input();
+        let s = n.input();
+        for g in [
+            n.and(a, b),
+            n.or(a, b),
+            n.xor(a, b),
+            n.nand(a, b),
+            n.nor(a, b),
+            n.xnor(a, b),
+        ] {
+            n.set_output(g);
+        }
+        let m = n.mux(s, a, b);
+        n.set_output(m);
+        let nt = n.not(a);
+        n.set_output(nt);
+        let (av, bv, sv) = (0b1010u64, 0b1100u64, 0b1111_0000u64 >> 4);
+        let out = eval64(&n, &[av, bv, sv]);
+        let mask = 0xFu64;
+        assert_eq!(out[0] & mask, av & bv & mask);
+        assert_eq!(out[1] & mask, (av | bv) & mask);
+        assert_eq!(out[2] & mask, (av ^ bv) & mask);
+        assert_eq!(out[3] & mask, !(av & bv) & mask);
+        assert_eq!(out[4] & mask, !(av | bv) & mask);
+        assert_eq!(out[5] & mask, !(av ^ bv) & mask);
+        assert_eq!(out[6] & mask, ((sv & bv) | (!sv & av)) & mask);
+        assert_eq!(out[7] & mask, !av & mask);
+    }
+
+    #[test]
+    fn equivalence_detects_equal_and_different() {
+        // XOR two ways: native gate vs AND/OR decomposition.
+        let mut x1 = Netlist::new();
+        let a = x1.input();
+        let b = x1.input();
+        let g = x1.xor(a, b);
+        x1.set_output(g);
+
+        let mut x2 = Netlist::new();
+        let a2 = x2.input();
+        let b2 = x2.input();
+        let na = x2.not(a2);
+        let nb = x2.not(b2);
+        let t1 = x2.and(a2, nb);
+        let t2 = x2.and(na, b2);
+        let o = x2.or(t1, t2);
+        x2.set_output(o);
+
+        assert!(equivalent_exhaustive(&x1, &x2));
+
+        // An OR is not an XOR.
+        let mut x3 = Netlist::new();
+        let a3 = x3.input();
+        let b3 = x3.input();
+        let o3 = x3.or(a3, b3);
+        x3.set_output(o3);
+        assert!(!equivalent_exhaustive(&x1, &x3));
+    }
+
+    #[test]
+    fn equivalence_handles_more_than_64_patterns() {
+        // 8 inputs = 256 patterns = 4 chunks of 64.
+        let mut a = Netlist::new();
+        let ins = a.inputs_n(8);
+        let r = a.xor_reduce(&ins);
+        a.set_output(r);
+
+        let mut b = Netlist::new();
+        let ins_b = b.inputs_n(8);
+        // Reduce in reverse order — same parity function.
+        let rev: Vec<_> = ins_b.iter().rev().copied().collect();
+        let rb = b.xor_reduce(&rev);
+        b.set_output(rb);
+
+        assert!(equivalent_exhaustive(&a, &b));
+    }
+
+    #[test]
+    fn sequential_counter_counts() {
+        // 2-bit counter from toggle logic: q0 toggles, q1 toggles when q0=1.
+        let mut n = Netlist::new();
+        let q0 = n.dff(false);
+        let q1 = n.dff(false);
+        let nq0 = n.not(q0);
+        let t1 = n.xor(q1, q0);
+        n.connect_dff(q0, nq0);
+        n.connect_dff(q1, t1);
+        n.set_output(q0);
+        n.set_output(q1);
+
+        let mut sim = Simulator::new(&n);
+        let seq: Vec<(u64, u64)> = (0..5).map(|_| {
+            let o = sim.step(&[]);
+            (o[0] & 1, o[1] & 1)
+        }).collect();
+        assert_eq!(seq, vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational")]
+    fn eval64_rejects_sequential() {
+        let mut n = Netlist::new();
+        let q = n.dff(false);
+        let nq = n.not(q);
+        n.connect_dff(q, nq);
+        let _ = eval64(&n, &[]);
+    }
+}

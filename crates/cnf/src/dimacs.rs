@@ -1,0 +1,318 @@
+//! Reading and writing CNF formulas in DIMACS format.
+//!
+//! DIMACS CNF is the interchange format of every benchmark class the paper
+//! uses (Hole, Par16, Hanoi, the Velev suites, …). The parser is tolerant of
+//! the format quirks found in those 1990s-era files: comments anywhere,
+//! clauses spanning multiple lines, several clauses per line, and a missing
+//! or understated `p cnf` header.
+//!
+//! # Examples
+//!
+//! ```
+//! use berkmin_cnf::dimacs;
+//!
+//! let text = "c tiny instance\np cnf 2 2\n1 -2 0\n2 0\n";
+//! let cnf = dimacs::parse(text)?;
+//! assert_eq!((cnf.num_vars(), cnf.num_clauses()), (2, 2));
+//!
+//! let rendered = dimacs::to_string(&cnf);
+//! let reparsed = dimacs::parse(&rendered)?;
+//! assert_eq!(cnf.clauses(), reparsed.clauses());
+//! # Ok::<(), dimacs::ParseDimacsError>(())
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::{Cnf, Lit};
+
+/// Error produced when DIMACS text cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    line: usize,
+    kind: ErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ErrorKind {
+    /// A token was neither an integer nor a recognized keyword.
+    BadToken(String),
+    /// The `p` header line was malformed.
+    BadHeader(String),
+    /// The final clause was not terminated by `0`.
+    UnterminatedClause,
+    /// A literal outside the representable range.
+    LiteralOutOfRange(i64),
+}
+
+impl ParseDimacsError {
+    /// 1-based line number at which the error was detected.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ErrorKind::BadToken(t) => {
+                write!(f, "line {}: unexpected token {t:?}", self.line)
+            }
+            ErrorKind::BadHeader(h) => {
+                write!(f, "line {}: malformed problem line {h:?}", self.line)
+            }
+            ErrorKind::UnterminatedClause => {
+                write!(f, "line {}: last clause not terminated by 0", self.line)
+            }
+            ErrorKind::LiteralOutOfRange(n) => {
+                write!(f, "line {}: literal {n} out of range", self.line)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text into a [`Cnf`].
+///
+/// The declared variable count in the `p cnf` header is honored as a lower
+/// bound (files sometimes understate it); the declared clause count is
+/// ignored, as many historical files get it wrong.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on malformed tokens, a malformed header, or
+/// an unterminated final clause.
+pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut declared_vars: usize = 0;
+    let mut last_line = 0;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        last_line = lineno;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(comment) = trimmed.strip_prefix('c') {
+            // `c` must be a standalone token ("c foo"), not e.g. "clause".
+            if comment.is_empty() || comment.starts_with(char::is_whitespace) {
+                cnf.add_comment(comment.trim_start());
+                continue;
+            }
+            return Err(ParseDimacsError {
+                line: lineno,
+                kind: ErrorKind::BadToken(trimmed.split_whitespace().next().unwrap().into()),
+            });
+        }
+        if trimmed.starts_with('p') {
+            let mut parts = trimmed.split_whitespace();
+            let (_p, format) = (parts.next(), parts.next());
+            let nv = parts.next().and_then(|s| s.parse::<usize>().ok());
+            let nc = parts.next().and_then(|s| s.parse::<usize>().ok());
+            if format != Some("cnf") || nv.is_none() || nc.is_none() {
+                return Err(ParseDimacsError {
+                    line: lineno,
+                    kind: ErrorKind::BadHeader(trimmed.into()),
+                });
+            }
+            declared_vars = nv.unwrap();
+            continue;
+        }
+        // `%` terminates some SATLIB files.
+        if trimmed.starts_with('%') {
+            break;
+        }
+        for tok in trimmed.split_whitespace() {
+            let n: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: lineno,
+                kind: ErrorKind::BadToken(tok.into()),
+            })?;
+            if n == 0 {
+                cnf.add_clause(current.drain(..));
+            } else {
+                if n.unsigned_abs() > u32::MAX as u64 / 2 {
+                    return Err(ParseDimacsError {
+                        line: lineno,
+                        kind: ErrorKind::LiteralOutOfRange(n),
+                    });
+                }
+                current.push(Lit::from_dimacs(n as i32));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError {
+            line: last_line,
+            kind: ErrorKind::UnterminatedClause,
+        });
+    }
+    if declared_vars > cnf.num_vars() {
+        let mut grown = Cnf::with_vars(declared_vars);
+        for c in cnf.iter() {
+            grown.push_clause(c.clone());
+        }
+        for c in cnf.comments() {
+            grown.add_comment(c.clone());
+        }
+        return Ok(grown);
+    }
+    Ok(cnf)
+}
+
+/// Reads and parses DIMACS CNF from any [`Read`] implementor (a `&mut`
+/// reference works too, since `Read` is implemented for `&mut R`).
+///
+/// # Errors
+///
+/// Returns [`ReadDimacsError::Io`] on I/O failure and
+/// [`ReadDimacsError::Parse`] on malformed content.
+pub fn read<R: Read>(mut reader: R) -> Result<Cnf, ReadDimacsError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text).map_err(ReadDimacsError::Io)?;
+    parse(&text).map_err(ReadDimacsError::Parse)
+}
+
+/// Error produced by [`read`].
+#[derive(Debug)]
+pub enum ReadDimacsError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The content was not valid DIMACS.
+    Parse(ParseDimacsError),
+}
+
+impl fmt::Display for ReadDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadDimacsError::Io(e) => write!(f, "i/o error reading DIMACS: {e}"),
+            ReadDimacsError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadDimacsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadDimacsError::Io(e) => Some(e),
+            ReadDimacsError::Parse(e) => Some(e),
+        }
+    }
+}
+
+/// Serializes a [`Cnf`] as DIMACS text.
+pub fn to_string(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    for comment in cnf.comments() {
+        out.push_str("c ");
+        out.push_str(comment);
+        out.push('\n');
+    }
+    out.push_str(&format!("p cnf {} {}\n", cnf.num_vars(), cnf.num_clauses()));
+    for clause in cnf.iter() {
+        for lit in clause {
+            out.push_str(&lit.to_dimacs().to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Writes a [`Cnf`] in DIMACS format to any [`Write`] implementor (a `&mut`
+/// reference works too).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write<W: Write>(mut writer: W, cnf: &Cnf) -> io::Result<()> {
+    writer.write_all(to_string(cnf).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let cnf = parse("p cnf 3 2\n1 -2 0\n-1 3 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0].lits(), &[Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+    }
+
+    #[test]
+    fn honors_declared_var_count_as_lower_bound() {
+        let cnf = parse("p cnf 10 1\n1 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 10);
+    }
+
+    #[test]
+    fn clause_may_span_lines_and_share_lines() {
+        let cnf = parse("p cnf 3 3\n1 2\n3 0 -1 0\n-2 0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 3);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let cnf = parse("c hello\n\nc world\np cnf 1 1\nc mid\n1 0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.comments(), &["hello".to_string(), "world".into(), "mid".into()]);
+    }
+
+    #[test]
+    fn percent_terminates_satlib_files() {
+        let cnf = parse("p cnf 1 1\n1 0\n%\n0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_token() {
+        let err = parse("p cnf 1 1\none 0\n").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(parse("p sat 3 2\n").is_err());
+        assert!(parse("p cnf x 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        let err = parse("p cnf 2 1\n1 2\n").unwrap_err();
+        assert!(err.to_string().contains("not terminated"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_clauses() {
+        let src = "c demo\np cnf 4 3\n1 -2 0\n3 4 -1 0\n-4 0\n";
+        let cnf = parse(src).unwrap();
+        let again = parse(&to_string(&cnf)).unwrap();
+        assert_eq!(cnf.clauses(), again.clauses());
+        assert_eq!(cnf.num_vars(), again.num_vars());
+    }
+
+    #[test]
+    fn read_and_write_through_io() {
+        let src = b"p cnf 2 1\n1 2 0\n".to_vec();
+        let cnf = read(&src[..]).unwrap();
+        let mut buf = Vec::new();
+        write(&mut buf, &cnf).unwrap();
+        let again = read(&buf[..]).unwrap();
+        assert_eq!(cnf.clauses(), again.clauses());
+    }
+
+    #[test]
+    fn empty_clause_roundtrips() {
+        let cnf = parse("p cnf 1 1\n0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert!(cnf.clauses()[0].is_empty());
+        let again = parse(&to_string(&cnf)).unwrap();
+        assert!(again.clauses()[0].is_empty());
+    }
+}

@@ -1,0 +1,308 @@
+//! CNF formulas.
+
+use std::fmt;
+
+use crate::{Assignment, Clause, LBool, Lit, Var};
+
+/// A formula in conjunctive normal form: a conjunction of [`Clause`]s over
+/// variables `x0 .. x(n-1)`.
+///
+/// `Cnf` is the interchange type between benchmark generators, the solver
+/// and the DIMACS reader/writer. It tracks the number of variables
+/// explicitly so that formulas with unreferenced variables (common in
+/// DIMACS files) round-trip faithfully.
+///
+/// # Examples
+///
+/// ```
+/// use berkmin_cnf::{Cnf, Lit};
+///
+/// // (x0 ∨ ¬x1) ∧ (x1)
+/// let mut cnf = Cnf::new();
+/// let x0 = cnf.fresh_var();
+/// let x1 = cnf.fresh_var();
+/// cnf.add_clause([Lit::pos(x0), Lit::neg(x1)]);
+/// cnf.add_clause([Lit::pos(x1)]);
+/// assert_eq!((cnf.num_vars(), cnf.num_clauses()), (2, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+    /// Optional human-readable comment lines (serialized as DIMACS `c` lines).
+    comments: Vec<String>,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables and no clauses.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Creates a formula over `num_vars` variables and no clauses.
+    pub fn with_vars(num_vars: usize) -> Self {
+        Cnf {
+            num_vars,
+            ..Cnf::default()
+        }
+    }
+
+    /// Allocates and returns a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Allocates `n` fresh variables and returns them in order.
+    pub fn fresh_vars(&mut self, n: usize) -> Vec<Var> {
+        (0..n).map(|_| self.fresh_var()).collect()
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    #[inline]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Total number of literal occurrences across all clauses.
+    pub fn num_lits(&self) -> usize {
+        self.clauses.iter().map(Clause::len).sum()
+    }
+
+    /// Returns the clauses as a slice.
+    #[inline]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Appends a clause built from `lits`, growing the variable count to
+    /// cover every referenced variable.
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        let clause = Clause::from_lits(lits);
+        for lit in &clause {
+            let need = lit.var().index() + 1;
+            if need > self.num_vars {
+                self.num_vars = need;
+            }
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Appends an already-built [`Clause`].
+    pub fn push_clause(&mut self, clause: Clause) {
+        self.add_clause(clause.into_lits());
+    }
+
+    /// Adds a comment line, emitted as a DIMACS `c` line by the writer.
+    pub fn add_comment(&mut self, text: impl Into<String>) {
+        self.comments.push(text.into());
+    }
+
+    /// Returns the comment lines.
+    pub fn comments(&self) -> &[String] {
+        &self.comments
+    }
+
+    /// Iterates over the clauses.
+    pub fn iter(&self) -> std::slice::Iter<'_, Clause> {
+        self.clauses.iter()
+    }
+
+    /// Evaluates the formula under `assignment`.
+    ///
+    /// Returns [`LBool::True`] if every clause is satisfied, [`LBool::False`]
+    /// if some clause is falsified, otherwise [`LBool::Undef`].
+    pub fn eval(&self, assignment: &Assignment) -> LBool {
+        let mut all_true = true;
+        for clause in &self.clauses {
+            match clause.eval(assignment) {
+                LBool::False => return LBool::False,
+                LBool::Undef => all_true = false,
+                LBool::True => {}
+            }
+        }
+        if all_true {
+            LBool::True
+        } else {
+            LBool::Undef
+        }
+    }
+
+    /// Returns `true` iff `assignment` satisfies every clause — the model
+    /// check used throughout the test suite to validate solver output.
+    pub fn is_satisfied_by(&self, assignment: &Assignment) -> bool {
+        self.eval(assignment) == LBool::True
+    }
+
+    /// Merges another formula into this one, remapping its variables to a
+    /// fresh block. Returns the variable offset applied.
+    ///
+    /// Useful for composing benchmark instances (e.g. stacking several
+    /// miters into one CNF).
+    pub fn append_disjoint(&mut self, other: &Cnf) -> usize {
+        let offset = self.num_vars;
+        for clause in other.iter() {
+            let shifted = clause
+                .iter()
+                .map(|l| Lit::new(Var::new((l.var().index() + offset) as u32), l.is_negative()));
+            self.add_clause(shifted);
+        }
+        self.num_vars = self.num_vars.max(offset + other.num_vars);
+        offset
+    }
+
+    /// Exhaustive satisfiability check by enumeration — the reference oracle
+    /// for property tests. Returns a model if one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the formula has more than 24 variables (enumeration would
+    /// be infeasible); this is a test-support method, not a solver.
+    pub fn solve_by_enumeration(&self) -> Option<Assignment> {
+        assert!(
+            self.num_vars <= 24,
+            "enumeration oracle limited to 24 variables, formula has {}",
+            self.num_vars
+        );
+        let n = self.num_vars;
+        for bits in 0u64..(1u64 << n) {
+            let a = Assignment::from_bools((0..n).map(|i| bits >> i & 1 == 1));
+            if self.is_satisfied_by(&a) {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+impl FromIterator<Clause> for Cnf {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        let mut cnf = Cnf::new();
+        for c in iter {
+            cnf.push_clause(c);
+        }
+        cnf
+    }
+}
+
+impl Extend<Clause> for Cnf {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for c in iter {
+            self.push_clause(c);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Cnf {
+    type Item = &'a Clause;
+    type IntoIter = std::slice::Iter<'a, Clause>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.clauses.iter()
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clauses.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, clause) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "({clause})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    #[test]
+    fn add_clause_grows_vars() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(5)]);
+        assert_eq!(cnf.num_vars(), 5);
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn eval_three_states() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(1), lit(2)]);
+        cnf.add_clause([lit(-1)]);
+        let mut a = Assignment::new(2);
+        assert_eq!(cnf.eval(&a), LBool::Undef);
+        a.assign(Var::new(0), false);
+        a.assign(Var::new(1), true);
+        assert_eq!(cnf.eval(&a), LBool::True);
+        a.assign(Var::new(0), true);
+        assert_eq!(cnf.eval(&a), LBool::False);
+    }
+
+    #[test]
+    fn enumeration_finds_model_of_simple_formula() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(1), lit(2)]);
+        cnf.add_clause([lit(-1), lit(2)]);
+        cnf.add_clause([lit(-2), lit(3)]);
+        let model = cnf.solve_by_enumeration().expect("satisfiable");
+        assert!(cnf.is_satisfied_by(&model));
+    }
+
+    #[test]
+    fn enumeration_detects_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(1)]);
+        cnf.add_clause([lit(-1)]);
+        assert!(cnf.solve_by_enumeration().is_none());
+    }
+
+    #[test]
+    fn empty_formula_is_trivially_true() {
+        let cnf = Cnf::new();
+        assert_eq!(cnf.eval(&Assignment::new(0)), LBool::True);
+        assert!(cnf.solve_by_enumeration().is_some());
+    }
+
+    #[test]
+    fn formula_with_empty_clause_is_unsat() {
+        let mut cnf = Cnf::new();
+        cnf.push_clause(Clause::new());
+        assert!(cnf.solve_by_enumeration().is_none());
+    }
+
+    #[test]
+    fn append_disjoint_offsets_variables() {
+        let mut a = Cnf::new();
+        a.add_clause([lit(1), lit(2)]);
+        let mut b = Cnf::new();
+        b.add_clause([lit(1)]);
+        let off = a.append_disjoint(&b);
+        assert_eq!(off, 2);
+        assert_eq!(a.num_vars(), 3);
+        assert_eq!(a.clauses()[1].lits()[0], lit(3));
+    }
+
+    #[test]
+    fn num_lits_counts_occurrences() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(1), lit(2)]);
+        cnf.add_clause([lit(2)]);
+        assert_eq!(cnf.num_lits(), 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! Core CNF data types for the BerkMin SAT-solver suite.
+//!
+//! This crate provides the vocabulary shared by every other crate in the
+//! workspace: [`Var`] and [`Lit`] (packed, copyable handles), [`Clause`]
+//! (an owned disjunction of literals), [`Cnf`] (a formula plus variable
+//! bookkeeping), [`Assignment`] (a total/partial valuation) and DIMACS
+//! reading/writing in [`dimacs`].
+//!
+//! # Conventions
+//!
+//! Variables are numbered from `0`. A literal packs a variable and a sign
+//! into a single `u32` (`code = var << 1 | negated`), the layout used by the
+//! solver's watch lists. In DIMACS text, variable `i` (0-based) appears as
+//! `i + 1`, negated literals carry a minus sign.
+//!
+//! # Examples
+//!
+//! ```
+//! use berkmin_cnf::{Cnf, Lit, Var};
+//!
+//! let mut cnf = Cnf::new();
+//! let x = cnf.fresh_var();
+//! let y = cnf.fresh_var();
+//! cnf.add_clause([Lit::pos(x), Lit::neg(y)]);
+//! cnf.add_clause([Lit::neg(x), Lit::pos(y)]);
+//! assert_eq!(cnf.num_vars(), 2);
+//! assert_eq!(cnf.num_clauses(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assignment;
+mod clause;
+pub mod dimacs;
+mod formula;
+mod lit;
+
+pub use assignment::{Assignment, LBool};
+pub use clause::Clause;
+pub use formula::Cnf;
+pub use lit::{Lit, Var};

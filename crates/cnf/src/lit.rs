@@ -1,0 +1,262 @@
+//! Variables and literals.
+
+use std::fmt;
+
+/// A propositional variable, numbered from `0`.
+///
+/// `Var` is a cheap, copyable index newtype. In DIMACS text a `Var(i)`
+/// renders as `i + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use berkmin_cnf::Var;
+///
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_dimacs(), 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its 0-based index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the 0-based index of this variable.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the 1-based DIMACS number of this variable.
+    #[inline]
+    pub const fn to_dimacs(self) -> i32 {
+        self.0 as i32 + 1
+    }
+
+    /// Creates a variable from a positive 1-based DIMACS number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= 0`.
+    #[inline]
+    pub fn from_dimacs(n: i32) -> Self {
+        assert!(n > 0, "DIMACS variable numbers are positive, got {n}");
+        Var(n as u32 - 1)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<Var> for usize {
+    #[inline]
+    fn from(v: Var) -> usize {
+        v.index()
+    }
+}
+
+/// A literal: a variable together with a sign.
+///
+/// Internally packed as `var << 1 | negated`, so literals of variable `v`
+/// occupy codes `2v` (positive) and `2v + 1` (negative). This code doubles
+/// as the index into per-literal tables such as watch lists and the paper's
+/// `lit_activity` counters.
+///
+/// # Examples
+///
+/// ```
+/// use berkmin_cnf::{Lit, Var};
+///
+/// let x = Var::new(0);
+/// let a = Lit::pos(x);
+/// assert_eq!(!a, Lit::neg(x));
+/// assert_eq!((!a).var(), x);
+/// assert!((!a).is_negative());
+/// assert_eq!(a.to_dimacs(), 1);
+/// assert_eq!((!a).to_dimacs(), -1);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a sign (`negated = true` for `¬v`).
+    #[inline]
+    pub const fn new(var: Var, negated: bool) -> Self {
+        Lit(var.0 << 1 | negated as u32)
+    }
+
+    /// The positive literal of `var`.
+    #[inline]
+    pub const fn pos(var: Var) -> Self {
+        Lit::new(var, false)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub const fn neg(var: Var) -> Self {
+        Lit::new(var, true)
+    }
+
+    /// Reconstructs a literal from its packed code (see type docs).
+    #[inline]
+    pub const fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Returns the packed code (`var << 1 | negated`).
+    #[inline]
+    pub const fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the variable underlying this literal.
+    #[inline]
+    pub const fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is a negated literal (`¬x`).
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if this is a positive literal (`x`).
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns the signed 1-based DIMACS representation.
+    #[inline]
+    pub const fn to_dimacs(self) -> i32 {
+        let v = (self.0 >> 1) as i32 + 1;
+        if self.0 & 1 == 1 {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Creates a literal from a non-zero DIMACS integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (DIMACS uses `0` as a clause terminator).
+    #[inline]
+    pub fn from_dimacs(n: i32) -> Self {
+        assert!(n != 0, "0 is the DIMACS clause terminator, not a literal");
+        let var = Var::new(n.unsigned_abs() - 1);
+        Lit::new(var, n < 0)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    /// Negates the literal: `!x == ¬x` and `!¬x == x`.
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lit({})", self.to_dimacs())
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "¬x{}", self.var().0)
+        } else {
+            write!(f, "x{}", self.var().0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrips_through_dimacs() {
+        for i in [0u32, 1, 7, 1000] {
+            let v = Var::new(i);
+            assert_eq!(Var::from_dimacs(v.to_dimacs()), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn var_from_dimacs_rejects_zero() {
+        let _ = Var::from_dimacs(0);
+    }
+
+    #[test]
+    fn lit_packing_layout() {
+        let v = Var::new(5);
+        assert_eq!(Lit::pos(v).code(), 10);
+        assert_eq!(Lit::neg(v).code(), 11);
+        assert_eq!(Lit::from_code(10), Lit::pos(v));
+    }
+
+    #[test]
+    fn lit_negation_is_involutive() {
+        let l = Lit::neg(Var::new(3));
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn lit_dimacs_roundtrip() {
+        for n in [1, -1, 2, -2, 42, -42] {
+            assert_eq!(Lit::from_dimacs(n).to_dimacs(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "terminator")]
+    fn lit_from_dimacs_rejects_zero() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Var::new(2);
+        assert_eq!(Lit::pos(v).to_string(), "x2");
+        assert_eq!(Lit::neg(v).to_string(), "¬x2");
+        assert_eq!(v.to_string(), "x2");
+    }
+
+    #[test]
+    fn ordering_groups_literals_by_variable() {
+        let a = Lit::pos(Var::new(1));
+        let b = Lit::neg(Var::new(1));
+        let c = Lit::pos(Var::new(2));
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,265 @@
+//! Conflict analysis: 1-UIP learning with BerkMin's sensitivity rule.
+//!
+//! The reverse-BCP walk below is a chain of resolutions starting from the
+//! conflicting clause (paper §2). Every clause entering that chain — the
+//! conflicting clause plus each reason clause resolved on — is a *clause
+//! responsible for the conflict*. BerkMin's sensitivity improvement (§4)
+//! bumps `var_activity` once per literal occurrence in each responsible
+//! clause; the Chaff-like ablation bumps only the variables of the final
+//! conflict clause.
+
+use berkmin_cnf::Lit;
+
+use crate::clause_db::ClauseRef;
+use crate::config::Sensitivity;
+use crate::solver::Solver;
+
+impl Solver {
+    /// Analyzes `confl` and returns `(learnt_clause, backtrack_level)`.
+    ///
+    /// The learnt clause is in asserting form: `learnt[0]` is the 1-UIP
+    /// literal (unassigned after backtracking to the returned level) and,
+    /// when the clause has length ≥ 2, `learnt[1]` is a literal from the
+    /// backtrack level, making positions 0 and 1 valid watches.
+    pub(crate) fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, usize) {
+        let current_level = self.decision_level();
+        debug_assert!(current_level > 0, "conflicts at level 0 terminate the search");
+
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for the UIP
+        let mut to_clear: Vec<u32> = Vec::new();
+        let mut counter = 0usize; // unresolved current-level literals
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let mut cref = confl;
+
+        loop {
+            // --- responsible-clause bookkeeping (paper §4, §8) ---
+            self.stats.responsible_clauses += 1;
+            {
+                let c = self.db.get_mut(cref);
+                // clause_activity(C): conflicts C has been responsible for.
+                c.activity = c.activity.saturating_add(1);
+            }
+            if self.config.sensitivity == Sensitivity::Berkmin {
+                // Bump once per literal occurrence in the responsible clause,
+                // including the resolved-on variable (§4's worked example
+                // bumps a and c, which never reach the conflict clause).
+                let n = self.db.lits(cref).len();
+                for k in 0..n {
+                    let v = self.db.lits(cref)[k].var();
+                    self.bump_var(v);
+                }
+            }
+
+            // --- resolve: merge this clause's literals ---
+            // For a reason clause, lits[0] is the implied literal `p` itself
+            // and is skipped; the conflicting clause contributes all lits.
+            let start = usize::from(p.is_some());
+            let n = self.db.lits(cref).len();
+            for k in start..n {
+                let q = self.db.lits(cref)[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    to_clear.push(v.raw());
+                    if self.level[v.index()] as usize == current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+
+            // --- pick the next current-level literal off the trail ---
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                // pl is the first unique implication point.
+                learnt[0] = !pl;
+                break;
+            }
+            cref = self.reason[pl.var().index()]
+                .expect("implied literal above level 0 must have a reason");
+            p = Some(pl);
+        }
+
+        if self.config.minimize_learnt {
+            self.minimize(&mut learnt);
+        }
+
+        // Chaff-like sensitivity: bump only the conflict clause's variables.
+        if self.config.sensitivity == Sensitivity::ConflictClauseOnly {
+            for i in 0..learnt.len() {
+                let v = learnt[i].var();
+                self.bump_var(v);
+            }
+        }
+
+        // Position a highest-level literal at index 1 and derive the
+        // backtrack level (non-chronological backtracking, §2).
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+
+        for v in to_clear {
+            self.seen[v as usize] = false;
+        }
+
+        (learnt, bt_level)
+    }
+
+    /// Local (non-recursive) conflict-clause minimization: drop any literal
+    /// whose reason clause is entirely subsumed by the remaining literals
+    /// and level-0 facts. A post-paper technique (MiniSat), kept behind
+    /// [`crate::SolverConfig::minimize_learnt`] for the extension ablation.
+    fn minimize(&mut self, learnt: &mut Vec<Lit>) {
+        let mut j = 1;
+        for i in 1..learnt.len() {
+            let v = learnt[i].var();
+            let removable = match self.reason[v.index()] {
+                None => false, // decision literal: must stay
+                Some(rc) => {
+                    let lits = self.db.lits(rc);
+                    lits.iter().all(|&q| {
+                        q.var() == v
+                            || self.seen[q.var().index()]
+                            || self.level[q.var().index()] == 0
+                    })
+                }
+            };
+            if !removable {
+                learnt[j] = learnt[i];
+                j += 1;
+            }
+        }
+        learnt.truncate(j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{Sensitivity, SolverConfig};
+    use crate::solver::{SolveStatus, Solver};
+    use berkmin_cnf::{Lit, Var};
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    /// The paper's §2 worked example: F = (a∨¬b)(b∨¬c∨y)(c∨¬d∨x)(c∨d)
+    /// with x=0, y=0 forced; branching a=0 yields a conflict whose clause
+    /// is c∨x (modulo the exact resolution order).
+    fn paper_example_solver(cfg: SolverConfig) -> Solver {
+        let mut s = Solver::with_config(cfg);
+        // Vars: a=1, b=2, c=3, d=4, x=5, y=6 (DIMACS numbering).
+        s.add_clause([lit(1), lit(-2)]);
+        s.add_clause([lit(2), lit(-3), lit(6)]);
+        s.add_clause([lit(3), lit(-4), lit(5)]);
+        s.add_clause([lit(3), lit(4)]);
+        s.add_clause([lit(-5)]); // x = 0
+        s.add_clause([lit(-6)]); // y = 0
+        s
+    }
+
+    #[test]
+    fn paper_example_is_satisfiable_overall() {
+        let mut s = paper_example_solver(SolverConfig::berkmin());
+        // a=1,b=*,c=1 satisfies everything; solver must find some model.
+        match s.solve() {
+            SolveStatus::Sat(m) => {
+                assert!(m.satisfies(lit(3)), "c must be 1 in any model with x=y=0");
+            }
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conflict_analysis_learns_and_recovers() {
+        // Force the conflict by deciding a=0 manually.
+        let mut s = paper_example_solver(SolverConfig::berkmin());
+        assert!(s.propagate().is_none());
+        s.assume(lit(-1));
+        let confl = s.propagate().expect("a=0 must conflict (paper §2)");
+        let (learnt, bt) = s.analyze(confl);
+        // The conflict is confined to level 1, so we backtrack to 0 and the
+        // learnt clause is the unit ¬(a=0) consequence chain: it must force
+        // progress, i.e. assert c (and possibly a).
+        assert_eq!(bt, 0);
+        assert!(!learnt.is_empty());
+        // Asserting literal must be unassigned after backtracking.
+        s.cancel_until(bt);
+        assert!(s.lit_value(learnt[0]).is_undef());
+        s.record_learnt(learnt);
+        assert!(s.propagate().is_none(), "learnt unit must propagate cleanly");
+        // c must now be forced true at level 0.
+        assert_eq!(s.lit_value(lit(3)), berkmin_cnf::LBool::True);
+    }
+
+    #[test]
+    fn berkmin_sensitivity_bumps_resolved_variables() {
+        // In the paper's resolution example the variables a and c take part
+        // in responsible clauses but not in the conflict clause; BerkMin
+        // bumps them, the Chaff-like rule does not (§4).
+        let run = |sens: Sensitivity| -> Vec<u64> {
+            let mut cfg = SolverConfig::berkmin();
+            cfg.sensitivity = sens;
+            let mut s = paper_example_solver(cfg);
+            assert!(s.propagate().is_none());
+            s.assume(lit(-1));
+            let confl = s.propagate().unwrap();
+            let (learnt, bt) = s.analyze(confl);
+            s.cancel_until(bt);
+            s.record_learnt(learnt);
+            s.var_activity.clone()
+        };
+        let berkmin = run(Sensitivity::Berkmin);
+        let chaff = run(Sensitivity::ConflictClauseOnly);
+        // Variable d (index 3) is resolved away: it appears in two
+        // responsible clauses, so BerkMin credits it while Chaff cannot.
+        assert!(berkmin[Var::new(3).index()] >= 2);
+        assert_eq!(chaff[Var::new(3).index()], 0);
+        // Total credited activity is strictly larger under BerkMin.
+        assert!(berkmin.iter().sum::<u64>() > chaff.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn clause_activity_counts_responsibility() {
+        let mut s = paper_example_solver(SolverConfig::berkmin());
+        assert!(s.propagate().is_none());
+        s.assume(lit(-1));
+        let confl = s.propagate().unwrap();
+        let before: u32 = s.db.iter_live().map(|c| s.db.get(c).activity).sum();
+        assert_eq!(before, 0);
+        let (learnt, bt) = s.analyze(confl);
+        let after: u32 = s.db.iter_live().map(|c| s.db.get(c).activity).sum();
+        assert!(after >= 2, "at least conflicting + one reason clause credited");
+        s.cancel_until(bt);
+        s.record_learnt(learnt);
+    }
+
+    #[test]
+    fn minimization_never_changes_verdicts() {
+        // Same instance solved with and without minimization must agree.
+        let mut plain = paper_example_solver(SolverConfig::berkmin());
+        let mut cfg = SolverConfig::berkmin();
+        cfg.minimize_learnt = true;
+        let mut min = paper_example_solver(cfg);
+        assert_eq!(plain.solve().is_sat(), min.solve().is_sat());
+    }
+}

@@ -1,0 +1,216 @@
+//! Clause storage and the chronologically ordered conflict-clause stack.
+
+use berkmin_cnf::Lit;
+
+/// Stable handle to a clause in the [`ClauseDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClauseRef(pub(crate) u32);
+
+impl ClauseRef {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A stored clause: literals plus the bookkeeping the paper's database
+/// management needs (§8).
+#[derive(Debug, Clone)]
+pub(crate) struct StoredClause {
+    /// Literal array; positions 0 and 1 are the watched literals.
+    pub lits: Vec<Lit>,
+    /// `clause_activity(C)`: the number of conflicts this clause has been
+    /// responsible for (§8).
+    pub activity: u32,
+    /// Whether this is a deduced conflict clause (vs. an original clause).
+    pub learnt: bool,
+    /// Tombstone flag; space is reclaimed at the next reduction.
+    pub deleted: bool,
+}
+
+/// The clause database: a slab of original and learnt clauses plus the
+/// chronologically ordered stack of conflict clauses (paper §5: "the set of
+/// conflict clauses is organized as a stack, each new conflict clause being
+/// added to the top").
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<StoredClause>,
+    free: Vec<u32>,
+    /// Learnt clauses in deduction order; the last element is the top of
+    /// the stack. Purged of deleted clauses at every reduction so that
+    /// "age" is always a position in the *current* stack (§8).
+    pub stack: Vec<ClauseRef>,
+    num_original_live: usize,
+    num_learnt_live: usize,
+}
+
+impl ClauseDb {
+    pub fn new() -> Self {
+        ClauseDb::default()
+    }
+
+    /// Adds a clause, recycling a tombstoned slot when available.
+    fn alloc(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        let stored = StoredClause {
+            lits,
+            activity: 0,
+            learnt,
+            deleted: false,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.clauses[slot as usize] = stored;
+            ClauseRef(slot)
+        } else {
+            self.clauses.push(stored);
+            ClauseRef((self.clauses.len() - 1) as u32)
+        }
+    }
+
+    /// Adds an original (problem) clause.
+    pub fn add_original(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        self.num_original_live += 1;
+        self.alloc(lits, false)
+    }
+
+    /// Adds a learnt clause and pushes it onto the top of the stack.
+    pub fn add_learnt(&mut self, lits: Vec<Lit>) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses are not stored");
+        self.num_learnt_live += 1;
+        let cref = self.alloc(lits, true);
+        self.stack.push(cref);
+        cref
+    }
+
+    /// Tombstones a clause. The caller is responsible for stack compaction
+    /// and watch rebuilding (done wholesale at reduction time).
+    pub fn delete(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.idx()];
+        debug_assert!(!c.deleted, "double delete of {cref:?}");
+        c.deleted = true;
+        if c.learnt {
+            self.num_learnt_live -= 1;
+        } else {
+            self.num_original_live -= 1;
+        }
+        self.free.push(cref.0);
+    }
+
+    /// Drops deleted entries from the stack, preserving chronological order.
+    pub fn compact_stack(&mut self) {
+        let clauses = &self.clauses;
+        self.stack.retain(|cref| !clauses[cref.idx()].deleted);
+    }
+
+    #[inline]
+    pub fn get(&self, cref: ClauseRef) -> &StoredClause {
+        &self.clauses[cref.idx()]
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, cref: ClauseRef) -> &mut StoredClause {
+        &mut self.clauses[cref.idx()]
+    }
+
+    #[inline]
+    pub fn lits(&self, cref: ClauseRef) -> &[Lit] {
+        &self.clauses[cref.idx()].lits
+    }
+
+    /// Number of live (non-deleted) clauses, original + learnt.
+    #[inline]
+    pub fn num_live(&self) -> usize {
+        self.num_original_live + self.num_learnt_live
+    }
+
+    /// Number of live learnt clauses.
+    #[inline]
+    pub fn num_learnt(&self) -> usize {
+        self.num_learnt_live
+    }
+
+    /// Number of live original clauses.
+    #[inline]
+    pub fn num_original(&self) -> usize {
+        self.num_original_live
+    }
+
+    /// Iterates over live clause references.
+    pub fn iter_live(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berkmin_cnf::Var;
+
+    fn lits(ns: &[i32]) -> Vec<Lit> {
+        ns.iter().map(|&n| Lit::from_dimacs(n)).collect()
+    }
+
+    #[test]
+    fn add_and_read_back() {
+        let mut db = ClauseDb::new();
+        let c = db.add_original(lits(&[1, -2]));
+        assert_eq!(db.lits(c), &[Lit::pos(Var::new(0)), Lit::neg(Var::new(1))]);
+        assert_eq!(db.num_live(), 1);
+        assert_eq!(db.num_original(), 1);
+    }
+
+    #[test]
+    fn learnt_clauses_stack_in_order() {
+        let mut db = ClauseDb::new();
+        let a = db.add_learnt(lits(&[1, 2]));
+        let b = db.add_learnt(lits(&[2, 3]));
+        assert_eq!(db.stack, vec![a, b]);
+        assert_eq!(db.num_learnt(), 2);
+    }
+
+    #[test]
+    fn delete_and_compact() {
+        let mut db = ClauseDb::new();
+        let a = db.add_learnt(lits(&[1, 2]));
+        let b = db.add_learnt(lits(&[2, 3]));
+        let c = db.add_learnt(lits(&[3, 4]));
+        db.delete(b);
+        db.compact_stack();
+        assert_eq!(db.stack, vec![a, c]);
+        assert_eq!(db.num_learnt(), 2);
+        assert_eq!(db.num_live(), 2);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut db = ClauseDb::new();
+        let a = db.add_learnt(lits(&[1, 2]));
+        db.delete(a);
+        db.compact_stack();
+        let b = db.add_learnt(lits(&[3, 4]));
+        assert_eq!(a.0, b.0, "tombstoned slot should be reused");
+        assert_eq!(db.lits(b), &lits(&[3, 4])[..]);
+    }
+
+    #[test]
+    fn iter_live_skips_deleted() {
+        let mut db = ClauseDb::new();
+        let a = db.add_original(lits(&[1, 2]));
+        let b = db.add_learnt(lits(&[2, 3]));
+        db.delete(a);
+        let live: Vec<_> = db.iter_live().collect();
+        assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn activity_is_mutable() {
+        let mut db = ClauseDb::new();
+        let a = db.add_learnt(lits(&[1, 2]));
+        db.get_mut(a).activity += 3;
+        assert_eq!(db.get(a).activity, 3);
+    }
+}

@@ -1,0 +1,81 @@
+//! # BerkMin — a fast and robust CDCL SAT-solver
+//!
+//! A from-scratch Rust reproduction of the solver described in
+//! E. Goldberg & Y. Novikov, *"BerkMin: A Fast and Robust Sat-Solver"*
+//! (DATE 2002; extended journal version in Discrete Applied Mathematics
+//! 155, 2007). The solver inherits clause recording, watched-literal BCP,
+//! restarts and conflict-clause aging from GRASP/SATO/Chaff, and implements
+//! BerkMin's four contributions, each individually switchable through
+//! [`SolverConfig`]:
+//!
+//! 1. **Sensitivity** (§4) — variable activities credited from *all clauses
+//!    responsible for a conflict*, not just the learnt clause
+//!    ([`Sensitivity`]).
+//! 2. **Mobility** (§5) — branching on the most active free variable of the
+//!    *current top clause* of the chronologically ordered conflict-clause
+//!    stack ([`DecisionStrategy`]); the skin effect (§6) is measured in
+//!    [`Stats::top_distance_hist`].
+//! 3. **Database symmetrization** (§7) — branch polarity chosen to
+//!    counterbalance the clause-census asymmetry introduced by restarts
+//!    ([`TopClausePolarity`]), with the `nb_two` binary-clause cost function
+//!    for free-variable decisions ([`FreeVarPolarity`]).
+//! 4. **Database management** (§8) — age/length/activity-based clause
+//!    retention with a rising old-clause threshold ([`DbPolicy`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use berkmin::{Solver, SolverConfig, SolveStatus};
+//! use berkmin_cnf::{Cnf, Lit, Var};
+//!
+//! // (x ∨ y) ∧ (¬x ∨ y) ∧ (¬y ∨ z)
+//! let mut cnf = Cnf::new();
+//! let [x, y, z] = [0, 1, 2].map(|i| Var::new(i));
+//! cnf.add_clause([Lit::pos(x), Lit::pos(y)]);
+//! cnf.add_clause([Lit::neg(x), Lit::pos(y)]);
+//! cnf.add_clause([Lit::neg(y), Lit::pos(z)]);
+//!
+//! let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
+//! match solver.solve() {
+//!     SolveStatus::Sat(model) => assert!(cnf.is_satisfied_by(&model)),
+//!     other => panic!("expected SAT, got {other:?}"),
+//! }
+//! ```
+//!
+//! # Reproducing the paper's ablations
+//!
+//! Every comparison arm in the paper's Tables 1–5 is a [`SolverConfig`]
+//! preset; see that type's documentation for the mapping. Resource budgets
+//! ([`Budget`]) provide deterministic, machine-independent "timeouts".
+//!
+//! # Proof logging
+//!
+//! [`Solver::solve_with_proof`] streams every learnt clause and deletion to
+//! a [`ProofSink`]; the `berkmin-drat` crate turns that stream into a
+//! checkable DRAT proof.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod clause_db;
+mod config;
+mod decide;
+mod heap;
+mod polarity;
+mod proof;
+mod reduce;
+mod rng;
+mod solver;
+mod stats;
+
+pub use config::{
+    ActivityIndex, Budget, DbPolicy, DecisionStrategy, FreeVarPolarity, RestartPolicy,
+    Sensitivity, SolverConfig, TopClausePolarity,
+};
+pub use proof::{NoProof, ProofSink};
+pub use solver::{SolveStatus, Solver, StopReason};
+pub use stats::Stats;
+
+// Re-export the vocabulary crate so downstream users need only one import.
+pub use berkmin_cnf as cnf;

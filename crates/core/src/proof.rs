@@ -1,0 +1,84 @@
+//! Proof-emission hook.
+//!
+//! The solver reports every deduced conflict clause and every database
+//! deletion to a [`ProofSink`]. The `berkmin-drat` crate implements sinks
+//! that record DRAT proofs and check them; the default [`NoProof`] sink
+//! compiles away to nothing.
+
+use berkmin_cnf::Lit;
+
+/// Receiver for clause additions and deletions, in deduction order.
+///
+/// Every clause the solver reports as added is a *reverse unit propagation*
+/// (RUP) consequence of the clauses added before it plus the original
+/// formula, which is exactly what a DRAT checker verifies. The final added
+/// clause of an UNSAT run is the empty clause.
+pub trait ProofSink {
+    /// Called when the solver deduces (and records) `lits` as a clause.
+    /// `lits` is empty exactly when unsatisfiability has been established.
+    fn add_clause(&mut self, lits: &[Lit]);
+
+    /// Called when the solver deletes a clause from its database.
+    fn delete_clause(&mut self, lits: &[Lit]);
+}
+
+/// A sink that discards everything — the default when no proof is wanted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoProof;
+
+impl ProofSink for NoProof {
+    #[inline]
+    fn add_clause(&mut self, _lits: &[Lit]) {}
+
+    #[inline]
+    fn delete_clause(&mut self, _lits: &[Lit]) {}
+}
+
+impl<S: ProofSink + ?Sized> ProofSink for &mut S {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        (**self).add_clause(lits);
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) {
+        (**self).delete_clause(lits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berkmin_cnf::Var;
+
+    #[derive(Default)]
+    struct Counting {
+        adds: usize,
+        dels: usize,
+    }
+
+    impl ProofSink for Counting {
+        fn add_clause(&mut self, _lits: &[Lit]) {
+            self.adds += 1;
+        }
+        fn delete_clause(&mut self, _lits: &[Lit]) {
+            self.dels += 1;
+        }
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut c = Counting::default();
+        {
+            let mut sink = &mut c;
+            sink.add_clause(&[Lit::pos(Var::new(0))]);
+            sink.delete_clause(&[]);
+        }
+        assert_eq!((c.adds, c.dels), (1, 1));
+    }
+
+    #[test]
+    fn no_proof_is_a_no_op() {
+        let mut sink = NoProof;
+        sink.add_clause(&[]);
+        sink.delete_clause(&[]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Clause-database management, run between search trees (paper §8).
+//!
+//! BerkMin's policy partitions the conflict-clause stack into *young*
+//! clauses (distance from the top below 15/16 of the stack size) and *old*
+//! clauses (the bottom 1/16). Young clauses survive if they are short
+//! (`len < 43`) or active (`activity > 7`); old clauses only if very short
+//! (`len < 9`) or more active than a rising threshold (initially 60). The
+//! topmost clause is never removed — the paper's anti-looping guard.
+//! Clauses satisfied by retained (level-0) assignments are removed outright,
+//! and literals false at level 0 are stripped.
+
+use berkmin_cnf::{LBool, Lit};
+
+use crate::clause_db::ClauseRef;
+use crate::config::DbPolicy;
+use crate::proof::ProofSink;
+use crate::solver::Solver;
+
+impl Solver {
+    /// Performs database reduction. Must be called at decision level 0 with
+    /// a fully propagated trail (i.e. right after a restart).
+    pub(crate) fn reduce_db<S: ProofSink>(&mut self, proof: &mut S) {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.stats.reductions += 1;
+
+        // Level-0 implications become facts; their reason clauses may be
+        // deleted below, so drop the references first (conflict analysis
+        // never consults level-0 reasons).
+        for i in 0..self.trail.len() {
+            let v = self.trail[i].var();
+            self.reason[v.index()] = None;
+        }
+
+        self.simplify_by_level0(proof);
+        self.db.compact_stack();
+        self.apply_policy(proof);
+        self.db.compact_stack();
+        self.rebuild_watches();
+    }
+
+    /// Removes clauses satisfied by retained level-0 assignments and strips
+    /// literals false at level 0 (paper §8: "all the clauses that are
+    /// satisfied by the retained assignments are removed").
+    fn simplify_by_level0<S: ProofSink>(&mut self, proof: &mut S) {
+        let live: Vec<ClauseRef> = self.db.iter_live().collect();
+        for cref in live {
+            let mut satisfied = false;
+            let mut has_false = false;
+            for &l in self.db.lits(cref) {
+                match self.lit_value(l) {
+                    LBool::True => {
+                        satisfied = true;
+                        break;
+                    }
+                    LBool::False => has_false = true,
+                    LBool::Undef => {}
+                }
+            }
+            if satisfied {
+                proof.delete_clause(self.db.lits(cref));
+                self.db.delete(cref);
+                self.stats.deleted_clauses += 1;
+                continue;
+            }
+            if !has_false {
+                continue;
+            }
+            // Strengthen: drop the falsified literals. The shortened clause
+            // is a unit-propagation consequence, so emit add-then-delete.
+            let old: Vec<Lit> = self.db.lits(cref).to_vec();
+            let new: Vec<Lit> = old
+                .iter()
+                .copied()
+                .filter(|&l| self.lit_value(l) != LBool::False)
+                .collect();
+            proof.add_clause(&new);
+            proof.delete_clause(&old);
+            match new.len() {
+                0 => {
+                    // Cannot happen after complete BCP, but stay sound.
+                    self.ok = false;
+                    self.db.delete(cref);
+                }
+                1 => {
+                    // Degenerated to a unit: assert it and drop the clause.
+                    if self.lit_value(new[0]).is_undef() {
+                        self.unchecked_enqueue(new[0], None);
+                    }
+                    self.db.delete(cref);
+                    self.stats.deleted_clauses += 1;
+                }
+                _ => {
+                    self.db.get_mut(cref).lits = new;
+                }
+            }
+        }
+    }
+
+    /// Applies the configured keep/remove rule to the learnt-clause stack.
+    fn apply_policy<S: ProofSink>(&mut self, proof: &mut S) {
+        let stack: Vec<ClauseRef> = self.db.stack.clone();
+        let n = stack.len();
+        if n == 0 {
+            return;
+        }
+        match self.config.db_policy {
+            DbPolicy::BerkMin {
+                young_len,
+                young_act,
+                old_len,
+                old_act_inc,
+                ..
+            } => {
+                for (i, &cref) in stack.iter().enumerate() {
+                    if i == n - 1 {
+                        continue; // topmost clause is never removed (§8)
+                    }
+                    let distance = (n - 1 - i) as u64;
+                    let young = distance * 16 < 15 * n as u64;
+                    let (len, act) = {
+                        let c = self.db.get(cref);
+                        (c.lits.len() as u32, c.activity)
+                    };
+                    let keep = if young {
+                        len < young_len || act > young_act
+                    } else {
+                        len < old_len || act > self.old_act_threshold
+                    };
+                    if !keep {
+                        proof.delete_clause(self.db.lits(cref));
+                        self.db.delete(cref);
+                        self.stats.deleted_clauses += 1;
+                    }
+                }
+                // "The threshold … is gradually increased so that long
+                // clauses that … stopped participating in conflicts will be
+                // removed" (§8).
+                self.old_act_threshold = self.old_act_threshold.saturating_add(old_act_inc);
+            }
+            DbPolicy::LengthBounded { max_len } => {
+                for (i, &cref) in stack.iter().enumerate() {
+                    if i == n - 1 {
+                        continue; // retain the anti-looping guard here too
+                    }
+                    if self.db.lits(cref).len() as u32 > max_len {
+                        proof.delete_clause(self.db.lits(cref));
+                        self.db.delete(cref);
+                        self.stats.deleted_clauses += 1;
+                    }
+                }
+            }
+            DbPolicy::KeepAll => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::{DbPolicy, SolverConfig};
+    use crate::proof::NoProof;
+    use crate::solver::Solver;
+    use berkmin_cnf::Lit;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    /// Builds a solver with `n` learnt clauses of the given length on the
+    /// stack (over disjoint fresh variables so none is satisfied).
+    fn stacked_solver(cfg: SolverConfig, n: usize, len: usize) -> Solver {
+        let mut s = Solver::with_config(cfg);
+        s.ensure_vars(n * len + 1);
+        for i in 0..n {
+            let lits: Vec<Lit> = (0..len)
+                .map(|j| lit((i * len + j + 1) as i32))
+                .collect();
+            // Bypass record_learnt's asserting-literal machinery: install
+            // the clause directly so nothing is enqueued.
+            let cref = s.db.add_learnt(lits);
+            s.attach(cref);
+        }
+        s
+    }
+
+    #[test]
+    fn berkmin_policy_keeps_short_young_clauses() {
+        let mut s = stacked_solver(SolverConfig::berkmin(), 8, 3);
+        s.reduce_db(&mut NoProof);
+        // Length 3 < 43: every young clause kept; old region (bottom 1/16
+        // of 8 clauses is empty for n=8 since distance 7*16=112 < 15*8=120).
+        assert_eq!(s.db.stack.len(), 8);
+    }
+
+    #[test]
+    fn berkmin_policy_removes_long_inactive_clauses() {
+        let mut s = stacked_solver(SolverConfig::berkmin(), 8, 50);
+        // Mark one clause active enough to survive (> 7).
+        let survivor = s.db.stack[2];
+        s.db.get_mut(survivor).activity = 8;
+        s.reduce_db(&mut NoProof);
+        // Kept: the active one and the topmost.
+        assert_eq!(s.db.stack.len(), 2);
+        assert!(s.db.stack.contains(&survivor));
+        assert_eq!(s.stats().deleted_clauses, 6);
+    }
+
+    #[test]
+    fn topmost_clause_is_never_removed() {
+        let mut s = stacked_solver(SolverConfig::berkmin(), 4, 60);
+        let top = *s.db.stack.last().unwrap();
+        s.reduce_db(&mut NoProof);
+        assert!(s.db.stack.contains(&top));
+    }
+
+    #[test]
+    fn old_clauses_face_stricter_rule() {
+        // 32 clauses of length 20: young rule keeps them (20 < 43), but the
+        // oldest 1/16 (distance ≥ 30) fall under the old rule (20 ≥ 9,
+        // activity 0 ≤ 60 ⇒ removed).
+        let mut s = stacked_solver(SolverConfig::berkmin(), 32, 20);
+        s.reduce_db(&mut NoProof);
+        // distances 30, 31 are "old" (30*16=480 ≥ 15*32=480) ⇒ 2 removed.
+        assert_eq!(s.db.stack.len(), 30);
+    }
+
+    #[test]
+    fn old_threshold_rises_per_reduction() {
+        let mut s = stacked_solver(SolverConfig::berkmin(), 2, 3);
+        let before = s.old_act_threshold;
+        s.reduce_db(&mut NoProof);
+        s.reduce_db(&mut NoProof);
+        assert_eq!(s.old_act_threshold, before + 2);
+    }
+
+    #[test]
+    fn length_bounded_policy_is_grasp_like() {
+        let mut s = stacked_solver(SolverConfig::limited_keeping(), 6, 50);
+        // Activity is irrelevant for limited_keeping.
+        let c = s.db.stack[1];
+        s.db.get_mut(c).activity = 1000;
+        s.reduce_db(&mut NoProof);
+        // All length-50 clauses except the topmost are removed.
+        assert_eq!(s.db.stack.len(), 1);
+    }
+
+    #[test]
+    fn keep_all_policy_keeps_everything() {
+        let mut cfg = SolverConfig::berkmin();
+        cfg.db_policy = DbPolicy::KeepAll;
+        let mut s = stacked_solver(cfg, 10, 80);
+        s.reduce_db(&mut NoProof);
+        assert_eq!(s.db.stack.len(), 10);
+    }
+
+    #[test]
+    fn satisfied_clauses_are_removed_and_false_lits_stripped() {
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        s.add_clause([lit(-1), lit(4), lit(5)]);
+        s.add_clause([lit(1)]); // level-0 fact: x1 = 1
+        assert!(s.propagate().is_none());
+        s.reduce_db(&mut NoProof);
+        // Clause 1 satisfied by x1 ⇒ removed; clause 2 loses ¬x1.
+        assert_eq!(s.db.num_live(), 1);
+        let remaining: Vec<_> = s.db.iter_live().collect();
+        assert_eq!(s.db.lits(remaining[0]), &[lit(4), lit(5)]);
+        // The shortened clause is now binary and must be in bin_occ.
+        assert_eq!(s.nb_two(lit(4)), 1);
+    }
+
+    #[test]
+    fn reduction_preserves_satisfiability_outcome() {
+        // Solve the same easy-but-nontrivial formula with aggressive
+        // reduction and with none; verdicts must match.
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![lit(1), lit(2)],
+            vec![lit(-1), lit(3)],
+            vec![lit(-2), lit(-3)],
+            vec![lit(1), lit(-3)],
+            vec![lit(-1), lit(-2), lit(3)],
+        ];
+        let mut keep = Solver::with_config(SolverConfig::berkmin());
+        let mut cfg = SolverConfig::berkmin();
+        cfg.restart = crate::RestartPolicy::FixedInterval(1);
+        let mut churn = Solver::with_config(cfg);
+        for c in &clauses {
+            keep.add_clause(c.iter().copied());
+            churn.add_clause(c.iter().copied());
+        }
+        assert_eq!(keep.solve().is_sat(), churn.solve().is_sat());
+    }
+}

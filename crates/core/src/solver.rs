@@ -1,0 +1,742 @@
+//! The solver object: state, BCP, and the main CDCL loop.
+
+use berkmin_cnf::{Assignment, Cnf, LBool, Lit, Var};
+
+use crate::clause_db::{ClauseDb, ClauseRef};
+use crate::config::{ActivityIndex, Budget, DecisionStrategy, RestartPolicy, SolverConfig};
+use crate::heap::VarHeap;
+use crate::proof::{NoProof, ProofSink};
+use crate::rng::XorShift64;
+use crate::stats::Stats;
+
+/// Why a run stopped without an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The conflict budget was exhausted — the deterministic analog of the
+    /// paper's wall-clock timeouts ("aborted" rows in Tables 2, 4, 7).
+    ConflictBudget,
+    /// The decision budget was exhausted.
+    DecisionBudget,
+    /// The propagation budget was exhausted.
+    PropagationBudget,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::ConflictBudget => write!(f, "conflict budget exhausted"),
+            StopReason::DecisionBudget => write!(f, "decision budget exhausted"),
+            StopReason::PropagationBudget => write!(f, "propagation budget exhausted"),
+        }
+    }
+}
+
+/// Result of [`Solver::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Satisfiable; carries a model that satisfies every original clause.
+    Sat(Assignment),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Gave up because a [`Budget`] limit was hit.
+    Unknown(StopReason),
+}
+
+impl SolveStatus {
+    /// `true` iff the status is [`SolveStatus::Sat`].
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveStatus::Sat(_))
+    }
+
+    /// `true` iff the status is [`SolveStatus::Unsat`].
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SolveStatus::Unsat)
+    }
+
+    /// `true` iff the run was aborted on a budget.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SolveStatus::Unknown(_))
+    }
+
+    /// Returns the model if satisfiable.
+    pub fn model(&self) -> Option<&Assignment> {
+        match self {
+            SolveStatus::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A watch-list entry: the clause plus a *blocker* literal whose truth lets
+/// BCP skip the clause without touching its memory (SATO/Chaff-style fast
+/// BCP, paper §2).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Watcher {
+    pub cref: ClauseRef,
+    pub blocker: Lit,
+}
+
+/// The BerkMin CDCL SAT-solver.
+///
+/// Construct with [`Solver::new`] (from a [`Cnf`]) or [`Solver::with_config`]
+/// and incremental [`Solver::add_clause`] calls, then call [`Solver::solve`].
+///
+/// # Examples
+///
+/// ```
+/// use berkmin::{Solver, SolverConfig};
+/// use berkmin_cnf::{Cnf, Lit};
+///
+/// let mut cnf = Cnf::new();
+/// let x = cnf.fresh_var();
+/// let y = cnf.fresh_var();
+/// cnf.add_clause([Lit::pos(x), Lit::pos(y)]);
+/// cnf.add_clause([Lit::neg(x)]);
+///
+/// let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
+/// let status = solver.solve();
+/// let model = status.model().expect("satisfiable");
+/// assert!(cnf.is_satisfied_by(model));
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    pub(crate) config: SolverConfig,
+    pub(crate) db: ClauseDb,
+    /// Watch lists indexed by literal code: `watches[l.code()]` holds the
+    /// clauses in which `¬l` is watched (visited when `l` becomes true).
+    pub(crate) watches: Vec<Vec<Watcher>>,
+    /// For each literal `l`, the other literals of live binary clauses
+    /// containing `l` — the occurrence lists behind `nb_two` (paper §7).
+    pub(crate) bin_occ: Vec<Vec<Lit>>,
+    pub(crate) assigns: Vec<LBool>,
+    pub(crate) level: Vec<u32>,
+    pub(crate) reason: Vec<Option<ClauseRef>>,
+    pub(crate) trail: Vec<Lit>,
+    pub(crate) trail_lim: Vec<usize>,
+    pub(crate) qhead: usize,
+    /// `var_activity(x)` counters (paper §4).
+    pub(crate) var_activity: Vec<u64>,
+    /// `lit_activity(l)` counters indexed by literal code (paper §7).
+    pub(crate) lit_activity: Vec<u64>,
+    /// VSIDS per-literal counters (zChaff baseline).
+    pub(crate) vsids: Vec<u64>,
+    pub(crate) heap: VarHeap,
+    pub(crate) seen: Vec<bool>,
+    pub(crate) rng: XorShift64,
+    pub(crate) stats: Stats,
+    pub(crate) ok: bool,
+    pub(crate) num_vars: usize,
+    pub(crate) conflicts_since_restart: u64,
+    /// Current old-clause activity threshold (paper §8: starts at 60, rises).
+    pub(crate) old_act_threshold: u32,
+    /// Set once the empty clause has been reported to the proof sink.
+    emitted_empty: bool,
+}
+
+impl Solver {
+    /// Creates a solver for `cnf` under `config`.
+    pub fn new(cnf: &Cnf, config: SolverConfig) -> Self {
+        let mut s = Solver::with_config(config);
+        s.ensure_vars(cnf.num_vars());
+        for clause in cnf {
+            s.add_clause(clause.iter().copied());
+        }
+        s
+    }
+
+    /// Creates an empty solver (no variables, no clauses) under `config`;
+    /// add clauses with [`Solver::add_clause`].
+    pub fn with_config(config: SolverConfig) -> Self {
+        let old_act_threshold = match config.db_policy {
+            crate::DbPolicy::BerkMin { old_act_init, .. } => old_act_init,
+            _ => 0,
+        };
+        let rng = XorShift64::new(config.seed);
+        Solver {
+            config,
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            bin_occ: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            var_activity: Vec::new(),
+            lit_activity: Vec::new(),
+            vsids: Vec::new(),
+            heap: VarHeap::new(),
+            seen: Vec::new(),
+            rng,
+            stats: Stats::new(),
+            ok: true,
+            num_vars: 0,
+            conflicts_since_restart: 0,
+            old_act_threshold,
+            emitted_empty: false,
+        }
+    }
+
+    /// Number of variables known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Search statistics accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The configuration this solver runs under.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Replaces the resource budget (e.g. to resume an aborted run with a
+    /// larger allowance).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.config.budget = budget;
+    }
+
+    /// `false` once the clause set has been proven contradictory.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Current assignment of `var` (for inspection/debugging).
+    pub fn value(&self, var: Var) -> LBool {
+        self.assigns.get(var.index()).copied().unwrap_or(LBool::Undef)
+    }
+
+    /// Current `var_activity` counter of `var` (paper §4) — how much the
+    /// variable has participated in conflict-making, after aging. Exposed
+    /// for instrumentation (e.g. the Fig. 1 idle/active experiment).
+    pub fn var_activity(&self, var: Var) -> u64 {
+        self.var_activity.get(var.index()).copied().unwrap_or(0)
+    }
+
+    /// Number of live clauses (original + learnt) currently in the database.
+    pub fn num_live_clauses(&self) -> usize {
+        self.db.num_live()
+    }
+
+    /// Number of live learnt clauses — the current conflict-clause stack
+    /// size (paper §5/§8).
+    pub fn num_learnt_clauses(&self) -> usize {
+        self.db.num_learnt()
+    }
+
+    /// Number of live original (problem) clauses.
+    pub fn num_original_clauses(&self) -> usize {
+        self.db.num_original()
+    }
+
+    /// Grows per-variable tables to cover `n` variables.
+    pub(crate) fn ensure_vars(&mut self, n: usize) {
+        if n <= self.num_vars {
+            return;
+        }
+        self.watches.resize(2 * n, Vec::new());
+        self.bin_occ.resize(2 * n, Vec::new());
+        self.assigns.resize(n, LBool::Undef);
+        self.level.resize(n, 0);
+        self.reason.resize(n, None);
+        self.var_activity.resize(n, 0);
+        self.lit_activity.resize(2 * n, 0);
+        self.vsids.resize(2 * n, 0);
+        self.seen.resize(n, false);
+        self.heap.grow(n);
+        if self.config.activity_index == ActivityIndex::Heap {
+            for i in self.num_vars..n {
+                self.heap.insert(Var::new(i as u32), &self.var_activity);
+            }
+        }
+        self.num_vars = n;
+    }
+
+    /// Adds a clause to the original formula.
+    ///
+    /// May be called before the first solve or between solves (incremental
+    /// use); any leftover search state from a previous SAT answer is undone
+    /// first. Tautologies are dropped, duplicate literals merged, literals
+    /// false at level 0 stripped. Returns `false` if the formula has become
+    /// trivially unsatisfiable (an empty clause arose).
+    pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
+        self.cancel_until(0);
+        let mut ls: Vec<Lit> = lits.into_iter().collect();
+        let max_var = ls.iter().map(|l| l.var().index() + 1).max().unwrap_or(0);
+        self.ensure_vars(max_var);
+        self.stats.initial_clauses += 1;
+        if !self.ok {
+            return false;
+        }
+        ls.sort_unstable();
+        ls.dedup();
+        if ls.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true; // tautology carries no constraint
+        }
+        if ls.iter().any(|&l| self.lit_value(l) == LBool::True) {
+            return true; // already satisfied at level 0
+        }
+        ls.retain(|&l| self.lit_value(l) != LBool::False);
+        match ls.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(ls[0], None);
+                true
+            }
+            _ => {
+                if ls.len() == 2 {
+                    self.bin_occ[ls[0].code()].push(ls[1]);
+                    self.bin_occ[ls[1].code()].push(ls[0]);
+                }
+                let cref = self.db.add_original(ls);
+                self.attach(cref);
+                let live = self.db.num_live() as u64;
+                self.stats.max_live_clauses = self.stats.max_live_clauses.max(live);
+                true
+            }
+        }
+    }
+
+    /// Current decision level (0 = root).
+    #[inline]
+    pub(crate) fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Value of a literal under the current partial assignment.
+    #[inline]
+    pub(crate) fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_negative() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Assigns `l` true with `reason`, pushing it on the trail.
+    pub(crate) fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(self.lit_value(l).is_undef(), "enqueue of assigned literal {l:?}");
+        let v = l.var().index();
+        self.assigns[v] = LBool::from(l.is_positive());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Opens a new decision level and assigns the decision literal.
+    pub(crate) fn assume(&mut self, l: Lit) {
+        self.trail_lim.push(self.trail.len());
+        self.unchecked_enqueue(l, None);
+    }
+
+    /// Undoes all assignments above `level`.
+    pub(crate) fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        for i in (bound..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            if self.config.activity_index == ActivityIndex::Heap {
+                self.heap.insert(v, &self.var_activity);
+            }
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level);
+        self.qhead = bound;
+    }
+
+    /// Registers the two watched literals of `cref` (positions 0 and 1).
+    pub(crate) fn attach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let lits = self.db.lits(cref);
+            (lits[0], lits[1])
+        };
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    /// Rebuilds every watch list and binary-occurrence list from the live
+    /// clause set. Only valid at decision level 0 with an empty propagation
+    /// queue (i.e. during database reduction).
+    pub(crate) fn rebuild_watches(&mut self) {
+        debug_assert_eq!(self.decision_level(), 0);
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for o in &mut self.bin_occ {
+            o.clear();
+        }
+        let live: Vec<ClauseRef> = self.db.iter_live().collect();
+        for cref in live {
+            debug_assert!(self.db.lits(cref).len() >= 2);
+            self.attach(cref);
+            let lits = self.db.lits(cref);
+            if lits.len() == 2 {
+                let (a, b) = (lits[0], lits[1]);
+                self.bin_occ[a.code()].push(b);
+                self.bin_occ[b.code()].push(a);
+            }
+        }
+    }
+
+    /// Boolean constraint propagation with two watched literals.
+    ///
+    /// Returns the conflicting clause, if any. On conflict the propagation
+    /// queue is drained so the caller sees a consistent trail.
+    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
+        let mut conflict = None;
+        'queue: while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                // Fast path: the blocker literal already satisfies the clause.
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                {
+                    let c = self.db.get_mut(cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit, "watch invariant violated");
+                }
+                let first = self.db.lits(cref)[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[i] = Watcher { cref, blocker: first };
+                    i += 1;
+                    continue;
+                }
+                // Look for a non-false literal to move the watch to.
+                let len = self.db.lits(cref).len();
+                for k in 2..len {
+                    let lk = self.db.lits(cref)[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.db.get_mut(cref).lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher { cref, blocker: first });
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit (or conflicting) under the current trail.
+                ws[i] = Watcher { cref, blocker: first };
+                i += 1;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    debug_assert!(self.watches[p.code()].is_empty());
+                    self.watches[p.code()] = ws;
+                    break 'queue;
+                }
+                self.stats.propagations += 1;
+                self.unchecked_enqueue(first, Some(cref));
+            }
+            debug_assert!(self.watches[p.code()].is_empty());
+            self.watches[p.code()] = ws;
+        }
+        conflict
+    }
+
+    /// Solves the formula (without proof logging).
+    pub fn solve(&mut self) -> SolveStatus {
+        self.solve_with_proof(&mut NoProof)
+    }
+
+    /// Solves the formula, reporting every learnt clause and deletion to
+    /// `proof` (see [`ProofSink`]); the final report of an UNSAT run is the
+    /// empty clause.
+    ///
+    /// May be called repeatedly: a previous SAT answer's trail is undone
+    /// first, so clauses can be added between calls (incremental use), and
+    /// a budget-aborted run resumes where it stopped after
+    /// [`Solver::set_budget`].
+    pub fn solve_with_proof<S: ProofSink>(&mut self, proof: &mut S) -> SolveStatus {
+        if !self.ok {
+            return self.conclude_unsat(proof);
+        }
+        // Re-entry after a SAT answer (possibly with new clauses added at
+        // level 0 in between): restart the search tree.
+        self.cancel_until(0);
+        if self.decision_level() == 0 && self.propagate().is_some() {
+            self.ok = false;
+            return self.conclude_unsat(proof);
+        }
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                self.conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return self.conclude_unsat(proof);
+                }
+                let (learnt, bt_level) = self.analyze(confl);
+                proof.add_clause(&learnt);
+                self.cancel_until(bt_level);
+                self.record_learnt(learnt);
+                self.on_conflict_maintenance();
+                if self.stats.conflicts >= self.config.budget.max_conflicts {
+                    return SolveStatus::Unknown(StopReason::ConflictBudget);
+                }
+            } else {
+                if self.stats.propagations >= self.config.budget.max_propagations {
+                    return SolveStatus::Unknown(StopReason::PropagationBudget);
+                }
+                if self.restart_due() {
+                    self.restart(proof);
+                    continue;
+                }
+                if self.stats.decisions >= self.config.budget.max_decisions {
+                    return SolveStatus::Unknown(StopReason::DecisionBudget);
+                }
+                match self.decide() {
+                    None => return SolveStatus::Sat(self.extract_model()),
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        if self.config.record_decisions {
+                            self.stats.decision_log.push(l.var());
+                        }
+                        self.assume(l);
+                    }
+                }
+            }
+        }
+    }
+
+    fn conclude_unsat<S: ProofSink>(&mut self, proof: &mut S) -> SolveStatus {
+        if !self.emitted_empty {
+            proof.add_clause(&[]);
+            self.emitted_empty = true;
+        }
+        SolveStatus::Unsat
+    }
+
+    /// Installs a freshly learnt clause: records activities, attaches
+    /// watches, pushes it on the conflict-clause stack and asserts its
+    /// first literal. Assumes the trail has been backtracked to the
+    /// asserting level already.
+    pub(crate) fn record_learnt(&mut self, lits: Vec<Lit>) {
+        self.stats.learnt_total += 1;
+        self.stats.learnt_lits_total += lits.len() as u64;
+        for &l in &lits {
+            // lit_activity censuses every deduced conflict clause (§7).
+            self.lit_activity[l.code()] += 1;
+            self.vsids[l.code()] += 1;
+        }
+        if lits.len() == 1 {
+            // Unit conflict clause: becomes a retained level-0 fact (§8).
+            self.stats.learnt_units += 1;
+            debug_assert_eq!(self.decision_level(), 0);
+            self.unchecked_enqueue(lits[0], None);
+        } else {
+            let asserting = lits[0];
+            if lits.len() == 2 {
+                self.bin_occ[lits[0].code()].push(lits[1]);
+                self.bin_occ[lits[1].code()].push(lits[0]);
+            }
+            let cref = self.db.add_learnt(lits);
+            self.attach(cref);
+            self.unchecked_enqueue(asserting, Some(cref));
+        }
+        let live = self.db.num_live() as u64;
+        self.stats.max_live_clauses = self.stats.max_live_clauses.max(live);
+    }
+
+    /// Periodic work after each conflict: activity aging (§1/§5) and VSIDS
+    /// halving for the Chaff baseline.
+    fn on_conflict_maintenance(&mut self) {
+        let c = self.stats.conflicts;
+        if self.config.activity_decay_interval > 0
+            && c % self.config.activity_decay_interval == 0
+            && self.config.activity_decay_divisor > 1
+        {
+            let d = self.config.activity_decay_divisor;
+            for a in &mut self.var_activity {
+                *a /= d;
+            }
+            if self.config.activity_index == ActivityIndex::Heap {
+                self.heap.rebuild(&self.var_activity);
+            }
+        }
+        if self.config.decision == DecisionStrategy::Vsids
+            && self.config.vsids_decay_interval > 0
+            && c % self.config.vsids_decay_interval == 0
+        {
+            for a in &mut self.vsids {
+                *a /= 2;
+            }
+        }
+    }
+
+    /// Whether the restart policy calls for abandoning the current tree.
+    fn restart_due(&self) -> bool {
+        if self.decision_level() == 0 && self.conflicts_since_restart == 0 {
+            return false;
+        }
+        match self.config.restart {
+            RestartPolicy::FixedInterval(n) => self.conflicts_since_restart >= n,
+            RestartPolicy::Luby(base) => {
+                self.conflicts_since_restart >= base * luby(self.stats.restarts + 1)
+            }
+            RestartPolicy::Never => false,
+        }
+    }
+
+    /// Abandons the current search tree and runs database management (§8).
+    fn restart<S: ProofSink>(&mut self, proof: &mut S) {
+        self.stats.restarts += 1;
+        self.conflicts_since_restart = 0;
+        self.cancel_until(0);
+        self.reduce_db(proof);
+    }
+
+    /// Bumps `var_activity(v)` by 1 (paper §4) and fixes up the heap index.
+    #[inline]
+    pub(crate) fn bump_var(&mut self, v: Var) {
+        self.var_activity[v.index()] += 1;
+        if self.config.activity_index == ActivityIndex::Heap {
+            self.heap.bumped(v, &self.var_activity);
+        }
+    }
+
+    fn extract_model(&self) -> Assignment {
+        let mut model = Assignment::new(self.num_vars);
+        for (i, &v) in self.assigns.iter().enumerate() {
+            // Unconstrained variables default to false.
+            model.assign(Var::new(i as u32), v == LBool::True);
+        }
+        model
+    }
+}
+
+/// The Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+pub(crate) fn luby(i: u64) -> u64 {
+    // Find the subsequence containing index i.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    let mut i = i;
+    let mut kk = k;
+    while (1u64 << kk) - 1 != i {
+        i -= (1u64 << (kk - 1)) - 1;
+        kk = 1;
+        while (1u64 << kk) - 1 < i {
+            kk += 1;
+        }
+    }
+    1u64 << (kk - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn luby_prefix_matches_reference() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn single_unit_clause() {
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        let x = Lit::from_dimacs(1);
+        s.add_clause([x]);
+        match s.solve() {
+            SolveStatus::Sat(m) => assert!(m.satisfies(x)),
+            other => panic!("expected SAT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_are_unsat() {
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        s.add_clause([Lit::from_dimacs(1)]);
+        s.add_clause([Lit::from_dimacs(-1)]);
+        assert!(s.solve().is_unsat());
+        assert!(!s.is_ok());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        assert!(!s.add_clause([]));
+        assert!(s.solve().is_unsat());
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        s.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(-1)]);
+        assert_eq!(s.db.num_live(), 0);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn duplicate_literals_are_merged() {
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        s.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(1)]);
+        // Collapses to a unit clause, asserted immediately.
+        assert_eq!(s.db.num_live(), 0);
+        assert_eq!(s.value(Var::new(0)), LBool::True);
+    }
+
+    #[test]
+    fn propagation_chain_resolves_without_decisions() {
+        // x1 ∧ (¬x1∨x2) ∧ (¬x2∨x3): all forced.
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        s.add_clause([Lit::from_dimacs(1)]);
+        s.add_clause([Lit::from_dimacs(-1), Lit::from_dimacs(2)]);
+        s.add_clause([Lit::from_dimacs(-2), Lit::from_dimacs(3)]);
+        let status = s.solve();
+        let m = status.model().unwrap();
+        assert!(m.satisfies(Lit::from_dimacs(3)));
+        assert_eq!(s.stats().decisions, 0);
+    }
+
+    #[test]
+    fn budget_abort_reports_unknown() {
+        // A formula needing work: small pigeonhole, 1-conflict budget.
+        let mut s = Solver::with_config(
+            SolverConfig::berkmin().with_budget(Budget::conflicts(1)),
+        );
+        // PHP(2): 3 pigeons, 2 holes.
+        let lit = |p: usize, h: usize| Lit::from_dimacs((p * 2 + h + 1) as i32);
+        for p in 0..3 {
+            s.add_clause([lit(p, 0), lit(p, 1)]);
+        }
+        for h in 0..2 {
+            for p1 in 0..3 {
+                for p2 in (p1 + 1)..3 {
+                    s.add_clause([!lit(p1, h), !lit(p2, h)]);
+                }
+            }
+        }
+        match s.solve() {
+            SolveStatus::Unknown(StopReason::ConflictBudget) => {}
+            other => panic!("expected budget abort, got {other:?}"),
+        }
+    }
+}

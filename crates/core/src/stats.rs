@@ -1,0 +1,137 @@
+//! Search statistics, including the skin-effect histogram of paper §6.
+
+use berkmin_cnf::Var;
+
+/// Counters collected during a solve run.
+///
+/// Everything the paper's tables report is derivable from this structure:
+/// decisions and runtimes (Table 8), database-size ratios (Table 9), and the
+/// skin-effect distribution `f(r)` (Table 3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Number of branching decisions made.
+    pub decisions: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of literals propagated by BCP.
+    pub propagations: u64,
+    /// Number of restarts performed (paper §1: search-tree abandonments).
+    pub restarts: u64,
+    /// Number of clause-database reductions performed (paper §8).
+    pub reductions: u64,
+    /// Total conflict clauses ever deduced (including later-deleted ones).
+    pub learnt_total: u64,
+    /// Conflict clauses deduced as unit clauses (asserted at level 0).
+    pub learnt_units: u64,
+    /// Total literals across all deduced conflict clauses.
+    pub learnt_lits_total: u64,
+    /// Conflict clauses deleted by database management.
+    pub deleted_clauses: u64,
+    /// Maximum number of live clauses (original + learnt) ever in memory —
+    /// the "Largest CNF size" column of Table 9.
+    pub max_live_clauses: u64,
+    /// Number of clauses in the initial formula (Table 9 denominator).
+    pub initial_clauses: u64,
+    /// Decisions taken from the current top conflict clause (paper §5).
+    pub decisions_from_top_clause: u64,
+    /// Decisions taken on the globally most active free variable, i.e. when
+    /// every conflict clause was satisfied (paper §5).
+    pub decisions_from_free_var: u64,
+    /// Skin-effect histogram: `top_distance_hist[r]` is `f(r)`, the number
+    /// of times the branching variable was chosen from the conflict clause
+    /// at distance `r` from the top of the stack (paper §6, Table 3).
+    pub top_distance_hist: Vec<u64>,
+    /// Optional per-decision log of the chosen variable, recorded when
+    /// [`crate::SolverConfig::record_decisions`] is set (used by the Fig. 1
+    /// cone-switching experiment).
+    pub decision_log: Vec<Var>,
+    /// Number of clauses inspected as "responsible for a conflict" during
+    /// conflict analysis (paper §4's sensitivity set).
+    pub responsible_clauses: u64,
+}
+
+impl Stats {
+    /// Creates a zeroed statistics block.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Records that the branching variable was taken from the conflict
+    /// clause at distance `r` from the top of the stack.
+    pub(crate) fn record_top_distance(&mut self, r: usize) {
+        if self.top_distance_hist.len() <= r {
+            self.top_distance_hist.resize(r + 1, 0);
+        }
+        self.top_distance_hist[r] += 1;
+        self.decisions_from_top_clause += 1;
+    }
+
+    /// The skin-effect count `f(r)` (0 when `r` was never observed).
+    pub fn f(&self, r: usize) -> u64 {
+        self.top_distance_hist.get(r).copied().unwrap_or(0)
+    }
+
+    /// Ratio (total clauses ever in database)/(initial clauses), the
+    /// "(Database size)/(Initial CNF size)" column of Table 9.
+    pub fn database_growth_ratio(&self) -> f64 {
+        if self.initial_clauses == 0 {
+            return 0.0;
+        }
+        (self.initial_clauses + self.learnt_total) as f64 / self.initial_clauses as f64
+    }
+
+    /// Ratio (largest simultaneous clause count)/(initial clauses), the
+    /// "(Largest CNF size)/(Initial CNF size)" column of Table 9.
+    pub fn peak_memory_ratio(&self) -> f64 {
+        if self.initial_clauses == 0 {
+            return 0.0;
+        }
+        self.max_live_clauses as f64 / self.initial_clauses as f64
+    }
+
+    /// Average length of deduced conflict clauses.
+    pub fn avg_learnt_len(&self) -> f64 {
+        if self.learnt_total == 0 {
+            return 0.0;
+        }
+        self.learnt_lits_total as f64 / self.learnt_total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_grows_on_demand() {
+        let mut s = Stats::new();
+        s.record_top_distance(3);
+        s.record_top_distance(0);
+        s.record_top_distance(3);
+        assert_eq!(s.f(0), 1);
+        assert_eq!(s.f(3), 2);
+        assert_eq!(s.f(1), 0);
+        assert_eq!(s.f(99), 0);
+        assert_eq!(s.decisions_from_top_clause, 3);
+    }
+
+    #[test]
+    fn ratios_handle_empty_formula() {
+        let s = Stats::new();
+        assert_eq!(s.database_growth_ratio(), 0.0);
+        assert_eq!(s.peak_memory_ratio(), 0.0);
+        assert_eq!(s.avg_learnt_len(), 0.0);
+    }
+
+    #[test]
+    fn growth_ratio_matches_table9_definition() {
+        let s = Stats {
+            initial_clauses: 100,
+            learnt_total: 140,
+            max_live_clauses: 104,
+            ..Stats::new()
+        };
+        assert!((s.database_growth_ratio() - 2.4).abs() < 1e-9);
+        assert!((s.peak_memory_ratio() - 1.04).abs() < 1e-9);
+    }
+}

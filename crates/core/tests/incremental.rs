@@ -1,0 +1,114 @@
+//! Incremental and repeated-solve behavior: re-solving, adding clauses
+//! between solves, and resuming budget-aborted runs.
+
+use berkmin::{Budget, SolveStatus, Solver, SolverConfig};
+use berkmin_cnf::Lit;
+
+fn lit(n: i32) -> Lit {
+    Lit::from_dimacs(n)
+}
+
+#[test]
+fn solving_twice_gives_the_same_answer() {
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    s.add_clause([lit(1), lit(2)]);
+    s.add_clause([lit(-1), lit(2)]);
+    assert!(s.solve().is_sat());
+    assert!(s.solve().is_sat());
+}
+
+#[test]
+fn clauses_narrow_the_model_incrementally() {
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    s.add_clause([lit(1), lit(2), lit(3)]);
+    let first = s.solve();
+    assert!(first.is_sat());
+
+    // Forbid the found model's projection onto x1..x3, three times: at most
+    // 7 iterations can succeed before the space is exhausted.
+    let mut sat_rounds = 0;
+    loop {
+        let model = match s.solve() {
+            SolveStatus::Sat(m) => m,
+            SolveStatus::Unsat => break,
+            SolveStatus::Unknown(r) => panic!("aborted: {r}"),
+        };
+        sat_rounds += 1;
+        assert!(sat_rounds <= 7, "only 7 assignments satisfy x1∨x2∨x3");
+        // Block this assignment of the three variables.
+        let blocking: Vec<Lit> = (1..=3)
+            .map(|i| {
+                let l = lit(i);
+                if model.satisfies(l) {
+                    !l
+                } else {
+                    l
+                }
+            })
+            .collect();
+        s.add_clause(blocking);
+    }
+    assert_eq!(sat_rounds, 7, "model enumeration must count all 7 models");
+}
+
+#[test]
+fn unsat_is_sticky() {
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    s.add_clause([lit(1)]);
+    s.add_clause([lit(-1)]);
+    assert!(s.solve().is_unsat());
+    // Adding more clauses cannot revive the solver.
+    s.add_clause([lit(2)]);
+    assert!(s.solve().is_unsat());
+    assert!(!s.is_ok());
+}
+
+#[test]
+fn budget_aborted_run_resumes_and_finishes() {
+    // PHP(6) needs a few thousand conflicts; give it out in installments.
+    let holes = 6usize;
+    let l = |p: usize, h: usize| lit((p * holes + h + 1) as i32);
+    let cfg = SolverConfig::berkmin().with_budget(Budget::conflicts(50));
+    let mut s = Solver::with_config(cfg);
+    for p in 0..=holes {
+        s.add_clause((0..holes).map(|h| l(p, h)));
+    }
+    for h in 0..holes {
+        for p1 in 0..=holes {
+            for p2 in (p1 + 1)..=holes {
+                s.add_clause([!l(p1, h), !l(p2, h)]);
+            }
+        }
+    }
+    let mut installments = 0;
+    loop {
+        match s.solve() {
+            SolveStatus::Unknown(_) => {
+                installments += 1;
+                assert!(installments < 10_000, "runaway resume loop");
+                let spent = s.stats().conflicts;
+                s.set_budget(Budget::conflicts(spent + 50));
+            }
+            SolveStatus::Unsat => break,
+            SolveStatus::Sat(_) => panic!("PHP is unsatisfiable"),
+        }
+    }
+    assert!(installments > 1, "test must actually exercise resumption");
+}
+
+#[test]
+fn adding_clause_after_sat_answer_works_without_explicit_reset() {
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    s.add_clause([lit(1), lit(2)]);
+    let model = match s.solve() {
+        SolveStatus::Sat(m) => m,
+        other => panic!("{other:?}"),
+    };
+    // The solver is mid-"tree" (all variables assigned); adding a clause
+    // must transparently unwind to level 0.
+    let blocked: Vec<Lit> = (1..=2)
+        .map(|i| if model.satisfies(lit(i)) { !lit(i) } else { lit(i) })
+        .collect();
+    s.add_clause(blocked);
+    assert!(s.solve().is_sat(), "three assignments satisfy x1∨x2");
+}

@@ -1,0 +1,176 @@
+//! Cross-checks every solver configuration against the brute-force
+//! enumeration oracle on thousands of small random formulas, and checks
+//! that all configurations agree with each other on larger ones.
+
+use berkmin::{
+    Budget, RestartPolicy, SolveStatus, Solver, SolverConfig, TopClausePolarity,
+};
+use berkmin_cnf::{Cnf, Lit, Var};
+use proptest::prelude::*;
+
+/// All paper configurations worth cross-checking.
+fn all_configs() -> Vec<(&'static str, SolverConfig)> {
+    vec![
+        ("berkmin", SolverConfig::berkmin()),
+        ("less_sensitivity", SolverConfig::less_sensitivity()),
+        ("less_mobility", SolverConfig::less_mobility()),
+        ("sat_top", SolverConfig::with_top_polarity(TopClausePolarity::SatTop)),
+        ("unsat_top", SolverConfig::with_top_polarity(TopClausePolarity::UnsatTop)),
+        ("take_0", SolverConfig::with_top_polarity(TopClausePolarity::Take0)),
+        ("take_1", SolverConfig::with_top_polarity(TopClausePolarity::Take1)),
+        ("take_rand", SolverConfig::with_top_polarity(TopClausePolarity::TakeRand)),
+        ("limited_keeping", SolverConfig::limited_keeping()),
+        ("chaff_like", SolverConfig::chaff_like()),
+        ("limmat_like", SolverConfig::limmat_like()),
+        ("minimizing", {
+            let mut c = SolverConfig::berkmin();
+            c.minimize_learnt = true;
+            c
+        }),
+        ("heap_index", {
+            let mut c = SolverConfig::berkmin();
+            c.activity_index = berkmin::ActivityIndex::Heap;
+            c
+        }),
+        ("luby", {
+            let mut c = SolverConfig::berkmin();
+            c.restart = RestartPolicy::Luby(4); // restart very aggressively
+            c
+        }),
+        ("restart_every_2", {
+            let mut c = SolverConfig::berkmin();
+            c.restart = RestartPolicy::FixedInterval(2); // stress reduction
+            c
+        }),
+        ("never_restart", {
+            let mut c = SolverConfig::berkmin();
+            c.restart = RestartPolicy::Never;
+            c
+        }),
+    ]
+}
+
+fn arb_cnf(max_vars: u32, max_clauses: usize, max_len: usize) -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(
+        prop::collection::vec((0..max_vars, any::<bool>()), 1..=max_len),
+        1..=max_clauses,
+    )
+    .prop_map(|clauses| {
+        let mut cnf = Cnf::with_vars(0);
+        for c in clauses {
+            cnf.add_clause(c.into_iter().map(|(v, neg)| Lit::new(Var::new(v), neg)));
+        }
+        cnf
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The flagship soundness test: the default solver's verdict matches
+    /// exhaustive enumeration, and SAT models check out.
+    #[test]
+    fn berkmin_matches_enumeration(cnf in arb_cnf(8, 24, 4)) {
+        let oracle = cnf.solve_by_enumeration();
+        let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
+        match solver.solve() {
+            SolveStatus::Sat(model) => {
+                prop_assert!(oracle.is_some(), "solver said SAT, oracle says UNSAT");
+                prop_assert!(cnf.is_satisfied_by(&model), "model does not satisfy formula");
+            }
+            SolveStatus::Unsat => prop_assert!(oracle.is_none(), "solver said UNSAT, oracle found a model"),
+            SolveStatus::Unknown(r) => prop_assert!(false, "unlimited run aborted: {r}"),
+        }
+    }
+
+    /// Every configuration arm is a *complete* solver: all agree with the
+    /// oracle even under pathological restart/reduction schedules.
+    #[test]
+    fn every_config_matches_enumeration(cnf in arb_cnf(6, 18, 3)) {
+        let oracle_sat = cnf.solve_by_enumeration().is_some();
+        for (name, cfg) in all_configs() {
+            let mut solver = Solver::new(&cnf, cfg);
+            match solver.solve() {
+                SolveStatus::Sat(model) => {
+                    prop_assert!(oracle_sat, "{name}: SAT but oracle disagrees");
+                    prop_assert!(cnf.is_satisfied_by(&model), "{name}: bad model");
+                }
+                SolveStatus::Unsat => prop_assert!(!oracle_sat, "{name}: UNSAT but oracle disagrees"),
+                SolveStatus::Unknown(r) => prop_assert!(false, "{name}: aborted: {r}"),
+            }
+        }
+    }
+
+    /// Budgeted runs never return a wrong answer — only Sat/Unsat/Unknown.
+    #[test]
+    fn budgeted_runs_stay_sound(cnf in arb_cnf(8, 24, 4), budget in 1u64..20) {
+        let oracle_sat = cnf.solve_by_enumeration().is_some();
+        let cfg = SolverConfig::berkmin().with_budget(Budget::conflicts(budget));
+        let mut solver = Solver::new(&cnf, cfg);
+        match solver.solve() {
+            SolveStatus::Sat(model) => {
+                prop_assert!(oracle_sat);
+                prop_assert!(cnf.is_satisfied_by(&model));
+            }
+            SolveStatus::Unsat => prop_assert!(!oracle_sat),
+            SolveStatus::Unknown(_) => {} // allowed under budget
+        }
+    }
+
+    /// Determinism: same formula, same config, same seed ⇒ identical stats.
+    #[test]
+    fn runs_are_deterministic(cnf in arb_cnf(7, 20, 3), seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut s = Solver::new(&cnf, SolverConfig::berkmin().with_seed(seed));
+            let sat = s.solve().is_sat();
+            (sat, s.stats().decisions, s.stats().conflicts, s.stats().propagations)
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+}
+
+/// A deterministic stress case: larger random 3-SAT near the phase
+/// transition, cross-checked between all configurations (no oracle — they
+/// must simply agree).
+#[test]
+fn configs_agree_on_phase_transition_3sat() {
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for instance in 0..6 {
+        let n = 30;
+        let m = (n as f64 * 4.26) as usize;
+        let mut cnf = Cnf::with_vars(n);
+        for _ in 0..m {
+            let mut lits = Vec::new();
+            while lits.len() < 3 {
+                let v = (next() % n as u64) as u32;
+                if lits.iter().any(|l: &Lit| l.var() == Var::new(v)) {
+                    continue;
+                }
+                lits.push(Lit::new(Var::new(v), next() & 1 == 1));
+            }
+            cnf.add_clause(lits);
+        }
+        let mut verdicts = Vec::new();
+        for (name, cfg) in all_configs() {
+            let mut solver = Solver::new(&cnf, cfg);
+            match solver.solve() {
+                SolveStatus::Sat(model) => {
+                    assert!(cnf.is_satisfied_by(&model), "{name}: bad model on #{instance}");
+                    verdicts.push((name, true));
+                }
+                SolveStatus::Unsat => verdicts.push((name, false)),
+                SolveStatus::Unknown(r) => panic!("{name}: aborted on #{instance}: {r}"),
+            }
+        }
+        let first = verdicts[0].1;
+        for (name, v) in &verdicts {
+            assert_eq!(*v, first, "{name} disagrees on instance #{instance}");
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Forward RUP proof checking.
+//!
+//! Every clause a CDCL solver learns is a *reverse unit propagation* (RUP)
+//! consequence: asserting the negation of all its literals and running unit
+//! propagation over the current database yields a conflict. The checker
+//! verifies each addition that way, maintains the database across
+//! deletions, and accepts iff the empty clause is derived.
+//!
+//! Deletion semantics follow the operational DRAT convention (as in
+//! `drat-trim`): units already on the persistent trail stay valid even if
+//! a clause that justified them is later deleted.
+
+use std::fmt;
+
+use berkmin_cnf::{Cnf, LBool, Lit};
+
+use crate::proof::{DratProof, Step};
+
+/// Why a proof was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// Addition step `step` is not a RUP consequence of the database.
+    NotRup {
+        /// Index of the offending step in the proof.
+        step: usize,
+        /// The clause that failed the check.
+        clause: Vec<Lit>,
+    },
+    /// The proof never derives the empty clause.
+    NoEmptyClause,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::NotRup { step, clause } => {
+                write!(f, "step {step}: clause {clause:?} is not RUP")
+            }
+            CheckError::NoEmptyClause => write!(f, "proof does not derive the empty clause"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Outcome of a successful check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Number of addition steps verified.
+    pub additions_checked: usize,
+    /// Number of deletion steps applied.
+    pub deletions_applied: usize,
+    /// Deletions that referenced clauses absent from the database (ignored,
+    /// per the operational convention).
+    pub deletions_ignored: usize,
+    /// Steps after the empty clause (not checked — the proof is complete).
+    pub steps_after_empty: usize,
+}
+
+/// Verifies that `proof` is a valid RUP refutation of `cnf`.
+///
+/// # Errors
+///
+/// Returns [`CheckError::NotRup`] if an added clause does not follow by
+/// unit propagation, or [`CheckError::NoEmptyClause`] if the proof never
+/// reaches the empty clause.
+pub fn check_refutation(cnf: &Cnf, proof: &DratProof) -> Result<CheckReport, CheckError> {
+    let mut nvars = cnf.num_vars();
+    for step in proof.steps() {
+        let lits = match step {
+            Step::Add(l) | Step::Delete(l) => l,
+        };
+        for l in lits {
+            nvars = nvars.max(l.var().index() + 1);
+        }
+    }
+
+    let mut db = Propagator::new(nvars);
+    let mut report = CheckReport::default();
+
+    // Load the original formula; a conflict here already refutes it.
+    for clause in cnf.iter() {
+        db.add_clause(clause.lits());
+    }
+    db.propagate_persistent();
+
+    for (i, step) in proof.steps().iter().enumerate() {
+        if db.contradiction {
+            report.steps_after_empty = proof.len() - i;
+            return Ok(report);
+        }
+        match step {
+            Step::Add(lits) => {
+                if !db.is_rup(lits) {
+                    return Err(CheckError::NotRup {
+                        step: i,
+                        clause: lits.clone(),
+                    });
+                }
+                report.additions_checked += 1;
+                db.add_clause(lits);
+                db.propagate_persistent();
+            }
+            Step::Delete(lits) => {
+                if db.delete_clause(lits) {
+                    report.deletions_applied += 1;
+                } else {
+                    report.deletions_ignored += 1;
+                }
+            }
+        }
+    }
+    if db.contradiction {
+        Ok(report)
+    } else {
+        Err(CheckError::NoEmptyClause)
+    }
+}
+
+/// A minimal two-watched-literal propagation engine for proof checking.
+struct Propagator {
+    /// All clauses ever added; deleted ones are tombstoned.
+    clauses: Vec<Vec<Lit>>,
+    alive: Vec<bool>,
+    /// Sorted copies for deletion matching.
+    sorted: Vec<Vec<Lit>>,
+    /// watches[lit.code()] = clause indices where ¬lit is watched.
+    watches: Vec<Vec<usize>>,
+    assigns: Vec<LBool>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Length of the persistent (non-assumption) trail prefix.
+    persistent_len: usize,
+    /// Set once the database is contradictory by unit propagation.
+    contradiction: bool,
+}
+
+impl Propagator {
+    fn new(nvars: usize) -> Self {
+        Propagator {
+            clauses: Vec::new(),
+            alive: Vec::new(),
+            sorted: Vec::new(),
+            watches: vec![Vec::new(); 2 * nvars],
+            assigns: vec![LBool::Undef; nvars],
+            trail: Vec::new(),
+            qhead: 0,
+            persistent_len: 0,
+            contradiction: false,
+        }
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_negative() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    fn enqueue(&mut self, l: Lit) -> bool {
+        match self.value(l) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                self.assigns[l.var().index()] = LBool::from(l.is_positive());
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        let mut sorted = lits.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        match lits.len() {
+            0 => {
+                self.contradiction = true;
+                return;
+            }
+            1 => {
+                if !self.enqueue(lits[0]) {
+                    self.contradiction = true;
+                }
+                // Units live on the trail; no watch entry needed, but we
+                // still register the clause so deletions can match it.
+                self.clauses.push(lits.to_vec());
+                self.alive.push(true);
+                self.sorted.push(sorted);
+                return;
+            }
+            _ => {}
+        }
+        let idx = self.clauses.len();
+        // Prefer unassigned or true literals as watches so the invariant
+        // holds under the current persistent trail.
+        let mut ls = lits.to_vec();
+        ls.sort_by_key(|&l| match self.value(l) {
+            LBool::True => 0,
+            LBool::Undef => 1,
+            LBool::False => 2,
+        });
+        self.watches[(!ls[0]).code()].push(idx);
+        self.watches[(!ls[1]).code()].push(idx);
+        // If both best watches are false, the clause is conflicting or unit
+        // under the trail; let propagation discover it by re-enqueueing the
+        // watch trigger.
+        if self.value(ls[1]) == LBool::False {
+            if self.value(ls[0]) == LBool::False {
+                self.contradiction = true;
+            } else if self.value(ls[0]) == LBool::Undef && !self.enqueue(ls[0]) {
+                self.contradiction = true;
+            }
+        }
+        self.clauses.push(ls);
+        self.alive.push(true);
+        self.sorted.push(sorted);
+    }
+
+    /// Removes the clause whose sorted literals equal `lits`; returns
+    /// whether a clause was found.
+    fn delete_clause(&mut self, lits: &[Lit]) -> bool {
+        let mut key = lits.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        for i in 0..self.clauses.len() {
+            if self.alive[i] && self.sorted[i] == key {
+                self.alive[i] = false;
+                // Watches are purged lazily during propagation.
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Unit propagation; returns `true` on conflict. Watches of dead
+    /// clauses are purged on the fly.
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let ci = ws[i];
+                if !self.alive[ci] {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                let false_lit = !p;
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                if self.clauses[ci][1] != false_lit {
+                    // Stale watch (clause was re-sorted on re-add); drop it.
+                    ws.swap_remove(i);
+                    continue;
+                }
+                let first = self.clauses[ci][0];
+                if self.value(first) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                for k in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][k]) != LBool::False {
+                        self.clauses[ci].swap(1, k);
+                        let nw = self.clauses[ci][1];
+                        self.watches[(!nw).code()].push(ci);
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                i += 1;
+                if self.value(first) == LBool::False {
+                    self.watches[p.code()] = ws;
+                    self.qhead = self.trail.len();
+                    return true;
+                }
+                self.enqueue(first);
+            }
+            self.watches[p.code()] = ws;
+        }
+        false
+    }
+
+    /// Propagates and commits the result to the persistent trail.
+    fn propagate_persistent(&mut self) {
+        if self.propagate() {
+            self.contradiction = true;
+        }
+        self.persistent_len = self.trail.len();
+    }
+
+    /// RUP check: assume the negation of every literal of `lits`,
+    /// propagate, expect a conflict, then roll back.
+    fn is_rup(&mut self, lits: &[Lit]) -> bool {
+        if self.contradiction {
+            return true; // anything follows from a contradictory database
+        }
+        let saved = self.trail.len();
+        let saved_qhead = self.qhead;
+        let mut conflict = false;
+        for &l in lits {
+            if !self.enqueue(!l) {
+                conflict = true; // ¬l contradicts the trail: propagation conflict
+                break;
+            }
+        }
+        if !conflict {
+            conflict = self.propagate();
+        }
+        // Roll back the assumptions.
+        for i in (saved..self.trail.len()).rev() {
+            self.assigns[self.trail[i].var().index()] = LBool::Undef;
+        }
+        self.trail.truncate(saved);
+        self.qhead = saved_qhead.min(saved);
+        conflict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proof::DratProof;
+    use berkmin::ProofSink;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    fn cnf(clauses: &[&[i32]]) -> Cnf {
+        let mut f = Cnf::new();
+        for c in clauses {
+            f.add_clause(c.iter().map(|&n| lit(n)));
+        }
+        f
+    }
+
+    #[test]
+    fn accepts_textbook_refutation() {
+        // (a∨b)(a∨¬b)(¬a∨c)(¬a∨¬c): derive a, then ⊥.
+        let f = cnf(&[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3]]);
+        let mut p = DratProof::new();
+        p.add_clause(&[lit(1)]); // RUP: ¬a → b and ¬b conflict
+        p.add_clause(&[]); // a → c and ¬c conflict
+        let report = check_refutation(&f, &p).expect("valid refutation");
+        // Adding the unit `a` already makes the database contradictory by
+        // propagation, so the checker may finish after one verified step.
+        assert!(report.additions_checked >= 1);
+        assert_eq!(report.additions_checked + report.steps_after_empty, 2);
+    }
+
+    #[test]
+    fn rejects_non_rup_addition() {
+        let f = cnf(&[&[1, 2]]);
+        let mut p = DratProof::new();
+        p.add_clause(&[lit(1)]); // does not follow
+        let err = check_refutation(&f, &p).unwrap_err();
+        match err {
+            CheckError::NotRup { step, .. } => assert_eq!(step, 0),
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_incomplete_proof() {
+        let f = cnf(&[&[1], &[-1]]);
+        let p = DratProof::new();
+        // The formula is contradictory by propagation alone, so even the
+        // empty proof succeeds here...
+        assert!(check_refutation(&f, &p).is_ok());
+        // ...but a satisfiable formula with no derivation must fail.
+        let sat = cnf(&[&[1, 2]]);
+        assert_eq!(check_refutation(&sat, &p).unwrap_err(), CheckError::NoEmptyClause);
+    }
+
+    #[test]
+    fn deletion_bookkeeping() {
+        // Extra redundant clause so a deletion can precede the refutation.
+        let f = cnf(&[&[1, 2], &[1, -2], &[-1, 3], &[-1, -3], &[1, 2, 3]]);
+        let mut p = DratProof::new();
+        p.delete_clause(&[lit(1), lit(2), lit(3)]); // applied
+        p.delete_clause(&[lit(9), lit(8)]); // unknown: ignored
+        p.add_clause(&[lit(1)]);
+        p.add_clause(&[]);
+        let report = check_refutation(&f, &p).unwrap();
+        assert_eq!(report.deletions_applied, 1);
+        assert_eq!(report.deletions_ignored, 1);
+        assert!(report.additions_checked >= 1);
+    }
+
+    #[test]
+    fn deleted_clauses_no_longer_support_rup() {
+        // (a∨b)(a∨¬b): "a" is RUP. After deleting (a∨b) first, it is not —
+        // assuming ¬a only yields ¬b with no conflict.
+        let f = cnf(&[&[1, 2], &[1, -2]]);
+        let mut good = DratProof::new();
+        good.add_clause(&[lit(1)]);
+        // (Not a refutation — formula is SAT — but step 0 must verify.)
+        assert!(matches!(
+            check_refutation(&f, &good),
+            Err(CheckError::NoEmptyClause)
+        ));
+
+        let mut bad = DratProof::new();
+        bad.delete_clause(&[lit(1), lit(2)]);
+        bad.add_clause(&[lit(1)]);
+        let err = check_refutation(&f, &bad).unwrap_err();
+        assert!(matches!(err, CheckError::NotRup { step: 1, .. }));
+    }
+
+    #[test]
+    fn end_to_end_with_real_solver_unsat_run() {
+        // Pigeonhole PHP(3) refuted by the solver; proof must check.
+        let mut f = Cnf::new();
+        let holes = 3usize;
+        let l = |p: usize, h: usize| lit((p * holes + h + 1) as i32);
+        for p in 0..=holes {
+            f.add_clause((0..holes).map(|h| l(p, h)));
+        }
+        for h in 0..holes {
+            for p1 in 0..=holes {
+                for p2 in (p1 + 1)..=holes {
+                    f.add_clause([!l(p1, h), !l(p2, h)]);
+                }
+            }
+        }
+        let mut proof = DratProof::new();
+        let mut solver = berkmin::Solver::new(&f, berkmin::SolverConfig::berkmin());
+        assert!(solver.solve_with_proof(&mut proof).is_unsat());
+        assert!(proof.ends_with_empty_clause());
+        let report = check_refutation(&f, &proof).expect("solver proof must check");
+        assert!(report.additions_checked > 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # berkmin-drat — clausal proof logging and checking
+//!
+//! CDCL solvers can justify UNSAT answers with a *clausal proof*: the
+//! stream of learnt clauses (each a reverse-unit-propagation consequence)
+//! ending in the empty clause, interleaved with deletions — the DRAT
+//! format of modern SAT competitions. This crate provides:
+//!
+//! * [`DratProof`] — an in-memory proof that plugs into
+//!   [`berkmin::Solver::solve_with_proof`] as a [`berkmin::ProofSink`];
+//! * [`TextDratWriter`] — a streaming sink emitting standard textual DRAT;
+//! * [`check_refutation`] — a forward RUP checker that independently
+//!   validates the solver's UNSAT verdicts (used throughout the
+//!   integration test suite).
+//!
+//! # Example: verify an UNSAT answer end to end
+//!
+//! ```
+//! use berkmin::{Solver, SolverConfig};
+//! use berkmin_drat::{check_refutation, DratProof};
+//! use berkmin_cnf::{Cnf, Lit, Var};
+//!
+//! // x ∧ (¬x ∨ y) ∧ ¬y
+//! let mut cnf = Cnf::new();
+//! let [x, y] = [0, 1].map(|i| Var::new(i));
+//! cnf.add_clause([Lit::pos(x)]);
+//! cnf.add_clause([Lit::neg(x), Lit::pos(y)]);
+//! cnf.add_clause([Lit::neg(y)]);
+//!
+//! let mut proof = DratProof::new();
+//! let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
+//! assert!(solver.solve_with_proof(&mut proof).is_unsat());
+//! check_refutation(&cnf, &proof).expect("machine-checkable refutation");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod proof;
+
+pub use checker::{check_refutation, CheckError, CheckReport};
+pub use proof::{DratProof, ParseDratError, Step, TextDratWriter};

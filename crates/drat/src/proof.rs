@@ -1,0 +1,305 @@
+//! Proof containers and serialization.
+
+use berkmin::ProofSink;
+use berkmin_cnf::Lit;
+use std::fmt;
+use std::io::{self, Write};
+
+/// One step of a clausal proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// A clause asserted to be a reverse-unit-propagation consequence.
+    Add(Vec<Lit>),
+    /// A clause removed from the database.
+    Delete(Vec<Lit>),
+}
+
+/// An in-memory DRAT proof: the stream of clause additions and deletions a
+/// solver emitted, in order.
+///
+/// Implements [`ProofSink`], so it can be handed directly to
+/// [`berkmin::Solver::solve_with_proof`]:
+///
+/// ```
+/// use berkmin::{Solver, SolverConfig};
+/// use berkmin_drat::DratProof;
+/// use berkmin_cnf::{Cnf, Lit};
+///
+/// let mut cnf = Cnf::new();
+/// let x = cnf.fresh_var();
+/// cnf.add_clause([Lit::pos(x)]);
+/// cnf.add_clause([Lit::neg(x)]);
+///
+/// let mut proof = DratProof::new();
+/// let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
+/// assert!(solver.solve_with_proof(&mut proof).is_unsat());
+/// assert!(proof.ends_with_empty_clause());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DratProof {
+    steps: Vec<Step>,
+}
+
+impl DratProof {
+    /// Creates an empty proof.
+    pub fn new() -> Self {
+        DratProof::default()
+    }
+
+    /// The recorded steps, in emission order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` if no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Number of clause additions.
+    pub fn num_additions(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, Step::Add(_))).count()
+    }
+
+    /// Number of deletions.
+    pub fn num_deletions(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, Step::Delete(_))).count()
+    }
+
+    /// `true` if some addition is the empty clause (an UNSAT run's final
+    /// emission).
+    pub fn ends_with_empty_clause(&self) -> bool {
+        self.steps
+            .iter()
+            .any(|s| matches!(s, Step::Add(lits) if lits.is_empty()))
+    }
+
+    /// Appends a step (for programmatic proof construction in tests).
+    pub fn push(&mut self, step: Step) {
+        self.steps.push(step);
+    }
+
+    /// Renders the proof in the standard textual DRAT format
+    /// (`d` prefix for deletions, DIMACS literals, `0` terminators).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for step in &self.steps {
+            let (prefix, lits) = match step {
+                Step::Add(l) => ("", l),
+                Step::Delete(l) => ("d ", l),
+            };
+            out.push_str(prefix);
+            for l in lits {
+                out.push_str(&l.to_dimacs().to_string());
+                out.push(' ');
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+
+    /// Writes the textual DRAT format to `writer` (a `&mut` reference works
+    /// too).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_text<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(self.to_text().as_bytes())
+    }
+
+    /// Parses the textual DRAT format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDratError`] on malformed tokens or unterminated steps.
+    pub fn parse(text: &str) -> Result<DratProof, ParseDratError> {
+        let mut proof = DratProof::new();
+        let mut current: Vec<Lit> = Vec::new();
+        let mut deleting = false;
+        let mut at_start = true;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            for tok in line.split_whitespace() {
+                if tok == "d" {
+                    if !at_start {
+                        return Err(ParseDratError {
+                            line: lineno + 1,
+                            message: "'d' must start a step".into(),
+                        });
+                    }
+                    deleting = true;
+                    continue;
+                }
+                let n: i32 = tok.parse().map_err(|_| ParseDratError {
+                    line: lineno + 1,
+                    message: format!("bad token {tok:?}"),
+                })?;
+                at_start = false;
+                if n == 0 {
+                    let step = if deleting {
+                        Step::Delete(std::mem::take(&mut current))
+                    } else {
+                        Step::Add(std::mem::take(&mut current))
+                    };
+                    proof.push(step);
+                    deleting = false;
+                    at_start = true;
+                } else {
+                    current.push(Lit::from_dimacs(n));
+                }
+            }
+        }
+        if !current.is_empty() || deleting {
+            return Err(ParseDratError {
+                line: text.lines().count(),
+                message: "unterminated final step".into(),
+            });
+        }
+        Ok(proof)
+    }
+}
+
+impl ProofSink for DratProof {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.steps.push(Step::Add(lits.to_vec()));
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) {
+        self.steps.push(Step::Delete(lits.to_vec()));
+    }
+}
+
+/// Error from [`DratProof::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDratError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseDratError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDratError {}
+
+/// A [`ProofSink`] that streams textual DRAT to any writer as the solver
+/// runs (no in-memory buffering of the whole proof).
+#[derive(Debug)]
+pub struct TextDratWriter<W: Write> {
+    writer: W,
+    /// First I/O error encountered, if any (sinks cannot fail mid-solve).
+    error: Option<io::Error>,
+}
+
+impl<W: Write> TextDratWriter<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        TextDratWriter { writer, error: None }
+    }
+
+    /// Finishes writing and returns the writer, or the first I/O error
+    /// swallowed during the run.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => Ok(self.writer),
+        }
+    }
+
+    fn emit(&mut self, prefix: &str, lits: &[Lit]) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = String::with_capacity(prefix.len() + lits.len() * 4 + 2);
+        line.push_str(prefix);
+        for l in lits {
+            line.push_str(&l.to_dimacs().to_string());
+            line.push(' ');
+        }
+        line.push_str("0\n");
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<W: Write> ProofSink for TextDratWriter<W> {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.emit("", lits);
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) {
+        self.emit("d ", lits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut p = DratProof::new();
+        p.add_clause(&[lit(1), lit(-2)]);
+        p.delete_clause(&[lit(3)]);
+        p.add_clause(&[]);
+        let text = p.to_text();
+        assert_eq!(text, "1 -2 0\nd 3 0\n0\n");
+        assert_eq!(DratProof::parse(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn counts_and_empty_detection() {
+        let mut p = DratProof::new();
+        assert!(p.is_empty());
+        p.add_clause(&[lit(1)]);
+        p.delete_clause(&[lit(1)]);
+        assert_eq!((p.num_additions(), p.num_deletions()), (1, 1));
+        assert!(!p.ends_with_empty_clause());
+        p.add_clause(&[]);
+        assert!(p.ends_with_empty_clause());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(DratProof::parse("1 x 0\n").is_err());
+        assert!(DratProof::parse("1 2\n").is_err());
+        assert!(DratProof::parse("1 d 2 0\n").is_err());
+    }
+
+    #[test]
+    fn parse_skips_comments() {
+        let p = DratProof::parse("c hello\n1 0\nc bye\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn streaming_writer_matches_in_memory() {
+        let mut mem = DratProof::new();
+        let mut buf = Vec::new();
+        {
+            let mut w = TextDratWriter::new(&mut buf);
+            for sink in [&mut mem as &mut dyn ProofSink, &mut w] {
+                sink.add_clause(&[lit(2), lit(3)]);
+                sink.delete_clause(&[lit(-1)]);
+            }
+            w.into_inner().unwrap();
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), mem.to_text());
+    }
+}

@@ -1,0 +1,233 @@
+//! The *Beijing* class analog: adder-circuit constraint problems.
+//!
+//! The 1996 Beijing suite (`2bitadd_*`, `3bitadd_*`, …) encodes adder
+//! synthesis/justification constraints — "hard class of easy CNFs" (§4):
+//! every instance is easy for *some* solver but each solver of the era
+//! stumbled on a few. We regenerate the family from actual adder circuits:
+//! satisfiable goal-justification instances ("which inputs produce this
+//! sum?") and unsatisfiable arithmetic impossibilities ("make `a + a`
+//! odd").
+
+use berkmin_circuit::{arith, encode};
+use berkmin_cnf::Lit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BenchInstance;
+
+/// Satisfiable justification: find inputs of a `bits`-wide ripple-carry
+/// adder whose sum equals a randomly chosen (always reachable) target.
+/// Several targets are stacked into one CNF to mimic the multi-constraint
+/// `Nbitadd` instances.
+pub fn adder_goal(bits: usize, rounds: usize, seed: u64) -> BenchInstance {
+    assert!(bits > 0 && rounds > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = berkmin_cnf::Cnf::new();
+    cnf.add_comment(format!("beijing-style adder justification: {bits} bits × {rounds} (SAT)"));
+    for _ in 0..rounds {
+        let adder = arith::ripple_carry_adder(bits);
+        let mut enc = encode(&adder);
+        // Choose a reachable target by simulating a random input.
+        let a: u64 = rng.gen_range(0..1u64 << bits);
+        let b: u64 = rng.gen_range(0..1u64 << bits);
+        let cin = rng.gen_bool(0.5);
+        let sum = a + b + cin as u64;
+        for i in 0..=bits {
+            enc.constrain_output(i, sum >> i & 1 == 1);
+        }
+        cnf.append_disjoint(&enc.cnf);
+    }
+    BenchInstance::new(format!("{bits}bitadd_{rounds}_{seed}"), cnf, Some(true))
+}
+
+/// Unsatisfiable arithmetic impossibility: wire both adder operands to the
+/// same inputs with carry-in 0 (computing `2a`) and demand an odd sum.
+pub fn adder_unsat(bits: usize) -> BenchInstance {
+    assert!(bits > 0);
+    let adder = arith::ripple_carry_adder(bits);
+    let mut enc = encode(&adder);
+    // a_i ≡ b_i for all i; cin = 0; sum bit 0 = 1.
+    for i in 0..bits {
+        let a = enc.input_vars[i];
+        let b = enc.input_vars[bits + i];
+        enc.cnf.add_clause([Lit::pos(a), Lit::neg(b)]);
+        enc.cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+    }
+    let cin = enc.input_vars[2 * bits];
+    enc.cnf.add_clause([Lit::neg(cin)]);
+    enc.constrain_output(0, true);
+    BenchInstance::new(format!("{bits}bitadd_odd"), enc.cnf, Some(false))
+}
+
+/// A chained variant (`3bitadd`-style): two adders composed, the second
+/// consuming the first's sum; justification of a reachable final target.
+pub fn chained_adder_goal(bits: usize, seed: u64) -> BenchInstance {
+    assert!(bits > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Build (a + b) + c with a single netlist.
+    let mut n = berkmin_circuit::Netlist::new();
+    let a = n.inputs_n(bits);
+    let b = n.inputs_n(bits);
+    let c = n.inputs_n(bits);
+    let zero = n.constant(false);
+    let (s1, c1) = arith::ripple_add(&mut n, &a, &b, zero);
+    let (s2, c2) = arith::ripple_add(&mut n, &s1, &c, zero);
+    for s in &s2 {
+        n.set_output(*s);
+    }
+    // Final carry bit: c1 OR c2 can both fire; expose the pair.
+    let carry_sum = n.xor(c1, c2);
+    let carry_carry = n.and(c1, c2);
+    n.set_output(carry_sum);
+    n.set_output(carry_carry);
+
+    let av: u64 = rng.gen_range(0..1u64 << bits);
+    let bv: u64 = rng.gen_range(0..1u64 << bits);
+    let cv: u64 = rng.gen_range(0..1u64 << bits);
+    // Reproduce the circuit's own arithmetic to pick a reachable target.
+    let mask = (1u64 << bits) - 1;
+    let t1 = av + bv;
+    let c1v = t1 >> bits & 1;
+    let t2 = (t1 & mask) + cv;
+    let c2v = t2 >> bits & 1;
+    let target_sum = t2 & mask;
+    let (cs, cc) = (c1v ^ c2v, c1v & c2v);
+
+    let mut enc = encode(&n);
+    for i in 0..bits {
+        enc.constrain_output(i, target_sum >> i & 1 == 1);
+    }
+    enc.constrain_output(bits, cs == 1);
+    enc.constrain_output(bits + 1, cc == 1);
+    BenchInstance::new(format!("{bits}bitadd3_{seed}"), enc.cnf, Some(true))
+}
+
+/// Returns `true` iff `n` is prime (trial division; inputs are small).
+fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// Satisfiable factoring: find `a, b` with `a · b = p · q` for random
+/// `bits`-wide primes-or-odd factors — the multiplier-justification twist
+/// on the Beijing adder CSPs, and a classically hard SAT family.
+pub fn factor_semiprime(bits: usize, seed: u64) -> BenchInstance {
+    assert!(bits >= 3, "need at least 3-bit factors");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Two random odd factors ≥ 3 that fit in `bits` bits.
+    let max = (1u64 << bits) - 1;
+    let pick = |rng: &mut StdRng| -> u64 {
+        loop {
+            let f = rng.gen_range(3..=max) | 1;
+            if f >= 3 {
+                return f;
+            }
+        }
+    };
+    let p = pick(&mut rng);
+    let q = pick(&mut rng);
+    let n = p * q;
+    let mul = arith::array_multiplier(bits);
+    let mut enc = encode(&mul);
+    for i in 0..2 * bits {
+        enc.constrain_output(i, n >> i & 1 == 1);
+    }
+    BenchInstance::new(format!("factor{bits}_{seed}"), enc.cnf, Some(true))
+}
+
+/// Unsatisfiable factoring: demand that the `bits`×`bits` multiplier
+/// produce a prime `≥ 2^bits`. Its only factorizations are `1 × p`, and
+/// `p` does not fit in `bits` bits, so no input justifies the output.
+pub fn factor_prime(bits: usize, seed: u64) -> BenchInstance {
+    assert!((4..=16).contains(&bits), "supported factor widths: 4..=16");
+    // Deterministically pick a prime in [2^bits, 2^(2·bits)).
+    let lo = 1u64 << bits;
+    let hi = (1u64 << (2 * bits)) - 1;
+    let mut candidate = lo + (seed % (hi - lo)) | 1;
+    while !is_prime(candidate) {
+        candidate += 2;
+        if candidate > hi {
+            candidate = lo | 1;
+        }
+    }
+    let mul = arith::array_multiplier(bits);
+    let mut enc = encode(&mul);
+    for i in 0..2 * bits {
+        enc.constrain_output(i, candidate >> i & 1 == 1);
+    }
+    BenchInstance::new(format!("primefac{bits}_{seed}"), enc.cnf, Some(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berkmin::{Solver, SolverConfig};
+
+    #[test]
+    fn adder_goals_are_satisfiable() {
+        for seed in 0..3 {
+            let inst = adder_goal(6, 2, seed);
+            let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+            let status = s.solve();
+            let model = status.model().expect("reachable target");
+            assert!(inst.cnf.is_satisfied_by(model));
+        }
+    }
+
+    #[test]
+    fn doubled_operand_cannot_be_odd() {
+        for bits in [2, 4, 8] {
+            let inst = adder_unsat(bits);
+            let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+            assert!(s.solve().is_unsat(), "{bits} bits");
+        }
+    }
+
+    #[test]
+    fn chained_adders_are_satisfiable() {
+        let inst = chained_adder_goal(5, 3);
+        let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+        let status = s.solve();
+        assert!(status.is_sat());
+        assert!(inst.cnf.is_satisfied_by(status.model().unwrap()));
+    }
+
+    #[test]
+    fn names_follow_paper_convention() {
+        assert_eq!(adder_goal(2, 10, 0).name, "2bitadd_10_0");
+        assert_eq!(adder_unsat(3).name, "3bitadd_odd");
+    }
+
+    #[test]
+    fn semiprime_factoring_is_sat() {
+        let inst = factor_semiprime(4, 1);
+        let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+        let status = s.solve();
+        assert!(status.is_sat());
+        assert!(inst.cnf.is_satisfied_by(status.model().unwrap()));
+    }
+
+    #[test]
+    fn prime_products_are_unsat() {
+        for seed in [0, 99] {
+            let inst = factor_prime(4, seed);
+            let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+            assert!(s.solve().is_unsat(), "{}", inst.name);
+        }
+    }
+
+    #[test]
+    fn primality_helper() {
+        assert!(is_prime(2) && is_prime(17) && is_prime(8191));
+        assert!(!is_prime(1) && !is_prime(15) && !is_prime(8192));
+    }
+}

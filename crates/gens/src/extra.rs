@@ -1,0 +1,176 @@
+//! Bonus benchmark families beyond the paper's twelve classes: N-queens
+//! and graph coloring. Useful for widening robustness comparisons and as
+//! user-facing examples of classic CNF encodings.
+
+use berkmin_cnf::{Cnf, Lit, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BenchInstance;
+
+/// The N-queens problem: place `n` non-attacking queens on an n×n board.
+/// Satisfiable for `n = 1` and every `n ≥ 4`; unsatisfiable for 2 and 3.
+pub fn queens(n: usize) -> BenchInstance {
+    assert!(n > 0, "board size must be positive");
+    let var = |r: usize, c: usize| Var::new((r * n + c) as u32);
+    let mut cnf = Cnf::with_vars(n * n);
+    cnf.add_comment(format!("{n}-queens"));
+    // One queen per row (at-least-one + at-most-one).
+    for r in 0..n {
+        cnf.add_clause((0..n).map(|c| Lit::pos(var(r, c))));
+        for c1 in 0..n {
+            for c2 in (c1 + 1)..n {
+                cnf.add_clause([Lit::neg(var(r, c1)), Lit::neg(var(r, c2))]);
+            }
+        }
+    }
+    // At most one per column.
+    for c in 0..n {
+        for r1 in 0..n {
+            for r2 in (r1 + 1)..n {
+                cnf.add_clause([Lit::neg(var(r1, c)), Lit::neg(var(r2, c))]);
+            }
+        }
+    }
+    // At most one per diagonal.
+    for r1 in 0..n {
+        for c1 in 0..n {
+            for r2 in (r1 + 1)..n {
+                let d = r2 - r1;
+                if c1 + d < n {
+                    cnf.add_clause([Lit::neg(var(r1, c1)), Lit::neg(var(r2, c1 + d))]);
+                }
+                if c1 >= d {
+                    cnf.add_clause([Lit::neg(var(r1, c1)), Lit::neg(var(r2, c1 - d))]);
+                }
+            }
+        }
+    }
+    let expected = Some(n == 1 || n >= 4);
+    BenchInstance::new(format!("queens{n}"), cnf, expected)
+}
+
+/// Graph k-coloring of a random graph with a *planted* k-coloring —
+/// satisfiable by construction.
+pub fn planted_coloring(nodes: usize, edges: usize, colors: usize, seed: u64) -> BenchInstance {
+    assert!(colors >= 2, "need at least two colors");
+    assert!(nodes >= colors, "need at least `colors` nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let planted: Vec<usize> = (0..nodes).map(|_| rng.gen_range(0..colors)).collect();
+    let var = |v: usize, c: usize| Var::new((v * colors + c) as u32);
+    let mut cnf = Cnf::with_vars(nodes * colors);
+    cnf.add_comment(format!(
+        "planted {colors}-coloring: {nodes} nodes, {edges} edges (SAT)"
+    ));
+    // Each node gets at least one color (at-most-one left implicit: extra
+    // colors never falsify an edge constraint).
+    for v in 0..nodes {
+        cnf.add_clause((0..colors).map(|c| Lit::pos(var(v, c))));
+    }
+    // Random edges compatible with the planted coloring.
+    let mut placed = 0;
+    let mut guard = 0;
+    while placed < edges && guard < edges * 100 {
+        guard += 1;
+        let u = rng.gen_range(0..nodes);
+        let w = rng.gen_range(0..nodes);
+        if u == w || planted[u] == planted[w] {
+            continue;
+        }
+        for c in 0..colors {
+            cnf.add_clause([Lit::neg(var(u, c)), Lit::neg(var(w, c))]);
+        }
+        placed += 1;
+    }
+    BenchInstance::new(
+        format!("color{colors}_{nodes}_{placed}_{seed}"),
+        cnf,
+        Some(true),
+    )
+}
+
+/// k-coloring of the complete graph on `k + 1` nodes — unsatisfiable by the
+/// pigeonhole principle, but structurally a coloring instance.
+pub fn clique_coloring_unsat(colors: usize) -> BenchInstance {
+    let nodes = colors + 1;
+    let var = |v: usize, c: usize| Var::new((v * colors + c) as u32);
+    let mut cnf = Cnf::with_vars(nodes * colors);
+    cnf.add_comment(format!("K{nodes} with {colors} colors (UNSAT)"));
+    for v in 0..nodes {
+        cnf.add_clause((0..colors).map(|c| Lit::pos(var(v, c))));
+    }
+    for u in 0..nodes {
+        for w in (u + 1)..nodes {
+            for c in 0..colors {
+                cnf.add_clause([Lit::neg(var(u, c)), Lit::neg(var(w, c))]);
+            }
+        }
+    }
+    BenchInstance::new(format!("clique{nodes}_{colors}"), cnf, Some(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berkmin::{Solver, SolverConfig};
+
+    fn solve(inst: &BenchInstance) -> bool {
+        let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+        match s.solve() {
+            berkmin::SolveStatus::Sat(m) => {
+                assert!(inst.cnf.is_satisfied_by(&m), "{}", inst.name);
+                true
+            }
+            berkmin::SolveStatus::Unsat => false,
+            berkmin::SolveStatus::Unknown(r) => panic!("{}: {r}", inst.name),
+        }
+    }
+
+    #[test]
+    fn queens_satisfiability_boundary() {
+        assert!(solve(&queens(1)));
+        assert!(!solve(&queens(2)));
+        assert!(!solve(&queens(3)));
+        assert!(solve(&queens(4)));
+        assert!(solve(&queens(8)));
+    }
+
+    #[test]
+    fn queens_model_is_a_real_placement() {
+        let n = 6;
+        let inst = queens(n);
+        let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+        let status = s.solve();
+        let m = status.model().unwrap();
+        // Exactly n queens, one per row, pairwise non-attacking.
+        let mut queens_at = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if m.satisfies(berkmin_cnf::Lit::pos(Var::new((r * n + c) as u32))) {
+                    queens_at.push((r as i64, c as i64));
+                }
+            }
+        }
+        assert_eq!(queens_at.len(), n);
+        for (i, &(r1, c1)) in queens_at.iter().enumerate() {
+            for &(r2, c2) in &queens_at[i + 1..] {
+                assert_ne!(r1, r2);
+                assert_ne!(c1, c2);
+                assert_ne!((r1 - r2).abs(), (c1 - c2).abs(), "diagonal attack");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_coloring_is_sat() {
+        for seed in 0..3 {
+            assert!(solve(&planted_coloring(20, 40, 3, seed)));
+        }
+    }
+
+    #[test]
+    fn clique_needs_more_colors() {
+        assert!(!solve(&clique_coloring_unsat(3)));
+        assert!(!solve(&clique_coloring_unsat(5)));
+    }
+}

@@ -1,0 +1,242 @@
+//! The *Hanoi* class: Towers-of-Hanoi SAT planning (DIMACS `hanoi4/5`,
+//! plus the `hanoi6` instance the paper added, §4).
+//!
+//! The classical SATPLAN encoding: peg-membership state variables, one
+//! action per step, explanatory frame axioms. `hanoi(n)` asks for a plan of
+//! exactly the optimal length `2^n − 1` (satisfiable); one step fewer is
+//! unsatisfiable.
+
+use berkmin_cnf::{Cnf, Lit, Var};
+
+use crate::BenchInstance;
+
+const PEGS: usize = 3;
+
+struct Vars {
+    disks: usize,
+    steps: usize,
+}
+
+impl Vars {
+    /// `on(d, p, t)`: disk `d` (0 = smallest) is on peg `p` at time `t`.
+    fn on(&self, d: usize, p: usize, t: usize) -> Var {
+        debug_assert!(d < self.disks && p < PEGS && t <= self.steps);
+        Var::new(((t * self.disks + d) * PEGS + p) as u32)
+    }
+
+    /// `mv(d, p, q, t)`: disk `d` moves from peg `p` to peg `q` at step `t`.
+    fn mv(&self, d: usize, p: usize, q: usize, t: usize) -> Var {
+        debug_assert!(p != q && t < self.steps);
+        let base = (self.steps + 1) * self.disks * PEGS;
+        // q encoded among the two pegs ≠ p: index 0 or 1.
+        let qi = if q > p { q - 1 } else { q };
+        Var::new((base + ((t * self.disks + d) * PEGS + p) * 2 + qi) as u32)
+    }
+
+    fn total(&self) -> usize {
+        (self.steps + 1) * self.disks * PEGS + self.steps * self.disks * PEGS * 2
+    }
+}
+
+/// Builds the Hanoi planning CNF for `disks` disks and a horizon of
+/// `steps` moves (all disks start on peg 0, must end on peg 2).
+pub fn hanoi_with_horizon(disks: usize, steps: usize) -> Cnf {
+    assert!(disks > 0, "need at least one disk");
+    assert!(steps > 0, "need at least one step");
+    let v = Vars { disks, steps };
+    let mut cnf = Cnf::with_vars(v.total());
+    cnf.add_comment(format!("towers of hanoi: {disks} disks, {steps} steps"));
+
+    // Every disk is on exactly one peg at every time.
+    for t in 0..=steps {
+        for d in 0..disks {
+            cnf.add_clause((0..PEGS).map(|p| Lit::pos(v.on(d, p, t))));
+            for p1 in 0..PEGS {
+                for p2 in (p1 + 1)..PEGS {
+                    cnf.add_clause([Lit::neg(v.on(d, p1, t)), Lit::neg(v.on(d, p2, t))]);
+                }
+            }
+        }
+    }
+
+    // Initial and goal states.
+    for d in 0..disks {
+        cnf.add_clause([Lit::pos(v.on(d, 0, 0))]);
+        cnf.add_clause([Lit::pos(v.on(d, 2, steps))]);
+    }
+
+    // Exactly one move per step.
+    let moves_at = |t: usize| -> Vec<Var> {
+        let mut ms = Vec::new();
+        for d in 0..disks {
+            for p in 0..PEGS {
+                for q in 0..PEGS {
+                    if p != q {
+                        ms.push(v.mv(d, p, q, t));
+                    }
+                }
+            }
+        }
+        ms
+    };
+    for t in 0..steps {
+        let ms = moves_at(t);
+        cnf.add_clause(ms.iter().map(|&m| Lit::pos(m)));
+        for i in 0..ms.len() {
+            for j in (i + 1)..ms.len() {
+                cnf.add_clause([Lit::neg(ms[i]), Lit::neg(ms[j])]);
+            }
+        }
+    }
+
+    // Preconditions and effects.
+    for t in 0..steps {
+        for d in 0..disks {
+            for p in 0..PEGS {
+                for q in 0..PEGS {
+                    if p == q {
+                        continue;
+                    }
+                    let m = Lit::neg(v.mv(d, p, q, t));
+                    // Disk must be on the source peg.
+                    cnf.add_clause([m, Lit::pos(v.on(d, p, t))]);
+                    // No smaller disk on source (d is on top) or target
+                    // (no placing a larger disk onto a smaller one).
+                    for smaller in 0..d {
+                        cnf.add_clause([m, Lit::neg(v.on(smaller, p, t))]);
+                        cnf.add_clause([m, Lit::neg(v.on(smaller, q, t))]);
+                    }
+                    // Effect: disk arrives on the target peg.
+                    cnf.add_clause([m, Lit::pos(v.on(d, q, t + 1))]);
+                }
+            }
+        }
+    }
+
+    // Explanatory frame axioms: peg membership changes only through moves.
+    for t in 0..steps {
+        for d in 0..disks {
+            for p in 0..PEGS {
+                // Left the peg ⇒ some move from p.
+                let mut away: Vec<Lit> = vec![Lit::neg(v.on(d, p, t)), Lit::pos(v.on(d, p, t + 1))];
+                // Arrived on the peg ⇒ some move onto p.
+                let mut onto: Vec<Lit> = vec![Lit::pos(v.on(d, p, t)), Lit::neg(v.on(d, p, t + 1))];
+                for q in 0..PEGS {
+                    if q != p {
+                        away.push(Lit::pos(v.mv(d, p, q, t)));
+                        onto.push(Lit::pos(v.mv(d, q, p, t)));
+                    }
+                }
+                cnf.add_clause(away);
+                cnf.add_clause(onto);
+            }
+        }
+    }
+
+    cnf
+}
+
+/// The optimal plan length for `disks` disks.
+pub fn optimal_steps(disks: usize) -> usize {
+    (1usize << disks) - 1
+}
+
+/// `hanoiN`: plan of exactly the optimal length `2^N − 1` — satisfiable.
+pub fn hanoi(disks: usize) -> BenchInstance {
+    let steps = optimal_steps(disks);
+    BenchInstance::new(
+        format!("hanoi{disks}"),
+        hanoi_with_horizon(disks, steps),
+        Some(true),
+    )
+}
+
+/// One step short of optimal — unsatisfiable (the optimality side of the
+/// classic theorem, useful for UNSAT stress).
+pub fn hanoi_unsat(disks: usize) -> BenchInstance {
+    let steps = optimal_steps(disks) - 1;
+    BenchInstance::new(
+        format!("hanoi{disks}u"),
+        hanoi_with_horizon(disks, steps),
+        Some(false),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berkmin::{Solver, SolverConfig};
+
+    #[test]
+    fn optimal_lengths() {
+        assert_eq!(optimal_steps(1), 1);
+        assert_eq!(optimal_steps(3), 7);
+        assert_eq!(optimal_steps(5), 31);
+    }
+
+    #[test]
+    fn one_disk_moves_once() {
+        let inst = hanoi(1);
+        let model = inst.cnf.solve_by_enumeration().expect("trivially solvable");
+        assert!(inst.cnf.is_satisfied_by(&model));
+    }
+
+    #[test]
+    fn hanoi3_sat_at_optimum_unsat_below() {
+        let sat = hanoi(3);
+        let mut s = Solver::new(&sat.cnf, SolverConfig::berkmin());
+        let status = s.solve();
+        let model = status.model().expect("hanoi3 at 7 steps is solvable");
+        assert!(sat.cnf.is_satisfied_by(model));
+
+        let unsat = hanoi_unsat(3);
+        let mut s = Solver::new(&unsat.cnf, SolverConfig::berkmin());
+        assert!(s.solve().is_unsat(), "6 steps cannot solve 3 disks");
+    }
+
+    #[test]
+    fn hanoi4_is_satisfiable() {
+        let inst = hanoi(4);
+        let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+        let status = s.solve();
+        assert!(status.is_sat());
+        assert!(inst.cnf.is_satisfied_by(status.model().unwrap()));
+    }
+
+    #[test]
+    fn model_encodes_a_legal_plan() {
+        // Decode the hanoi(2) plan (3 moves) and re-validate it by hand.
+        let disks = 2;
+        let steps = 3;
+        let cnf = hanoi_with_horizon(disks, steps);
+        let mut s = Solver::new(&cnf, SolverConfig::berkmin());
+        let status = s.solve();
+        let model = status.model().unwrap();
+        let v = Vars { disks, steps };
+        // Walk the state trajectory, checking Hanoi legality.
+        let mut pegs: Vec<Vec<usize>> = vec![vec![1, 0], vec![], vec![]]; // bottom→top
+        for t in 0..steps {
+            // Find the move taken at t.
+            let mut the_move = None;
+            for d in 0..disks {
+                for p in 0..3 {
+                    for q in 0..3 {
+                        if p != q && model.satisfies(Lit::pos(v.mv(d, p, q, t))) {
+                            assert!(the_move.is_none(), "two moves at step {t}");
+                            the_move = Some((d, p, q));
+                        }
+                    }
+                }
+            }
+            let (d, p, q) = the_move.expect("one move per step");
+            assert_eq!(pegs[p].last(), Some(&d), "moved disk must be on top");
+            assert!(
+                pegs[q].last().map_or(true, |&top| top > d),
+                "cannot place {d} on smaller disk"
+            );
+            pegs[p].pop();
+            pegs[q].push(d);
+        }
+        assert_eq!(pegs[2], vec![1, 0], "all disks on peg 2");
+    }
+}

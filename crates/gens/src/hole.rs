@@ -1,0 +1,84 @@
+//! The *Hole* class: pigeonhole-principle formulas (DIMACS `holeN`).
+//!
+//! `PHP(n)` states that `n + 1` pigeons fit into `n` holes with at most one
+//! pigeon per hole — unsatisfiable, with exponential-size resolution proofs,
+//! which is why the class appears in every solver evaluation including the
+//! paper's Tables 1–6.
+
+use berkmin_cnf::{Cnf, Lit, Var};
+
+use crate::BenchInstance;
+
+/// Generates the pigeonhole formula `holeN`: `n + 1` pigeons, `n` holes.
+///
+/// Variables: `p(i, j)` ⇔ pigeon `i` sits in hole `j`. Clauses: every
+/// pigeon sits somewhere; no hole holds two pigeons. Always UNSAT.
+///
+/// # Panics
+///
+/// Panics if `holes == 0`.
+pub fn pigeonhole(holes: usize) -> BenchInstance {
+    assert!(holes > 0, "need at least one hole");
+    let pigeons = holes + 1;
+    let var = |p: usize, h: usize| Var::new((p * holes + h) as u32);
+    let mut cnf = Cnf::with_vars(pigeons * holes);
+    cnf.add_comment(format!("pigeonhole: {pigeons} pigeons, {holes} holes (UNSAT)"));
+    for p in 0..pigeons {
+        cnf.add_clause((0..holes).map(|h| Lit::pos(var(p, h))));
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause([Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    BenchInstance::new(format!("hole{holes}"), cnf, Some(false))
+}
+
+/// The satisfiable sibling (`n` pigeons in `n` holes) — not part of the
+/// paper's class but useful as a sanity counterpart in tests.
+pub fn pigeonhole_sat(holes: usize) -> BenchInstance {
+    assert!(holes > 0, "need at least one hole");
+    let var = |p: usize, h: usize| Var::new((p * holes + h) as u32);
+    let mut cnf = Cnf::with_vars(holes * holes);
+    for p in 0..holes {
+        cnf.add_clause((0..holes).map(|h| Lit::pos(var(p, h))));
+    }
+    for h in 0..holes {
+        for p1 in 0..holes {
+            for p2 in (p1 + 1)..holes {
+                cnf.add_clause([Lit::neg(var(p1, h)), Lit::neg(var(p2, h))]);
+            }
+        }
+    }
+    BenchInstance::new(format!("hole{holes}sat"), cnf, Some(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_formula_counts() {
+        let inst = pigeonhole(4);
+        // vars: 5*4; clauses: 5 (ALO) + 4 * C(5,2) = 5 + 40.
+        assert_eq!(inst.cnf.num_vars(), 20);
+        assert_eq!(inst.cnf.num_clauses(), 45);
+        assert_eq!(inst.expected, Some(false));
+    }
+
+    #[test]
+    fn small_instances_verified_by_enumeration() {
+        assert!(pigeonhole(2).cnf.solve_by_enumeration().is_none());
+        assert!(pigeonhole_sat(2).cnf.solve_by_enumeration().is_some());
+        assert!(pigeonhole(3).cnf.solve_by_enumeration().is_none());
+    }
+
+    #[test]
+    fn solver_proves_hole5_unsat() {
+        let inst = pigeonhole(5);
+        let mut s = berkmin::Solver::new(&inst.cnf, berkmin::SolverConfig::berkmin());
+        assert!(s.solve().is_unsat());
+    }
+}

@@ -1,0 +1,58 @@
+//! Benchmark-instance wrapper shared by all generators.
+
+use berkmin_cnf::Cnf;
+use std::fmt;
+
+/// A generated benchmark instance: a CNF plus its provenance and, where the
+/// construction guarantees it, the expected verdict.
+#[derive(Debug, Clone)]
+pub struct BenchInstance {
+    /// Instance name in the paper's style (e.g. `hole8`, `miter70_60_5`).
+    pub name: String,
+    /// The formula.
+    pub cnf: Cnf,
+    /// `Some(true)` = satisfiable by construction, `Some(false)` =
+    /// unsatisfiable by construction, `None` = unknown a priori.
+    pub expected: Option<bool>,
+}
+
+impl BenchInstance {
+    /// Creates an instance with a known verdict.
+    pub fn new(name: impl Into<String>, cnf: Cnf, expected: Option<bool>) -> Self {
+        BenchInstance {
+            name: name.into(),
+            cnf,
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for BenchInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} vars, {} clauses, expected {})",
+            self.name,
+            self.cnf.num_vars(),
+            self.cnf.num_clauses(),
+            match self.expected {
+                Some(true) => "SAT",
+                Some(false) => "UNSAT",
+                None => "?",
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_summarizes() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([berkmin_cnf::Lit::from_dimacs(1)]);
+        let inst = BenchInstance::new("demo", cnf, Some(true));
+        assert_eq!(inst.to_string(), "demo (1 vars, 1 clauses, expected SAT)");
+    }
+}

@@ -1,0 +1,201 @@
+//! The *Par16* class: parity-function learning (DIMACS `parN-k`).
+//!
+//! Each instance encodes "find the secret parity function consistent with
+//! these samples": unknowns `s_1..s_n`, and for every sample a constraint
+//! `⊕_{i ∈ S_k} s_i = y_k`. The DIMACS `par8/16/32` family is exactly this,
+//! 3-CNF-ized through XOR chains with auxiliary variables. Generating the
+//! samples from an actual secret keeps the instance satisfiable.
+
+use berkmin_cnf::{Cnf, Lit, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BenchInstance;
+
+/// Adds clauses forcing `c = a ⊕ b`.
+fn xor3(cnf: &mut Cnf, a: Lit, b: Lit, c: Lit) {
+    cnf.add_clause([!a, !b, !c]);
+    cnf.add_clause([a, b, !c]);
+    cnf.add_clause([a, !b, c]);
+    cnf.add_clause([!a, b, c]);
+}
+
+/// Adds clauses forcing `⊕ lits = parity` (via a chain of fresh variables).
+///
+/// Shared by the parity-learning and XOR-system generators; public within
+/// the crate's generator family because the SAT-2002 `ip*` analogs in
+/// [`crate::ksat`] reuse it for long equations.
+pub fn xor_constraint(cnf: &mut Cnf, lits: &[Lit], parity: bool) {
+    match lits {
+        [] => {
+            if parity {
+                // 0 = 1: contradiction.
+                cnf.add_clause([]);
+            }
+        }
+        [l] => {
+            cnf.add_clause([if parity { *l } else { !*l }]);
+        }
+        _ => {
+            let mut acc = lits[0];
+            for &l in &lits[1..lits.len() - 1] {
+                let fresh = Lit::pos(cnf.fresh_var());
+                xor3(cnf, acc, l, fresh);
+                acc = fresh;
+            }
+            let last = lits[lits.len() - 1];
+            // acc ⊕ last = parity  ⇔  acc ⊕ last ⊕ ¬parity = 1
+            let target = if parity { last } else { !last };
+            // acc ⊕ target = 1 ⇔ acc ≠ target? No: we want acc ⊕ last = parity.
+            // parity=true:  acc ⊕ last = 1  ⇔ (acc ∨ last)(¬acc ∨ ¬last)
+            // parity=false: acc ⊕ last = 0  ⇔ (acc ∨ ¬last)(¬acc ∨ last)
+            cnf.add_clause([acc, target]);
+            cnf.add_clause([!acc, !target]);
+        }
+    }
+}
+
+/// Generates a `par16`-style parity-learning instance.
+///
+/// * `bits` — number of secret parity bits (par16 ⇒ 16);
+/// * `samples` — number of observations (the DIMACS family uses ≈ 2·bits
+///   plus redundancy);
+/// * `seed` — drives the secret and the sample subsets.
+///
+/// Satisfiable by construction (the secret is a witness).
+pub fn parity_learning(bits: usize, samples: usize, seed: u64) -> BenchInstance {
+    assert!(bits > 1, "need at least two parity bits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let secret: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+    let mut cnf = Cnf::with_vars(bits);
+    cnf.add_comment(format!("parity learning: {bits} bits, {samples} samples (SAT)"));
+    for _ in 0..samples {
+        // Sample subsets of average size bits/2, at least 2 variables.
+        let mut subset: Vec<usize> = (0..bits).filter(|_| rng.gen()).collect();
+        while subset.len() < 2 {
+            let extra = rng.gen_range(0..bits);
+            if !subset.contains(&extra) {
+                subset.push(extra);
+            }
+        }
+        let y = subset.iter().fold(false, |acc, &i| acc ^ secret[i]);
+        let lits: Vec<Lit> = subset.iter().map(|&i| Lit::pos(Var::new(i as u32))).collect();
+        xor_constraint(&mut cnf, &lits, y);
+    }
+    BenchInstance::new(format!("par{bits}_{seed}"), cnf, Some(true))
+}
+
+/// An unsatisfiable parity system: a consistent sample set plus one sample
+/// whose parity is deliberately flipped relative to the XOR of a subset of
+/// the others (linear dependence with inconsistent right-hand side).
+pub fn parity_unsat(bits: usize, seed: u64) -> BenchInstance {
+    assert!(bits > 1, "need at least two parity bits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let secret: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
+    let mut cnf = Cnf::with_vars(bits);
+    cnf.add_comment(format!("inconsistent parity system: {bits} bits (UNSAT)"));
+    let mut equations: Vec<(Vec<usize>, bool)> = Vec::new();
+    for _ in 0..bits + 2 {
+        let mut subset: Vec<usize> = (0..bits).filter(|_| rng.gen()).collect();
+        while subset.len() < 2 {
+            let extra = rng.gen_range(0..bits);
+            if !subset.contains(&extra) {
+                subset.push(extra);
+            }
+        }
+        let y = subset.iter().fold(false, |acc, &i| acc ^ secret[i]);
+        equations.push((subset, y));
+    }
+    // The inconsistent equation: XOR of equations 0 and 1, RHS flipped.
+    let mut combined = vec![false; bits];
+    let mut rhs = true; // flipped
+    for k in [0usize, 1] {
+        for &i in &equations[k].0 {
+            combined[i] ^= true;
+        }
+        rhs ^= equations[k].1;
+    }
+    let combo: Vec<usize> = (0..bits).filter(|&i| combined[i]).collect();
+    if combo.is_empty() {
+        // Degenerate (identical subsets): 0 = 1 directly.
+        equations.push((vec![0, 0], true)); // becomes empty after cancel; handled below
+    } else {
+        equations.push((combo, rhs));
+    }
+    for (subset, y) in &equations {
+        // Cancel duplicated indices (x ⊕ x = 0).
+        let mut uniq: Vec<usize> = Vec::new();
+        for &i in subset {
+            if let Some(pos) = uniq.iter().position(|&u| u == i) {
+                uniq.remove(pos);
+            } else {
+                uniq.push(i);
+            }
+        }
+        let lits: Vec<Lit> = uniq.iter().map(|&i| Lit::pos(Var::new(i as u32))).collect();
+        xor_constraint(&mut cnf, &lits, *y);
+    }
+    BenchInstance::new(format!("par{bits}u_{seed}"), cnf, Some(false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berkmin::{Solver, SolverConfig};
+
+    #[test]
+    fn xor_constraint_small_cases() {
+        // s0 ⊕ s1 = 1 over 2 vars.
+        let mut cnf = Cnf::with_vars(2);
+        xor_constraint(
+            &mut cnf,
+            &[Lit::pos(Var::new(0)), Lit::pos(Var::new(1))],
+            true,
+        );
+        let m = cnf.solve_by_enumeration().unwrap();
+        let a = m.satisfies(Lit::pos(Var::new(0)));
+        let b = m.satisfies(Lit::pos(Var::new(1)));
+        assert!(a ^ b);
+    }
+
+    #[test]
+    fn chain_encoding_preserves_parity_semantics() {
+        // ⊕ of 5 vars = 0: every model has even weight on the first 5 vars.
+        let mut cnf = Cnf::with_vars(5);
+        let lits: Vec<Lit> = (0..5).map(|i| Lit::pos(Var::new(i))).collect();
+        xor_constraint(&mut cnf, &lits, false);
+        // Enumerate all models (aux vars included ⇒ use projection).
+        let mut models = 0;
+        for bits in 0u32..32 {
+            let mut probe = cnf.clone();
+            for i in 0..5u32 {
+                probe.add_clause([Lit::new(Var::new(i), bits >> i & 1 == 0)]);
+            }
+            if probe.solve_by_enumeration().is_some() {
+                models += 1;
+                assert_eq!((bits.count_ones()) % 2, 0, "odd-parity model {bits:b}");
+            }
+        }
+        assert_eq!(models, 16, "exactly the 16 even-weight assignments");
+    }
+
+    #[test]
+    fn learning_instances_are_sat() {
+        for seed in 0..3 {
+            let inst = parity_learning(8, 16, seed);
+            let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+            let status = s.solve();
+            let model = status.model().expect("parity learning must be SAT");
+            assert!(inst.cnf.is_satisfied_by(model));
+        }
+    }
+
+    #[test]
+    fn inconsistent_systems_are_unsat() {
+        for seed in 0..3 {
+            let inst = parity_unsat(8, seed);
+            let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
+            assert!(s.solve().is_unsat(), "seed {seed}");
+        }
+    }
+}

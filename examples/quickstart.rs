@@ -1,0 +1,52 @@
+//! Quickstart: build a formula, solve it, inspect the model and the
+//! solver's statistics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use berkmin_suite::prelude::*;
+
+fn main() {
+    // A tiny scheduling puzzle: three tasks (a, b, c), two time slots.
+    // Variables: t<i>_early = task i runs in the early slot.
+    let mut cnf = Cnf::new();
+    let a = cnf.fresh_var();
+    let b = cnf.fresh_var();
+    let c = cnf.fresh_var();
+
+    // a and b conflict: not both early, not both late.
+    cnf.add_clause([Lit::neg(a), Lit::neg(b)]);
+    cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+    // c must share a slot with a.
+    cnf.add_clause([Lit::neg(a), Lit::pos(c)]);
+    cnf.add_clause([Lit::pos(a), Lit::neg(c)]);
+    // b refuses the late slot.
+    cnf.add_clause([Lit::pos(b)]);
+
+    println!("formula: {cnf}");
+
+    let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
+    match solver.solve() {
+        SolveStatus::Sat(model) => {
+            assert!(cnf.is_satisfied_by(&model));
+            println!("satisfiable, model: {model}");
+            for (name, var) in [("a", a), ("b", b), ("c", c)] {
+                let slot = if model.value(var) == LBool::True { "early" } else { "late" };
+                println!("  task {name}: {slot}");
+            }
+        }
+        SolveStatus::Unsat => println!("unsatisfiable"),
+        SolveStatus::Unknown(reason) => println!("gave up: {reason}"),
+    }
+
+    let stats = solver.stats();
+    println!(
+        "search: {} decisions, {} conflicts, {} propagations, {} restarts",
+        stats.decisions, stats.conflicts, stats.propagations, stats.restarts
+    );
+
+    // The same API reads DIMACS files:
+    let text = "c a tiny instance\np cnf 2 2\n1 -2 0\n-1 2 0\n";
+    let parsed = berkmin_cnf::dimacs::parse(text).expect("valid DIMACS");
+    let mut solver2 = Solver::new(&parsed, SolverConfig::berkmin());
+    println!("DIMACS instance is {:?}", solver2.solve().is_sat());
+}

@@ -1,0 +1,212 @@
+//! Command-line front end: solve a DIMACS CNF file with any of the paper's
+//! solver configurations, optionally emitting and self-checking a DRAT
+//! proof. Output follows the SAT-competition conventions (`c` comments,
+//! `s` status, `v` model lines).
+//!
+//! ```text
+//! usage: berkmin-cli [OPTIONS] [FILE]
+//!
+//!   FILE                   DIMACS CNF file ('-' or absent = stdin)
+//!   --config NAME          berkmin | chaff | limmat | less-sensitivity |
+//!                          less-mobility | limited-keeping   (default: berkmin)
+//!   --max-conflicts N      abort after N conflicts
+//!   --seed N               heuristic PRNG seed
+//!   --proof FILE           write a DRAT refutation to FILE on UNSAT
+//!   --check-proof          verify the proof with the built-in RUP checker
+//!   --no-model             suppress the 'v' model lines
+//!   --quiet                suppress statistics
+//! ```
+
+use std::fs;
+use std::io::Read;
+use std::process::ExitCode;
+
+use berkmin::{Budget, SolveStatus, Solver, SolverConfig};
+use berkmin_cnf::{dimacs, Cnf, LBool, Var};
+use berkmin_drat::{check_refutation, DratProof};
+
+struct Options {
+    file: Option<String>,
+    config: SolverConfig,
+    proof_path: Option<String>,
+    check_proof: bool,
+    print_model: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: berkmin-cli [--config NAME] [--max-conflicts N] [--seed N] \
+         [--proof FILE] [--check-proof] [--no-model] [--quiet] [FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        file: None,
+        config: SolverConfig::berkmin(),
+        proof_path: None,
+        check_proof: false,
+        print_model: true,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                opts.config = match name.as_str() {
+                    "berkmin" => SolverConfig::berkmin(),
+                    "chaff" => SolverConfig::chaff_like(),
+                    "limmat" => SolverConfig::limmat_like(),
+                    "less-sensitivity" => SolverConfig::less_sensitivity(),
+                    "less-mobility" => SolverConfig::less_mobility(),
+                    "limited-keeping" => SolverConfig::limited_keeping(),
+                    other => {
+                        eprintln!("unknown config {other:?}");
+                        usage()
+                    }
+                };
+            }
+            "--max-conflicts" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.config.budget = Budget::conflicts(n);
+            }
+            "--seed" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.config.seed = n;
+            }
+            "--proof" => opts.proof_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--check-proof" => opts.check_proof = true,
+            "--no-model" => opts.print_model = false,
+            "--quiet" => opts.quiet = true,
+            "--help" | "-h" => usage(),
+            "-" => opts.file = None,
+            f if !f.starts_with('-') => opts.file = Some(f.to_string()),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn read_input(opts: &Options) -> Cnf {
+    let text = match &opts.file {
+        Some(path) => fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
+                eprintln!("cannot read stdin: {e}");
+                std::process::exit(2);
+            });
+            buf
+        }
+    };
+    dimacs::parse(&text).unwrap_or_else(|e| {
+        eprintln!("parse error: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let cnf = read_input(&opts);
+    if !opts.quiet {
+        println!(
+            "c berkmin-cli: {} variables, {} clauses",
+            cnf.num_vars(),
+            cnf.num_clauses()
+        );
+    }
+
+    let want_proof = opts.proof_path.is_some() || opts.check_proof;
+    let mut solver = Solver::new(&cnf, opts.config.clone());
+    let mut proof = DratProof::new();
+    let status = if want_proof {
+        solver.solve_with_proof(&mut proof)
+    } else {
+        solver.solve()
+    };
+
+    if !opts.quiet {
+        let s = solver.stats();
+        println!(
+            "c decisions {} conflicts {} propagations {} restarts {} learnt {}",
+            s.decisions, s.conflicts, s.propagations, s.restarts, s.learnt_total
+        );
+    }
+
+    match status {
+        SolveStatus::Sat(model) => {
+            println!("s SATISFIABLE");
+            if opts.print_model {
+                let mut line = String::from("v");
+                for i in 0..cnf.num_vars() {
+                    let var = Var::new(i as u32);
+                    let lit = if model.value(var) == LBool::True {
+                        (i as i64) + 1
+                    } else {
+                        -((i as i64) + 1)
+                    };
+                    line.push(' ');
+                    line.push_str(&lit.to_string());
+                    if line.len() > 72 {
+                        println!("{line}");
+                        line = String::from("v");
+                    }
+                }
+                println!("{line} 0");
+            }
+            if !cnf.is_satisfied_by(&model) {
+                eprintln!("internal error: model verification failed");
+                return ExitCode::from(3);
+            }
+            ExitCode::from(10) // SAT-competition exit code
+        }
+        SolveStatus::Unsat => {
+            println!("s UNSATISFIABLE");
+            if let Some(path) = &opts.proof_path {
+                if let Err(e) = fs::write(path, proof.to_text()) {
+                    eprintln!("cannot write proof to {path}: {e}");
+                    return ExitCode::from(3);
+                }
+                if !opts.quiet {
+                    println!("c proof: {} steps written to {path}", proof.len());
+                }
+            }
+            if opts.check_proof {
+                match check_refutation(&cnf, &proof) {
+                    Ok(report) => {
+                        if !opts.quiet {
+                            println!(
+                                "c proof checked: {} additions verified",
+                                report.additions_checked
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("internal error: proof rejected: {e}");
+                        return ExitCode::from(3);
+                    }
+                }
+            }
+            ExitCode::from(20) // SAT-competition exit code
+        }
+        SolveStatus::Unknown(reason) => {
+            println!("s UNKNOWN");
+            if !opts.quiet {
+                println!("c stopped: {reason}");
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # berkmin-suite — facade over the BerkMin reproduction workspace
+//!
+//! One `use` away from everything: the solver ([`berkmin`]), the CNF
+//! vocabulary ([`berkmin_cnf`]), the circuit substrate
+//! ([`berkmin_circuit`]), the benchmark generators ([`berkmin_gens`]) and
+//! the proof machinery ([`berkmin_drat`]).
+//!
+//! See the workspace README for the tour, DESIGN.md for the system
+//! inventory, and EXPERIMENTS.md for the paper-vs-measured record.
+//!
+//! # Example
+//!
+//! ```
+//! use berkmin_suite::prelude::*;
+//!
+//! // Equivalence-check two adder architectures with the solver.
+//! let ripple = berkmin_circuit::arith::ripple_carry_adder(6);
+//! let carry_select = berkmin_circuit::arith::carry_select_adder(6, 2);
+//! let cnf = berkmin_circuit::miter_cnf(&ripple, &carry_select);
+//! let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
+//! assert!(solver.solve().is_unsat()); // equivalent ⇒ miter unsatisfiable
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use berkmin;
+pub use berkmin_circuit;
+pub use berkmin_cnf;
+pub use berkmin_drat;
+pub use berkmin_gens;
+
+/// The handful of names almost every user wants in scope.
+pub mod prelude {
+    pub use berkmin::{Budget, SolveStatus, Solver, SolverConfig, Stats, StopReason};
+    pub use berkmin_cnf::{Assignment, Clause, Cnf, LBool, Lit, Var};
+    pub use berkmin_drat::{check_refutation, DratProof};
+    pub use berkmin_gens::BenchInstance;
+}

@@ -1,0 +1,102 @@
+//! End-to-end tests of the `berkmin-cli` binary: DIMACS in, SAT-competition
+//! output and exit codes out, DRAT proof emission and self-checking.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_berkmin-cli"))
+}
+
+fn run_with_stdin(args: &[&str], input: &str) -> (String, i32) {
+    let mut child = cli()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn berkmin-cli");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("cli runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn sat_instance_reports_model_and_exit_10() {
+    let (stdout, code) = run_with_stdin(&[], "p cnf 2 2\n1 -2 0\n2 0\n");
+    assert_eq!(code, 10);
+    assert!(stdout.contains("s SATISFIABLE"), "{stdout}");
+    assert!(stdout.contains("v 1 2 0"), "model line expected: {stdout}");
+}
+
+#[test]
+fn unsat_instance_reports_exit_20_with_checked_proof() {
+    let dimacs = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n";
+    let (stdout, code) = run_with_stdin(&["--check-proof"], dimacs);
+    assert_eq!(code, 20);
+    assert!(stdout.contains("s UNSATISFIABLE"), "{stdout}");
+    assert!(stdout.contains("proof checked"), "{stdout}");
+}
+
+#[test]
+fn proof_file_is_written_and_parseable() {
+    let dir = std::env::temp_dir().join(format!("berkmin_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let proof_path = dir.join("out.drat");
+    let dimacs = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n";
+    let (_, code) = run_with_stdin(
+        &["--proof", proof_path.to_str().unwrap(), "--quiet"],
+        dimacs,
+    );
+    assert_eq!(code, 20);
+    let text = std::fs::read_to_string(&proof_path).expect("proof written");
+    let proof = berkmin_drat::DratProof::parse(&text).expect("proof parses");
+    assert!(proof.ends_with_empty_clause());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_on_budget_exit_0() {
+    // Pigeonhole with 1-conflict budget.
+    let mut dimacs = String::from("p cnf 12 22\n");
+    // 4 pigeons, 3 holes: var = p*3 + h + 1.
+    for p in 0..4 {
+        for h in 0..3 {
+            dimacs.push_str(&format!("{} ", p * 3 + h + 1));
+        }
+        dimacs.push_str("0\n");
+    }
+    for h in 0..3 {
+        for p1 in 0..4 {
+            for p2 in (p1 + 1)..4 {
+                dimacs.push_str(&format!("-{} -{} 0\n", p1 * 3 + h + 1, p2 * 3 + h + 1));
+            }
+        }
+    }
+    let (stdout, code) = run_with_stdin(&["--max-conflicts", "1", "--no-model"], &dimacs);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("s UNKNOWN"), "{stdout}");
+}
+
+#[test]
+fn config_presets_are_selectable() {
+    for cfg in ["berkmin", "chaff", "limmat", "less-mobility"] {
+        let (stdout, code) = run_with_stdin(&["--config", cfg], "p cnf 1 1\n1 0\n");
+        assert_eq!(code, 10, "config {cfg}");
+        assert!(stdout.contains("s SATISFIABLE"), "config {cfg}: {stdout}");
+    }
+}
+
+#[test]
+fn malformed_input_exits_2() {
+    let (_, code) = run_with_stdin(&["--quiet"], "p cnf x y\n");
+    assert_eq!(code, 2);
+}

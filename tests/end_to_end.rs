@@ -1,0 +1,125 @@
+//! End-to-end integration: every benchmark family solves to its
+//! construction-guaranteed verdict, models verify, and UNSAT answers carry
+//! machine-checkable proofs.
+
+use berkmin_drat::{check_refutation, DratProof};
+use berkmin_gens::*;
+use berkmin_suite::prelude::*;
+
+/// Small representatives of every generator family.
+fn family_samples() -> Vec<BenchInstance> {
+    vec![
+        hole::pigeonhole(5),
+        hole::pigeonhole_sat(5),
+        parity::parity_learning(12, 20, 1),
+        parity::parity_unsat(10, 1),
+        hanoi::hanoi(3),
+        hanoi::hanoi_unsat(3),
+        blocksworld::blocksworld(4, 5, 1),
+        blocksworld::blocksworld_unsat(5, 6, 1),
+        blocksworld::blocksworld_tight(5, 6, 1),
+        blocksworld::blocksworld_tight_unsat(5, 6, 1),
+        beijing::adder_goal(8, 2, 1),
+        beijing::adder_unsat(8),
+        beijing::chained_adder_goal(6, 1),
+        beijing::factor_semiprime(5, 1),
+        beijing::factor_prime(5, 1),
+        miters::equivalent_miter(80, 30, 1),
+        miters::buggy_miter(80, 30, 1),
+        miters::adder_miter(8, 3),
+        miters::multiplier_miter(4, 1),
+        miters::rect_multiplier_miter(4, 5, 1),
+        pipeline::npipe(2),
+        pipeline::npipe_ooo(2),
+        pipeline::vliw_sat(4, 1),
+        pipeline::sss_check(3, false, 1),
+        pipeline::sss_check(3, true, 1),
+        ksat::planted_ksat(40, 160, 3, 1),
+        ksat::xor_unsat(16, 20, 1),
+        bmc_gen::bmc_counter(3),
+        bmc_gen::bmc_counter_unsat(3),
+        bmc_gen::bmc_counter_enable(3),
+        bmc_gen::bmc_counter_enable_unsat(3),
+        bmc_gen::bmc_fifo(5, 8),
+        bmc_gen::bmc_fifo(8, 5),
+        bmc_gen::bmc_f2clk(3),
+    ]
+}
+
+#[test]
+fn every_family_reaches_its_expected_verdict() {
+    for inst in family_samples() {
+        let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
+        match solver.solve() {
+            SolveStatus::Sat(model) => {
+                assert!(inst.cnf.is_satisfied_by(&model), "{}: bad model", inst.name);
+                assert_ne!(inst.expected, Some(false), "{}: expected UNSAT", inst.name);
+            }
+            SolveStatus::Unsat => {
+                assert_ne!(inst.expected, Some(true), "{}: expected SAT", inst.name);
+            }
+            SolveStatus::Unknown(r) => panic!("{}: aborted without budget: {r}", inst.name),
+        }
+    }
+}
+
+#[test]
+fn unsat_families_produce_checkable_refutations() {
+    for inst in family_samples() {
+        if inst.expected != Some(false) {
+            continue;
+        }
+        let mut proof = DratProof::new();
+        let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
+        assert!(
+            solver.solve_with_proof(&mut proof).is_unsat(),
+            "{}: expected UNSAT",
+            inst.name
+        );
+        assert!(proof.ends_with_empty_clause(), "{}: no empty clause", inst.name);
+        // Zero checked additions is legitimate when the formula is already
+        // contradictory by unit propagation (e.g. tight BMC horizons).
+        check_refutation(&inst.cnf, &proof)
+            .unwrap_or_else(|e| panic!("{}: proof rejected: {e}", inst.name));
+    }
+}
+
+#[test]
+fn ablation_suite_classes_have_consistent_metadata() {
+    use berkmin_gens::suites::{class_suite, ABLATION_ORDER};
+    for class in ABLATION_ORDER {
+        for inst in class_suite(class) {
+            assert!(inst.cnf.num_vars() > 0, "{}: empty instance", inst.name);
+            assert!(inst.cnf.num_clauses() > 0, "{}: no clauses", inst.name);
+            assert!(inst.expected.is_some(), "{}: suites must know verdicts", inst.name);
+        }
+    }
+}
+
+#[test]
+fn sat2002_rows_solve_within_budget() {
+    // Every Table 10 row must be decidable by the default solver within the
+    // table's budget (the other two configurations may abort — that is the
+    // point of the comparison).
+    let budget = Budget::conflicts(1_000_000);
+    for (family, inst) in berkmin_gens::suites::sat2002_suite() {
+        // Skip the three heaviest rows to keep CI time bounded; the table
+        // binary itself covers them.
+        if inst.cnf.num_clauses() > 9_000 {
+            continue;
+        }
+        let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin().with_budget(budget));
+        match solver.solve() {
+            SolveStatus::Sat(m) => {
+                assert!(inst.cnf.is_satisfied_by(&m), "{family}/{}", inst.name);
+                assert_ne!(inst.expected, Some(false), "{family}/{}", inst.name);
+            }
+            SolveStatus::Unsat => {
+                assert_ne!(inst.expected, Some(true), "{family}/{}", inst.name);
+            }
+            SolveStatus::Unknown(r) => {
+                panic!("{family}/{}: default solver aborted: {r}", inst.name)
+            }
+        }
+    }
+}

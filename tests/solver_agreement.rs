@@ -1,0 +1,123 @@
+//! Cross-configuration agreement: every named configuration of the paper
+//! must reach the same verdict on the same formula — they differ only in
+//! heuristics, never in soundness.
+
+use berkmin::{RestartPolicy, SolverConfig, TopClausePolarity};
+use berkmin_gens::*;
+use berkmin_suite::prelude::*;
+
+fn paper_configs() -> Vec<(&'static str, SolverConfig)> {
+    vec![
+        ("berkmin", SolverConfig::berkmin()),
+        ("less_sensitivity", SolverConfig::less_sensitivity()),
+        ("less_mobility", SolverConfig::less_mobility()),
+        ("sat_top", SolverConfig::with_top_polarity(TopClausePolarity::SatTop)),
+        ("unsat_top", SolverConfig::with_top_polarity(TopClausePolarity::UnsatTop)),
+        ("take_0", SolverConfig::with_top_polarity(TopClausePolarity::Take0)),
+        ("take_1", SolverConfig::with_top_polarity(TopClausePolarity::Take1)),
+        ("take_rand", SolverConfig::with_top_polarity(TopClausePolarity::TakeRand)),
+        ("limited_keeping", SolverConfig::limited_keeping()),
+        ("chaff_like", SolverConfig::chaff_like()),
+        ("limmat_like", SolverConfig::limmat_like()),
+    ]
+}
+
+fn check_pool(pool: &[BenchInstance]) {
+    for inst in pool {
+        let mut verdicts: Vec<(&str, bool)> = Vec::new();
+        for (name, cfg) in paper_configs() {
+            let mut solver = Solver::new(&inst.cnf, cfg);
+            match solver.solve() {
+                SolveStatus::Sat(m) => {
+                    assert!(inst.cnf.is_satisfied_by(&m), "{name} on {}", inst.name);
+                    verdicts.push((name, true));
+                }
+                SolveStatus::Unsat => verdicts.push((name, false)),
+                SolveStatus::Unknown(r) => {
+                    panic!("{name} on {}: aborted without budget: {r}", inst.name)
+                }
+            }
+        }
+        let first = verdicts[0].1;
+        for (name, v) in &verdicts {
+            assert_eq!(*v, first, "{name} disagrees on {}", inst.name);
+        }
+        if let Some(expected) = inst.expected {
+            assert_eq!(first, expected, "all solvers wrong on {}?!", inst.name);
+        }
+    }
+}
+
+#[test]
+fn all_configs_agree_on_circuit_instances() {
+    check_pool(&[
+        miters::equivalent_miter(60, 20, 3),
+        miters::buggy_miter(60, 20, 3),
+        miters::multiplier_miter(4, 2),
+        pipeline::sss_check(3, false, 5),
+        pipeline::sss_check(3, true, 5),
+    ]);
+}
+
+#[test]
+fn all_configs_agree_on_combinatorial_instances() {
+    check_pool(&[
+        hole::pigeonhole(5),
+        parity::parity_learning(10, 14, 2),
+        parity::parity_unsat(9, 2),
+        ksat::planted_ksat(30, 126, 3, 2),
+        ksat::xor_unsat(12, 14, 2),
+    ]);
+}
+
+#[test]
+fn all_configs_agree_on_planning_and_bmc_instances() {
+    check_pool(&[
+        hanoi::hanoi(3),
+        hanoi::hanoi_unsat(3),
+        blocksworld::blocksworld(4, 4, 9),
+        bmc_gen::bmc_counter_enable(3),
+        bmc_gen::bmc_counter_enable_unsat(3),
+    ]);
+}
+
+#[test]
+fn restart_policies_never_change_verdicts() {
+    let instances = [hole::pigeonhole(5), parity::parity_learning(10, 14, 7)];
+    for inst in &instances {
+        let mut verdicts = Vec::new();
+        for restart in [
+            RestartPolicy::Never,
+            RestartPolicy::FixedInterval(3),
+            RestartPolicy::FixedInterval(550),
+            RestartPolicy::Luby(2),
+        ] {
+            let mut cfg = SolverConfig::berkmin();
+            cfg.restart = restart;
+            let mut solver = Solver::new(&inst.cnf, cfg);
+            verdicts.push(solver.solve().is_sat());
+        }
+        assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{}", inst.name);
+    }
+}
+
+#[test]
+fn minimization_extension_preserves_verdicts_and_shortens_clauses() {
+    let inst = hole::pigeonhole(6);
+    let mut plain_cfg = SolverConfig::berkmin();
+    plain_cfg.restart = RestartPolicy::Never; // isolate the learning effect
+    let mut min_cfg = plain_cfg.clone();
+    min_cfg.minimize_learnt = true;
+
+    let mut plain = Solver::new(&inst.cnf, plain_cfg);
+    let mut minimized = Solver::new(&inst.cnf, min_cfg);
+    assert!(plain.solve().is_unsat());
+    assert!(minimized.solve().is_unsat());
+    // Minimization must not lengthen the average learnt clause.
+    assert!(
+        minimized.stats().avg_learnt_len() <= plain.stats().avg_learnt_len() + 1e-9,
+        "minimized {:.2} vs plain {:.2}",
+        minimized.stats().avg_learnt_len(),
+        plain.stats().avg_learnt_len()
+    );
+}
