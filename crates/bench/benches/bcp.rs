@@ -14,7 +14,10 @@ use berkmin_cnf::{Cnf, Lit, Var};
 fn implication_chain(n: usize) -> Cnf {
     let mut cnf = Cnf::with_vars(n);
     for i in 0..n - 1 {
-        cnf.add_clause([Lit::neg(Var::new(i as u32)), Lit::pos(Var::new(i as u32 + 1))]);
+        cnf.add_clause([
+            Lit::neg(Var::new(i as u32)),
+            Lit::pos(Var::new(i as u32 + 1)),
+        ]);
     }
     cnf.add_clause([Lit::pos(Var::new(0))]);
     cnf
@@ -26,10 +29,7 @@ fn fanout(n: usize) -> Cnf {
     let mut cnf = Cnf::with_vars(n + 2);
     let root = Var::new(0);
     for i in 1..=n {
-        cnf.add_clause([
-            Lit::neg(root),
-            Lit::pos(Var::new(i as u32)),
-        ]);
+        cnf.add_clause([Lit::neg(root), Lit::pos(Var::new(i as u32))]);
         cnf.add_clause([
             Lit::neg(Var::new(i as u32)),
             Lit::pos(Var::new((i % n + 1) as u32)),

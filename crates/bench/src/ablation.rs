@@ -10,10 +10,7 @@ use crate::{class_budget, run_class, ClassResult, TextTable};
 /// Runs every class under every named configuration and prints the
 /// paper-style table (rows = classes + total, columns = configurations).
 /// Returns the per-class results for further inspection.
-pub fn run_ablation(
-    title: &str,
-    arms: &[(&str, SolverConfig)],
-) -> Vec<(String, Vec<ClassResult>)> {
+pub fn run_ablation(title: &str, arms: &[(&str, SolverConfig)]) -> Vec<(String, Vec<ClassResult>)> {
     let mut headers = vec!["Class of benchmarks"];
     for (name, _) in arms {
         headers.push(name);

@@ -10,8 +10,8 @@ use std::time::Instant;
 
 fn main() {
     let bins = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-        "table9", "table10", "fig1",
+        "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+        "table10", "fig1",
     ];
     let out_dir = PathBuf::from("EXPERIMENTS-results");
     fs::create_dir_all(&out_dir).expect("create results directory");
@@ -26,12 +26,18 @@ fn main() {
             .stderr(Stdio::inherit())
             .output()
             .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(output.status.success(), "{bin} exited with {}", output.status);
+        assert!(
+            output.status.success(),
+            "{bin} exited with {}",
+            output.status
+        );
         let text = String::from_utf8_lossy(&output.stdout);
         print!("{text}");
-        fs::write(out_dir.join(format!("{bin}.txt")), text.as_bytes())
-            .expect("write result file");
-        println!("=== {bin} done in {:.1}s ===\n", started.elapsed().as_secs_f64());
+        fs::write(out_dir.join(format!("{bin}.txt")), text.as_bytes()).expect("write result file");
+        println!(
+            "=== {bin} done in {:.1}s ===\n",
+            started.elapsed().as_secs_f64()
+        );
     }
     println!("all experiments written to {}", out_dir.display());
 }

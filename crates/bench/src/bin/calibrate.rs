@@ -23,7 +23,12 @@ fn main() {
             result.aborted()
         );
         for r in &result.runs {
-            print!(" {}:{:.2}s/{}c", r.name, r.time.as_secs_f64(), r.stats.conflicts);
+            print!(
+                " {}:{:.2}s/{}c",
+                r.name,
+                r.time.as_secs_f64(),
+                r.stats.conflicts
+            );
         }
         println!(" ]");
     }

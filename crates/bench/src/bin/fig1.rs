@@ -96,12 +96,21 @@ fn decision_log(cnf: &berkmin_cnf::Cnf, mut cfg: SolverConfig) -> (Vec<Var>, f64
         SolveStatus::Unsat => "UNSAT",
         SolveStatus::Unknown(_) => "budget",
     };
-    (solver.stats().decision_log.clone(), solver.stats().conflicts as f64, verdict)
+    (
+        solver.stats().decision_log.clone(),
+        solver.stats().conflicts as f64,
+        verdict,
+    )
 }
 
 /// Share of total var_activity mass sitting on cone variables — the
 /// paper's own notion of "taking part in conflict making" (§3).
-fn cone_activity_share(cnf: &berkmin_cnf::Cnf, cone: &HashSet<usize>, control: bool, engage: bool) -> (f64, u64) {
+fn cone_activity_share(
+    cnf: &berkmin_cnf::Cnf,
+    cone: &HashSet<usize>,
+    control: bool,
+    engage: bool,
+) -> (f64, u64) {
     let _ = (control, engage);
     let mut cfg = SolverConfig::berkmin();
     cfg.budget = Budget::conflicts(30_000);
@@ -116,7 +125,11 @@ fn cone_activity_share(cnf: &berkmin_cnf::Cnf, cone: &HashSet<usize>, control: b
             cone_mass += a;
         }
     }
-    let share = if total_mass == 0 { 0.0 } else { cone_mass as f64 / total_mass as f64 };
+    let share = if total_mass == 0 {
+        0.0
+    } else {
+        cone_mass as f64 / total_mass as f64
+    };
     (share, solver.stats().conflicts)
 }
 
@@ -157,7 +170,9 @@ fn main() {
     let rows = series[0].len().max(series[1].len()).min(24);
     for w in 0..rows {
         let fmt = |s: &Vec<f64>| {
-            s.get(w).map(|f| format!("{f:.3}")).unwrap_or_else(|| "-".into())
+            s.get(w)
+                .map(|f| format!("{f:.3}"))
+                .unwrap_or_else(|| "-".into())
         };
         table.add_row([
             format!("{}..{}", w * window, (w + 1) * window),

@@ -21,7 +21,12 @@ fn main() {
     let mut table = TextTable::new(
         "Table 10: SAT-2002 final-stage analogs, three solvers",
         &[
-            "Family", "Instance", "Sat/Unsat", "BerkMin (s)", "Limmat (s)", "zChaff (s)",
+            "Family",
+            "Instance",
+            "Sat/Unsat",
+            "BerkMin (s)",
+            "Limmat (s)",
+            "zChaff (s)",
         ],
     );
     let mut solved = [0usize; 3];

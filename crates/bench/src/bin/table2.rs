@@ -2,9 +2,9 @@
 //!
 //! BerkMin (branch on the most active free variable of the *current top
 //! conflict clause*) vs. `Less_mobility` (most active free variable of the
-//! whole formula, activities computed identically). The paper reports a
-//! >12× total slowdown with aborts on Beijing and Fvp_unsat2.0 — the
-//! single largest contribution among BerkMin's new features.
+//! whole formula, activities computed identically). The paper reports a >12×
+//! total slowdown with aborts on Beijing and Fvp_unsat2.0 — the single
+//! largest contribution among BerkMin's new features.
 
 use berkmin::SolverConfig;
 use berkmin_bench::run_ablation;

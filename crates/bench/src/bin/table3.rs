@@ -58,7 +58,11 @@ fn main() {
             f1,
             f10,
             f100,
-            if f1 >= f10 && f10 >= f100 { "ok" } else { "VIOLATED" }
+            if f1 >= f10 && f10 >= f100 {
+                "ok"
+            } else {
+                "VIOLATED"
+            }
         );
     }
 }

@@ -22,7 +22,12 @@ fn main() {
     ];
     let mut table = TextTable::new(
         "Table 6: Benchmarks on which zChaff's and BerkMin's performances are comparable",
-        &["Class of benchmarks", "Number of instances", "zChaff (s)", "BerkMin (s)"],
+        &[
+            "Class of benchmarks",
+            "Number of instances",
+            "zChaff (s)",
+            "BerkMin (s)",
+        ],
     );
     let chaff = SolverConfig::chaff_like();
     let berkmin = SolverConfig::berkmin();

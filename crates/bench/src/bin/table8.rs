@@ -45,9 +45,15 @@ fn main() {
         };
         let cell = |r: &berkmin_bench::RunResult| {
             if r.verdict == Verdict::Aborted {
-                (format!("{} *", r.stats.decisions), format!(">{:.1} *", r.time.as_secs_f64()))
+                (
+                    format!("{} *", r.stats.decisions),
+                    format!(">{:.1} *", r.time.as_secs_f64()),
+                )
             } else {
-                (r.stats.decisions.to_string(), format!("{:.1}", r.time.as_secs_f64()))
+                (
+                    r.stats.decisions.to_string(),
+                    format!("{:.1}", r.time.as_secs_f64()),
+                )
             }
         };
         let (cd, ct) = cell(&rc);

@@ -103,7 +103,10 @@ impl ClassResult {
 
     /// Number of aborted instances.
     pub fn aborted(&self) -> usize {
-        self.runs.iter().filter(|r| r.verdict == Verdict::Aborted).count()
+        self.runs
+            .iter()
+            .filter(|r| r.verdict == Verdict::Aborted)
+            .count()
     }
 
     /// Total conflicts over all instances (the deterministic cost metric).
@@ -175,7 +178,12 @@ mod tests {
     #[test]
     fn class_aggregation_formats_abort_cells() {
         let instances = vec![hole::pigeonhole(3), hole::pigeonhole(7)];
-        let res = run_class("Hole", &instances, &SolverConfig::berkmin(), Budget::conflicts(1000));
+        let res = run_class(
+            "Hole",
+            &instances,
+            &SolverConfig::berkmin(),
+            Budget::conflicts(1000),
+        );
         assert_eq!(res.aborted(), 1);
         assert!(res.time_cell().starts_with('>'));
         assert!(res.time_cell().ends_with("(1)"));

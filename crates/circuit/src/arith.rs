@@ -223,8 +223,14 @@ pub fn wallace_multiplier(bits: usize) -> Netlist {
 
     // Final addition of the two remaining rows.
     let zero = n.constant(false);
-    let row_a: Bus = columns.iter().map(|c| c.first().copied().unwrap_or(zero)).collect();
-    let row_b: Bus = columns.iter().map(|c| c.get(1).copied().unwrap_or(zero)).collect();
+    let row_a: Bus = columns
+        .iter()
+        .map(|c| c.first().copied().unwrap_or(zero))
+        .collect();
+    let row_b: Bus = columns
+        .iter()
+        .map(|c| c.get(1).copied().unwrap_or(zero))
+        .collect();
     let (sum, _overflow) = ripple_add(&mut n, &row_a, &row_b, zero);
     for s in sum {
         n.set_output(s);
@@ -311,10 +317,10 @@ pub fn counter(bits: usize) -> Netlist {
     let q: Bus = (0..bits).map(|_| n.dff(false)).collect();
     // q[i] toggles when all lower bits are 1.
     let mut all_lower = n.constant(true);
-    for i in 0..bits {
-        let next = n.xor(q[i], all_lower);
-        n.connect_dff(q[i], next);
-        all_lower = n.and(all_lower, q[i]);
+    for &qi in &q {
+        let next = n.xor(qi, all_lower);
+        n.connect_dff(qi, next);
+        all_lower = n.and(all_lower, qi);
     }
     for &bit in &q {
         n.set_output(bit);
@@ -374,7 +380,12 @@ mod tests {
     fn ripple_adder_adds() {
         let bits = 5;
         let n = ripple_carry_adder(bits);
-        for (a, b, c) in [(0u64, 0u64, false), (7, 9, false), (31, 31, true), (20, 11, true)] {
+        for (a, b, c) in [
+            (0u64, 0u64, false),
+            (7, 9, false),
+            (31, 31, true),
+            (20, 11, true),
+        ] {
             let want = a + b + c as u64;
             assert_eq!(add_via_circuit(&n, bits, a, b, c), want, "{a}+{b}+{c}");
         }
@@ -483,8 +494,8 @@ mod tests {
                     words.push(if op & 2 == 2 { u64::MAX } else { 0 }); // op1
                     let out = eval64(&n, &words);
                     let mut r = 0u64;
-                    for i in 0..bits {
-                        if out[i] & 1 == 1 {
+                    for (i, word) in out.iter().take(bits).enumerate() {
+                        if word & 1 == 1 {
                             r |= 1 << i;
                         }
                     }

@@ -183,8 +183,7 @@ mod tests {
             for o in 0..bits {
                 enc.constrain_output_at(t, o, true);
             }
-            let mut solver =
-                berkmin::Solver::new(&enc.cnf, berkmin::SolverConfig::berkmin());
+            let mut solver = berkmin::Solver::new(&enc.cnf, berkmin::SolverConfig::berkmin());
             assert_eq!(solver.solve().is_sat(), expect_sat, "cycle {t}");
         }
     }
@@ -197,7 +196,12 @@ mod tests {
         n.connect_dff(q, nq);
         n.set_output(q);
         // q is 0 at even cycles, 1 at odd cycles.
-        for (t, val, expect_sat) in [(0usize, true, false), (1, true, true), (2, true, false), (3, false, false)] {
+        for (t, val, expect_sat) in [
+            (0usize, true, false),
+            (1, true, true),
+            (2, true, false),
+            (3, false, false),
+        ] {
             let mut enc = unroll(&n, t + 1);
             enc.constrain_output_at(t, 0, val);
             assert_eq!(

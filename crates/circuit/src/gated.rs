@@ -36,7 +36,13 @@ pub struct GatedCone {
 /// The single output is the XOR above, so satisfiability questions about
 /// the output engage the non-cone logic always and the cone logic only
 /// when `control` can be 1.
-pub fn gated_cone(cone_inputs: usize, cone_gates: usize, other_inputs: usize, other_gates: usize, seed: u64) -> GatedCone {
+pub fn gated_cone(
+    cone_inputs: usize,
+    cone_gates: usize,
+    other_inputs: usize,
+    other_gates: usize,
+    seed: u64,
+) -> GatedCone {
     let cone_spec = RandomCircuitSpec {
         inputs: cone_inputs,
         gates: cone_gates,
@@ -105,16 +111,29 @@ mod tests {
 
     #[test]
     fn control_at_one_exposes_the_cone() {
-        // With control = 1 at least one cone input must matter (with
-        // overwhelming probability for a random cone; seed chosen to pass).
+        // With control = 1 at least one cone input must matter, i.e. the
+        // cone function must not collapse to a constant (overwhelmingly
+        // likely for a random 30-gate cone; seed chosen to pass). The five
+        // truth-table word patterns enumerate all 32 cone-input combinations
+        // across simulation lanes, so influence detection is exact.
         let gc = gated_cone(5, 30, 5, 30, 7);
         let n = &gc.netlist;
+        let patterns = [
+            0xAAAA_AAAA_AAAA_AAAAu64,
+            0xCCCC_CCCC_CCCC_CCCC,
+            0xF0F0_F0F0_F0F0_F0F0,
+            0xFF00_FF00_FF00_FF00,
+            0xFFFF_0000_FFFF_0000,
+        ];
         let mut base: Vec<u64> = vec![0; n.num_inputs()];
+        for (&ci, &p) in gc.cone_inputs.iter().zip(&patterns) {
+            base[ci] = p;
+        }
         base[gc.control_input] = u64::MAX;
         let out1 = eval64(n, &base)[0];
         let influential = gc.cone_inputs.iter().any(|&ci| {
             let mut flipped = base.clone();
-            flipped[ci] = u64::MAX;
+            flipped[ci] ^= u64::MAX;
             eval64(n, &flipped)[0] != out1
         });
         assert!(influential, "no cone input influences the output");

@@ -24,7 +24,11 @@ pub fn miter(a: &Netlist, b: &Netlist) -> Netlist {
         "miters are defined for combinational netlists"
     );
     assert_eq!(a.num_inputs(), b.num_inputs(), "input arity mismatch");
-    assert_eq!(a.outputs().len(), b.outputs().len(), "output arity mismatch");
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "output arity mismatch"
+    );
     let mut m = Netlist::new();
     let shared: Vec<NodeId> = m.inputs_n(a.num_inputs());
     let outs_a = m.import(a, &shared);

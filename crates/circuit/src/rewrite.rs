@@ -26,7 +26,10 @@ use crate::netlist::{Gate, Netlist, NodeId};
 ///
 /// Panics if the netlist is sequential.
 pub fn restructure(netlist: &Netlist, seed: u64) -> Netlist {
-    assert!(netlist.is_combinational(), "restructure handles combinational netlists");
+    assert!(
+        netlist.is_combinational(),
+        "restructure handles combinational netlists"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Netlist::new();
     let mut map: Vec<NodeId> = Vec::with_capacity(netlist.num_nodes());
@@ -161,7 +164,12 @@ pub fn inject_fault(netlist: &Netlist, seed: u64) -> Option<(Netlist, NodeId)> {
         .filter(|(_, g)| {
             matches!(
                 g,
-                Gate::And(..) | Gate::Or(..) | Gate::Xor(..) | Gate::Nand(..) | Gate::Nor(..) | Gate::Xnor(..)
+                Gate::And(..)
+                    | Gate::Or(..)
+                    | Gate::Xor(..)
+                    | Gate::Nand(..)
+                    | Gate::Nor(..)
+                    | Gate::Xnor(..)
             )
         })
         .map(|(i, _)| i)
@@ -201,10 +209,7 @@ pub fn inject_fault(netlist: &Netlist, seed: u64) -> Option<(Netlist, NodeId)> {
                 Gate::Mux { sel, lo, hi } => {
                     out.mux(map[sel.index()], map[lo.index()], map[hi.index()])
                 }
-                Gate::Dff { init, .. } => {
-                    let id = out.dff(init);
-                    id
-                }
+                Gate::Dff { init, .. } => out.dff(init),
             }
         };
         map.push(new_id);

@@ -15,9 +15,17 @@ pub fn eval64(netlist: &Netlist, inputs: &[u64]) -> Vec<u64> {
         netlist.is_combinational(),
         "eval64 requires a combinational netlist; use Simulator for sequential ones"
     );
-    assert_eq!(inputs.len(), netlist.num_inputs(), "one word per input required");
+    assert_eq!(
+        inputs.len(),
+        netlist.num_inputs(),
+        "one word per input required"
+    );
     let values = eval_nodes(netlist, inputs, &[]);
-    netlist.outputs().iter().map(|o| values[o.index()]).collect()
+    netlist
+        .outputs()
+        .iter()
+        .map(|o| values[o.index()])
+        .collect()
 }
 
 /// Exhaustively compares two combinational netlists with identical
@@ -29,9 +37,16 @@ pub fn eval64(netlist: &Netlist, inputs: &[u64]) -> Vec<u64> {
 /// (exhaustive check would be infeasible — use a miter and the solver).
 pub fn equivalent_exhaustive(a: &Netlist, b: &Netlist) -> bool {
     assert_eq!(a.num_inputs(), b.num_inputs(), "input arity mismatch");
-    assert_eq!(a.outputs().len(), b.outputs().len(), "output arity mismatch");
+    assert_eq!(
+        a.outputs().len(),
+        b.outputs().len(),
+        "output arity mismatch"
+    );
     let n = a.num_inputs();
-    assert!(n <= 20, "exhaustive equivalence limited to 20 inputs, got {n}");
+    assert!(
+        n <= 20,
+        "exhaustive equivalence limited to 20 inputs, got {n}"
+    );
     let total: u64 = 1 << n;
     let mut base = 0u64;
     while base < total {
@@ -48,14 +63,14 @@ pub fn equivalent_exhaustive(a: &Netlist, b: &Netlist) -> bool {
                 w
             })
             .collect();
-        let mask = if chunk == 64 { u64::MAX } else { (1u64 << chunk) - 1 };
+        let mask = if chunk == 64 {
+            u64::MAX
+        } else {
+            (1u64 << chunk) - 1
+        };
         let oa = eval64(a, &words);
         let ob = eval64(b, &words);
-        if oa
-            .iter()
-            .zip(&ob)
-            .any(|(x, y)| (x ^ y) & mask != 0)
-        {
+        if oa.iter().zip(&ob).any(|(x, y)| (x ^ y) & mask != 0) {
             return false;
         }
         base += chunk;
@@ -301,10 +316,12 @@ mod tests {
         n.set_output(q1);
 
         let mut sim = Simulator::new(&n);
-        let seq: Vec<(u64, u64)> = (0..5).map(|_| {
-            let o = sim.step(&[]);
-            (o[0] & 1, o[1] & 1)
-        }).collect();
+        let seq: Vec<(u64, u64)> = (0..5)
+            .map(|_| {
+                let o = sim.step(&[]);
+                (o[0] & 1, o[1] & 1)
+            })
+            .collect();
         assert_eq!(seq, vec![(0, 0), (1, 0), (0, 1), (1, 1), (0, 0)]);
     }
 

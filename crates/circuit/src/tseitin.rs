@@ -51,8 +51,16 @@ pub fn encode(netlist: &Netlist) -> TseitinEncoding {
         enc.encode_gate(*gate);
     }
     let node_vars = enc.node_vars;
-    let input_vars = netlist.inputs().iter().map(|n| node_vars[n.index()]).collect();
-    let output_vars = netlist.outputs().iter().map(|n| node_vars[n.index()]).collect();
+    let input_vars = netlist
+        .inputs()
+        .iter()
+        .map(|n| node_vars[n.index()])
+        .collect();
+    let output_vars = netlist
+        .outputs()
+        .iter()
+        .map(|n| node_vars[n.index()])
+        .collect();
     TseitinEncoding {
         cnf,
         node_vars,
@@ -110,7 +118,14 @@ impl Encoder<'_> {
     /// Encodes `pos ≡ a∧b` when `invert_inputs` is false (so passing
     /// `(yp,yn)` yields AND, `(yn,yp)` yields NAND), or `neg ≡ ¬a∧¬b` when
     /// true (De Morgan: OR/NOR).
-    fn encode_and(&mut self, pos: Lit, neg: Lit, a: crate::netlist::NodeId, b: crate::netlist::NodeId, invert_inputs: bool) {
+    fn encode_and(
+        &mut self,
+        pos: Lit,
+        neg: Lit,
+        a: crate::netlist::NodeId,
+        b: crate::netlist::NodeId,
+        invert_inputs: bool,
+    ) {
         let (a, b) = (self.var_of(a), self.var_of(b));
         let (ap, an) = if invert_inputs {
             (Lit::neg(a), Lit::pos(a))
@@ -129,7 +144,13 @@ impl Encoder<'_> {
     }
 
     /// Encodes `pos ≡ a ⊕ b` (pass `(yn,yp)` for XNOR).
-    fn encode_xor(&mut self, pos: Lit, neg: Lit, a: crate::netlist::NodeId, b: crate::netlist::NodeId) {
+    fn encode_xor(
+        &mut self,
+        pos: Lit,
+        neg: Lit,
+        a: crate::netlist::NodeId,
+        b: crate::netlist::NodeId,
+    ) {
         let (a, b) = (self.var_of(a), self.var_of(b));
         let (ap, an) = (Lit::pos(a), Lit::neg(a));
         let (bp, bn) = (Lit::pos(b), Lit::neg(b));

@@ -131,7 +131,10 @@ impl Assignment {
     /// Returns the value of `var` ([`LBool::Undef`] if out of range).
     #[inline]
     pub fn value(&self, var: Var) -> LBool {
-        self.values.get(var.index()).copied().unwrap_or(LBool::Undef)
+        self.values
+            .get(var.index())
+            .copied()
+            .unwrap_or(LBool::Undef)
     }
 
     /// Returns the value of a literal under this assignment.

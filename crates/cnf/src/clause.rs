@@ -220,7 +220,9 @@ mod tests {
 
     #[test]
     fn normalized_dedups_and_sorts() {
-        let c = Clause::from_lits([lit(3), lit(1), lit(3)]).normalized().unwrap();
+        let c = Clause::from_lits([lit(3), lit(1), lit(3)])
+            .normalized()
+            .unwrap();
         assert_eq!(c.lits(), &[lit(1), lit(3)]);
     }
 

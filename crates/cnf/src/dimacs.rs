@@ -171,7 +171,9 @@ pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
 /// [`ReadDimacsError::Parse`] on malformed content.
 pub fn read<R: Read>(mut reader: R) -> Result<Cnf, ReadDimacsError> {
     let mut text = String::new();
-    reader.read_to_string(&mut text).map_err(ReadDimacsError::Io)?;
+    reader
+        .read_to_string(&mut text)
+        .map_err(ReadDimacsError::Io)?;
     parse(&text).map_err(ReadDimacsError::Parse)
 }
 
@@ -240,7 +242,10 @@ mod tests {
         let cnf = parse("p cnf 3 2\n1 -2 0\n-1 3 0\n").unwrap();
         assert_eq!(cnf.num_vars(), 3);
         assert_eq!(cnf.num_clauses(), 2);
-        assert_eq!(cnf.clauses()[0].lits(), &[Lit::from_dimacs(1), Lit::from_dimacs(-2)]);
+        assert_eq!(
+            cnf.clauses()[0].lits(),
+            &[Lit::from_dimacs(1), Lit::from_dimacs(-2)]
+        );
     }
 
     #[test]
@@ -260,7 +265,10 @@ mod tests {
     fn comments_and_blank_lines_are_skipped() {
         let cnf = parse("c hello\n\nc world\np cnf 1 1\nc mid\n1 0\n").unwrap();
         assert_eq!(cnf.num_clauses(), 1);
-        assert_eq!(cnf.comments(), &["hello".to_string(), "world".into(), "mid".into()]);
+        assert_eq!(
+            cnf.comments(),
+            &["hello".to_string(), "world".into(), "mid".into()]
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl Solver {
     /// backtrack level, making positions 0 and 1 valid watches.
     pub(crate) fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, usize) {
         let current_level = self.decision_level();
-        debug_assert!(current_level > 0, "conflicts at level 0 terminate the search");
+        debug_assert!(
+            current_level > 0,
+            "conflicts at level 0 terminate the search"
+        );
 
         let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // slot for the UIP
         let mut to_clear: Vec<u32> = Vec::new();
@@ -96,9 +99,8 @@ impl Solver {
 
         // Chaff-like sensitivity: bump only the conflict clause's variables.
         if self.config.sensitivity == Sensitivity::ConflictClauseOnly {
-            for i in 0..learnt.len() {
-                let v = learnt[i].var();
-                self.bump_var(v);
+            for &l in &learnt {
+                self.bump_var(l.var());
             }
         }
 
@@ -206,7 +208,10 @@ mod tests {
         s.cancel_until(bt);
         assert!(s.lit_value(learnt[0]).is_undef());
         s.record_learnt(learnt);
-        assert!(s.propagate().is_none(), "learnt unit must propagate cleanly");
+        assert!(
+            s.propagate().is_none(),
+            "learnt unit must propagate cleanly"
+        );
         // c must now be forced true at level 0.
         assert_eq!(s.lit_value(lit(3)), berkmin_cnf::LBool::True);
     }
@@ -248,7 +253,10 @@ mod tests {
         assert_eq!(before, 0);
         let (learnt, bt) = s.analyze(confl);
         let after: u32 = s.db.iter_live().map(|c| s.db.get(c).activity).sum();
-        assert!(after >= 2, "at least conflicting + one reason clause credited");
+        assert!(
+            after >= 2,
+            "at least conflicting + one reason clause credited"
+        );
         s.cancel_until(bt);
         s.record_learnt(learnt);
     }

@@ -409,7 +409,10 @@ mod tests {
                 old_act_init,
                 ..
             } => {
-                assert_eq!((young_len, young_act, old_len, old_act_init), (43, 7, 9, 60));
+                assert_eq!(
+                    (young_len, young_act, old_len, old_act_init),
+                    (43, 7, 9, 60)
+                );
             }
             _ => unreachable!(),
         }
@@ -425,7 +428,9 @@ mod tests {
 
     #[test]
     fn builder_style_overrides() {
-        let cfg = SolverConfig::berkmin().with_seed(7).with_budget(Budget::conflicts(5));
+        let cfg = SolverConfig::berkmin()
+            .with_seed(7)
+            .with_budget(Budget::conflicts(5));
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.budget.max_conflicts, 5);
     }

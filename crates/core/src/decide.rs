@@ -163,12 +163,11 @@ mod tests {
         s.cancel_until(0);
         // The asserting literal ¬1 was enqueued; clause {-1,2} is satisfied.
         assert!(s.propagate().is_none());
-        s.record_learnt(vec![lit(4), lit(5)]); // top clause; 4 asserted
-        // Unassign everything so both stack clauses are undetermined...
-        // record_learnt asserted lit 4 at level 0; clause {4,5} is satisfied.
-        // So the decision should come from a lower clause if the top one is
-        // satisfied. Here {4,5} (top, satisfied) → skip; {-1,2} (satisfied
-        // by ¬x1) → skip; falls back to most-active free var.
+        // New top clause {4,5}: record_learnt asserts lit 4 at level 0, so
+        // it is satisfied too. The decision should then come from a lower
+        // clause: {4,5} (top, satisfied) → skip; {-1,2} (satisfied by ¬x1)
+        // → skip; falls back to the most-active free variable.
+        s.record_learnt(vec![lit(4), lit(5)]);
         let d = s.decide().expect("free vars remain");
         assert!(s.lit_value(d).is_undef());
         // Both learnt clauses satisfied → fallback path was taken.
@@ -196,7 +195,10 @@ mod tests {
         }
         assert!(s.solve().is_unsat());
         let st = s.stats();
-        assert!(st.decisions_from_top_clause > 0, "stack decisions must occur");
+        assert!(
+            st.decisions_from_top_clause > 0,
+            "stack decisions must occur"
+        );
         let hist_sum: u64 = st.top_distance_hist.iter().sum();
         assert_eq!(hist_sum, st.decisions_from_top_clause);
         assert_eq!(

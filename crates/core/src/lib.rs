@@ -70,8 +70,8 @@ mod solver;
 mod stats;
 
 pub use config::{
-    ActivityIndex, Budget, DbPolicy, DecisionStrategy, FreeVarPolarity, RestartPolicy,
-    Sensitivity, SolverConfig, TopClausePolarity,
+    ActivityIndex, Budget, DbPolicy, DecisionStrategy, FreeVarPolarity, RestartPolicy, Sensitivity,
+    SolverConfig, TopClausePolarity,
 };
 pub use proof::{NoProof, ProofSink};
 pub use solver::{SolveStatus, Solver, StopReason};

@@ -203,7 +203,10 @@ mod tests {
             s.add_clause([lit(1), lit(2 + i)]);
         }
         let v = s.nb_two(lit(1));
-        assert!(v > 5 && v <= 7, "evaluation must stop just past threshold, got {v}");
+        assert!(
+            v > 5 && v <= 7,
+            "evaluation must stop just past threshold, got {v}"
+        );
     }
 
     #[test]

@@ -68,9 +68,10 @@ mod tests {
     fn mut_ref_forwards() {
         let mut c = Counting::default();
         {
+            // Route through the blanket `impl ProofSink for &mut S`.
             let mut sink = &mut c;
-            sink.add_clause(&[Lit::pos(Var::new(0))]);
-            sink.delete_clause(&[]);
+            ProofSink::add_clause(&mut sink, &[Lit::pos(Var::new(0))]);
+            ProofSink::delete_clause(&mut sink, &[]);
         }
         assert_eq!((c.adds, c.dels), (1, 1));
     }

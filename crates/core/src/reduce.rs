@@ -171,9 +171,7 @@ mod tests {
         let mut s = Solver::with_config(cfg);
         s.ensure_vars(n * len + 1);
         for i in 0..n {
-            let lits: Vec<Lit> = (0..len)
-                .map(|j| lit((i * len + j + 1) as i32))
-                .collect();
+            let lits: Vec<Lit> = (0..len).map(|j| lit((i * len + j + 1) as i32)).collect();
             // Bypass record_learnt's asserting-literal machinery: install
             // the clause directly so nothing is enqueued.
             let cref = s.db.add_learnt(lits);

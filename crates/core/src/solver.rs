@@ -206,7 +206,10 @@ impl Solver {
 
     /// Current assignment of `var` (for inspection/debugging).
     pub fn value(&self, var: Var) -> LBool {
-        self.assigns.get(var.index()).copied().unwrap_or(LBool::Undef)
+        self.assigns
+            .get(var.index())
+            .copied()
+            .unwrap_or(LBool::Undef)
     }
 
     /// Current `var_activity` counter of `var` (paper §4) — how much the
@@ -322,7 +325,10 @@ impl Solver {
 
     /// Assigns `l` true with `reason`, pushing it on the trail.
     pub(crate) fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
-        debug_assert!(self.lit_value(l).is_undef(), "enqueue of assigned literal {l:?}");
+        debug_assert!(
+            self.lit_value(l).is_undef(),
+            "enqueue of assigned literal {l:?}"
+        );
         let v = l.var().index();
         self.assigns[v] = LBool::from(l.is_positive());
         self.level[v] = self.decision_level() as u32;
@@ -418,7 +424,10 @@ impl Solver {
                 }
                 let first = self.db.lits(cref)[0];
                 if first != w.blocker && self.lit_value(first) == LBool::True {
-                    ws[i] = Watcher { cref, blocker: first };
+                    ws[i] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
                     i += 1;
                     continue;
                 }
@@ -428,13 +437,19 @@ impl Solver {
                     let lk = self.db.lits(cref)[k];
                     if self.lit_value(lk) != LBool::False {
                         self.db.get_mut(cref).lits.swap(1, k);
-                        self.watches[(!lk).code()].push(Watcher { cref, blocker: first });
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
                         ws.swap_remove(i);
                         continue 'watchers;
                     }
                 }
                 // Clause is unit (or conflicting) under the current trail.
-                ws[i] = Watcher { cref, blocker: first };
+                ws[i] = Watcher {
+                    cref,
+                    blocker: first,
+                };
                 i += 1;
                 if self.lit_value(first) == LBool::False {
                     conflict = Some(cref);
@@ -719,9 +734,7 @@ mod tests {
     #[test]
     fn budget_abort_reports_unknown() {
         // A formula needing work: small pigeonhole, 1-conflict budget.
-        let mut s = Solver::with_config(
-            SolverConfig::berkmin().with_budget(Budget::conflicts(1)),
-        );
+        let mut s = Solver::with_config(SolverConfig::berkmin().with_budget(Budget::conflicts(1)));
         // PHP(2): 3 pigeons, 2 holes.
         let lit = |p: usize, h: usize| Lit::from_dimacs((p * 2 + h + 1) as i32);
         for p in 0..3 {

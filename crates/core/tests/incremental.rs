@@ -107,7 +107,13 @@ fn adding_clause_after_sat_answer_works_without_explicit_reset() {
     // The solver is mid-"tree" (all variables assigned); adding a clause
     // must transparently unwind to level 0.
     let blocked: Vec<Lit> = (1..=2)
-        .map(|i| if model.satisfies(lit(i)) { !lit(i) } else { lit(i) })
+        .map(|i| {
+            if model.satisfies(lit(i)) {
+                !lit(i)
+            } else {
+                lit(i)
+            }
+        })
         .collect();
     s.add_clause(blocked);
     assert!(s.solve().is_sat(), "three assignments satisfy x1∨x2");

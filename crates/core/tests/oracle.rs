@@ -2,9 +2,7 @@
 //! enumeration oracle on thousands of small random formulas, and checks
 //! that all configurations agree with each other on larger ones.
 
-use berkmin::{
-    Budget, RestartPolicy, SolveStatus, Solver, SolverConfig, TopClausePolarity,
-};
+use berkmin::{Budget, RestartPolicy, SolveStatus, Solver, SolverConfig, TopClausePolarity};
 use berkmin_cnf::{Cnf, Lit, Var};
 use proptest::prelude::*;
 
@@ -14,11 +12,26 @@ fn all_configs() -> Vec<(&'static str, SolverConfig)> {
         ("berkmin", SolverConfig::berkmin()),
         ("less_sensitivity", SolverConfig::less_sensitivity()),
         ("less_mobility", SolverConfig::less_mobility()),
-        ("sat_top", SolverConfig::with_top_polarity(TopClausePolarity::SatTop)),
-        ("unsat_top", SolverConfig::with_top_polarity(TopClausePolarity::UnsatTop)),
-        ("take_0", SolverConfig::with_top_polarity(TopClausePolarity::Take0)),
-        ("take_1", SolverConfig::with_top_polarity(TopClausePolarity::Take1)),
-        ("take_rand", SolverConfig::with_top_polarity(TopClausePolarity::TakeRand)),
+        (
+            "sat_top",
+            SolverConfig::with_top_polarity(TopClausePolarity::SatTop),
+        ),
+        (
+            "unsat_top",
+            SolverConfig::with_top_polarity(TopClausePolarity::UnsatTop),
+        ),
+        (
+            "take_0",
+            SolverConfig::with_top_polarity(TopClausePolarity::Take0),
+        ),
+        (
+            "take_1",
+            SolverConfig::with_top_polarity(TopClausePolarity::Take1),
+        ),
+        (
+            "take_rand",
+            SolverConfig::with_top_polarity(TopClausePolarity::TakeRand),
+        ),
         ("limited_keeping", SolverConfig::limited_keeping()),
         ("chaff_like", SolverConfig::chaff_like()),
         ("limmat_like", SolverConfig::limmat_like()),
@@ -161,7 +174,10 @@ fn configs_agree_on_phase_transition_3sat() {
             let mut solver = Solver::new(&cnf, cfg);
             match solver.solve() {
                 SolveStatus::Sat(model) => {
-                    assert!(cnf.is_satisfied_by(&model), "{name}: bad model on #{instance}");
+                    assert!(
+                        cnf.is_satisfied_by(&model),
+                        "{name}: bad model on #{instance}"
+                    );
                     verdicts.push((name, true));
                 }
                 SolveStatus::Unsat => verdicts.push((name, false)),

@@ -175,18 +175,22 @@ impl Propagator {
         let mut sorted = lits.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        match lits.len() {
+        // Watch selection below must see each literal once: a duplicated
+        // literal (legal in DIMACS, and produced by some generators) would
+        // otherwise occupy both watch slots, leaving the rest of the clause
+        // unwatched and propagation incomplete.
+        match sorted.len() {
             0 => {
                 self.contradiction = true;
                 return;
             }
             1 => {
-                if !self.enqueue(lits[0]) {
+                if !self.enqueue(sorted[0]) {
                     self.contradiction = true;
                 }
                 // Units live on the trail; no watch entry needed, but we
                 // still register the clause so deletions can match it.
-                self.clauses.push(lits.to_vec());
+                self.clauses.push(sorted.clone());
                 self.alive.push(true);
                 self.sorted.push(sorted);
                 return;
@@ -196,7 +200,7 @@ impl Propagator {
         let idx = self.clauses.len();
         // Prefer unassigned or true literals as watches so the invariant
         // holds under the current persistent trail.
-        let mut ls = lits.to_vec();
+        let mut ls = sorted.clone();
         ls.sort_by_key(|&l| match self.value(l) {
             LBool::True => 0,
             LBool::Undef => 1,
@@ -208,10 +212,14 @@ impl Propagator {
         // under the trail; let propagation discover it by re-enqueueing the
         // watch trigger.
         if self.value(ls[1]) == LBool::False {
-            if self.value(ls[0]) == LBool::False {
-                self.contradiction = true;
-            } else if self.value(ls[0]) == LBool::Undef && !self.enqueue(ls[0]) {
-                self.contradiction = true;
+            match self.value(ls[0]) {
+                LBool::False => self.contradiction = true,
+                LBool::Undef => {
+                    if !self.enqueue(ls[0]) {
+                        self.contradiction = true;
+                    }
+                }
+                LBool::True => {}
             }
         }
         self.clauses.push(ls);
@@ -374,7 +382,10 @@ mod tests {
         assert!(check_refutation(&f, &p).is_ok());
         // ...but a satisfiable formula with no derivation must fail.
         let sat = cnf(&[&[1, 2]]);
-        assert_eq!(check_refutation(&sat, &p).unwrap_err(), CheckError::NoEmptyClause);
+        assert_eq!(
+            check_refutation(&sat, &p).unwrap_err(),
+            CheckError::NoEmptyClause
+        );
     }
 
     #[test]
@@ -410,6 +421,32 @@ mod tests {
         bad.add_clause(&[lit(1)]);
         let err = check_refutation(&f, &bad).unwrap_err();
         assert!(matches!(err, CheckError::NotRup { step: 1, .. }));
+    }
+
+    #[test]
+    fn duplicate_literals_do_not_blind_the_propagator() {
+        // A clause with a repeated literal (legal DIMACS, emitted by some
+        // circuit generators) must not occupy both watch slots with the
+        // same literal: (b∨b∨¬a) has to wake when a is assigned, or the
+        // propagator silently loses the a→b implication. The rest of the
+        // formula makes ¬b non-derivable by UP (a case-split pair), so a
+        // blind propagator cannot recover via back-propagation and wrongly
+        // rejects the final — perfectly valid — RUP addition.
+        let f = cnf(&[
+            &[2, 2, -1],   // a → b        (duplicated literal)
+            &[3],          // s
+            &[-4, -2, -3], // b ∧ s → ¬t
+            &[4, 2, -3],   // ¬b ∧ s → t   (case-split partner: blocks ¬b)
+            &[5, 4, -3],   // ¬t ∧ s → u
+            &[-5, -2, 6],  // u ∧ b → g
+        ]);
+        let mut p = DratProof::new();
+        p.add_clause(&[lit(6), lit(-1)]); // a → g: RUP only via the dup clause
+                                          // Not a refutation (f is satisfiable), but the step must verify.
+        assert_eq!(
+            check_refutation(&f, &p).unwrap_err(),
+            CheckError::NoEmptyClause
+        );
     }
 
     #[test]

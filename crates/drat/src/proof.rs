@@ -63,12 +63,18 @@ impl DratProof {
 
     /// Number of clause additions.
     pub fn num_additions(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s, Step::Add(_))).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Add(_)))
+            .count()
     }
 
     /// Number of deletions.
     pub fn num_deletions(&self) -> usize {
-        self.steps.iter().filter(|s| matches!(s, Step::Delete(_))).count()
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Delete(_)))
+            .count()
     }
 
     /// `true` if some addition is the empty clause (an UNSAT run's final
@@ -205,7 +211,10 @@ pub struct TextDratWriter<W: Write> {
 impl<W: Write> TextDratWriter<W> {
     /// Wraps a writer.
     pub fn new(writer: W) -> Self {
-        TextDratWriter { writer, error: None }
+        TextDratWriter {
+            writer,
+            error: None,
+        }
     }
 
     /// Finishes writing and returns the writer, or the first I/O error

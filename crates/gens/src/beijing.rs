@@ -23,7 +23,9 @@ pub fn adder_goal(bits: usize, rounds: usize, seed: u64) -> BenchInstance {
     assert!(bits > 0 && rounds > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cnf = berkmin_cnf::Cnf::new();
-    cnf.add_comment(format!("beijing-style adder justification: {bits} bits × {rounds} (SAT)"));
+    cnf.add_comment(format!(
+        "beijing-style adder justification: {bits} bits × {rounds} (SAT)"
+    ));
     for _ in 0..rounds {
         let adder = arith::ripple_carry_adder(bits);
         let mut enc = encode(&adder);
@@ -152,7 +154,7 @@ pub fn factor_prime(bits: usize, seed: u64) -> BenchInstance {
     // Deterministically pick a prime in [2^bits, 2^(2·bits)).
     let lo = 1u64 << bits;
     let hi = (1u64 << (2 * bits)) - 1;
-    let mut candidate = lo + (seed % (hi - lo)) | 1;
+    let mut candidate = (lo + (seed % (hi - lo))) | 1;
     while !is_prime(candidate) {
         candidate += 2;
         if candidate > hi {

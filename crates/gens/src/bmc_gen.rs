@@ -38,10 +38,10 @@ fn enabled_counter(bits: usize) -> Netlist {
     let en = n.input();
     let q: Vec<_> = (0..bits).map(|_| n.dff(false)).collect();
     let mut all_lower = en; // carry chain gated by enable
-    for i in 0..bits {
-        let next = n.xor(q[i], all_lower);
-        n.connect_dff(q[i], next);
-        all_lower = n.and(all_lower, q[i]);
+    for &qi in &q {
+        let next = n.xor(qi, all_lower);
+        n.connect_dff(qi, next);
+        all_lower = n.and(all_lower, qi);
     }
     for &bit in &q {
         n.set_output(bit);

@@ -22,7 +22,9 @@ pub fn pigeonhole(holes: usize) -> BenchInstance {
     let pigeons = holes + 1;
     let var = |p: usize, h: usize| Var::new((p * holes + h) as u32);
     let mut cnf = Cnf::with_vars(pigeons * holes);
-    cnf.add_comment(format!("pigeonhole: {pigeons} pigeons, {holes} holes (UNSAT)"));
+    cnf.add_comment(format!(
+        "pigeonhole: {pigeons} pigeons, {holes} holes (UNSAT)"
+    ));
     for p in 0..pigeons {
         cnf.add_clause((0..holes).map(|h| Lit::pos(var(p, h))));
     }

@@ -35,9 +35,9 @@
 #![warn(missing_docs)]
 
 pub mod beijing;
-pub mod extra;
 pub mod blocksworld;
 pub mod bmc_gen;
+pub mod extra;
 pub mod hanoi;
 pub mod hole;
 mod instance;

@@ -119,11 +119,7 @@ pub fn rect_multiplier_miter(a_bits: usize, b_bits: usize, seed: u64) -> BenchIn
 pub fn wallace_vs_array_miter(bits: usize) -> BenchInstance {
     let a = arith::array_multiplier(bits);
     let w = arith::wallace_multiplier(bits);
-    BenchInstance::new(
-        format!("wallace{bits}"),
-        miter_cnf(&a, &w),
-        Some(false),
-    )
+    BenchInstance::new(format!("wallace{bits}"), miter_cnf(&a, &w), Some(false))
 }
 
 /// Architecture miter: ripple-carry vs. Kogge–Stone adder (linear vs.
@@ -131,11 +127,7 @@ pub fn wallace_vs_array_miter(bits: usize) -> BenchInstance {
 pub fn adder_arch_miter(bits: usize) -> BenchInstance {
     let r = arith::ripple_carry_adder(bits);
     let ks = arith::kogge_stone_adder(bits);
-    BenchInstance::new(
-        format!("ksmiter{bits}"),
-        miter_cnf(&r, &ks),
-        Some(false),
-    )
+    BenchInstance::new(format!("ksmiter{bits}"), miter_cnf(&r, &ks), Some(false))
 }
 
 #[cfg(test)]
@@ -158,7 +150,9 @@ mod tests {
             let inst = buggy_miter(60, 20, seed);
             let mut s = Solver::new(&inst.cnf, SolverConfig::berkmin());
             let status = s.solve();
-            let model = status.model().unwrap_or_else(|| panic!("{} must be SAT", inst.name));
+            let model = status
+                .model()
+                .unwrap_or_else(|| panic!("{} must be SAT", inst.name));
             assert!(inst.cnf.is_satisfied_by(model));
         }
     }

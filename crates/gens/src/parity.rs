@@ -68,7 +68,9 @@ pub fn parity_learning(bits: usize, samples: usize, seed: u64) -> BenchInstance 
     let mut rng = StdRng::seed_from_u64(seed);
     let secret: Vec<bool> = (0..bits).map(|_| rng.gen()).collect();
     let mut cnf = Cnf::with_vars(bits);
-    cnf.add_comment(format!("parity learning: {bits} bits, {samples} samples (SAT)"));
+    cnf.add_comment(format!(
+        "parity learning: {bits} bits, {samples} samples (SAT)"
+    ));
     for _ in 0..samples {
         // Sample subsets of average size bits/2, at least 2 variables.
         let mut subset: Vec<usize> = (0..bits).filter(|_| rng.gen()).collect();
@@ -79,7 +81,10 @@ pub fn parity_learning(bits: usize, samples: usize, seed: u64) -> BenchInstance 
             }
         }
         let y = subset.iter().fold(false, |acc, &i| acc ^ secret[i]);
-        let lits: Vec<Lit> = subset.iter().map(|&i| Lit::pos(Var::new(i as u32))).collect();
+        let lits: Vec<Lit> = subset
+            .iter()
+            .map(|&i| Lit::pos(Var::new(i as u32)))
+            .collect();
         xor_constraint(&mut cnf, &lits, y);
     }
     BenchInstance::new(format!("par{bits}_{seed}"), cnf, Some(true))

@@ -45,7 +45,11 @@ pub fn npipe(k: usize) -> BenchInstance {
     for round in 0..k.min(3) {
         impl_ = restructure(&impl_, 0xF00D + round as u64);
     }
-    BenchInstance::new(format!("{k}pipe"), miter_cnf(&reference, &impl_), Some(false))
+    BenchInstance::new(
+        format!("{k}pipe"),
+        miter_cnf(&reference, &impl_),
+        Some(false),
+    )
 }
 
 /// An out-of-order flavored variant (`6pipe_6_ooo` analog): the datapath

@@ -110,7 +110,11 @@ pub fn class_suite(class: PaperClass) -> Vec<BenchInstance> {
             .map(|seed| pipeline::sss_check(6 + seed as usize % 3, true, 20 + seed))
             .collect(),
         PaperClass::FvpUnsat10 => {
-            vec![pipeline::npipe(3), pipeline::npipe_ooo(3), pipeline::npipe(4)]
+            vec![
+                pipeline::npipe(3),
+                pipeline::npipe_ooo(3),
+                pipeline::npipe(4),
+            ]
         }
         PaperClass::VliwSat10 => {
             let mut v: Vec<BenchInstance> =
@@ -192,8 +196,14 @@ mod tests {
     #[test]
     fn expected_verdicts_cover_both_polarities() {
         let suite = sat2002_suite();
-        let sat = suite.iter().filter(|(_, i)| i.expected == Some(true)).count();
-        let unsat = suite.iter().filter(|(_, i)| i.expected == Some(false)).count();
+        let sat = suite
+            .iter()
+            .filter(|(_, i)| i.expected == Some(true))
+            .count();
+        let unsat = suite
+            .iter()
+            .filter(|(_, i)| i.expected == Some(false))
+            .count();
         assert!(sat >= 5, "need satisfiable rows, got {sat}");
         assert!(unsat >= 8, "need unsatisfiable rows, got {unsat}");
     }

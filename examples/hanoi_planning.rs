@@ -24,9 +24,7 @@ fn main() {
     // index arithmetic we simulate the plan from the state variables.
     println!("plan (decoded from the state trajectory):");
     let mut pegs: Vec<Vec<usize>> = vec![(0..disks).rev().collect(), vec![], vec![]];
-    let on = |d: usize, p: usize, t: usize| -> Var {
-        Var::new(((t * disks + d) * 3 + p) as u32)
-    };
+    let on = |d: usize, p: usize, t: usize| -> Var { Var::new(((t * disks + d) * 3 + p) as u32) };
     for t in 0..steps {
         // Find the disk whose peg changed between t and t+1.
         'disks: for d in 0..disks {

@@ -30,7 +30,11 @@ fn main() {
             assert!(cnf.is_satisfied_by(&model));
             println!("satisfiable, model: {model}");
             for (name, var) in [("a", a), ("b", b), ("c", c)] {
-                let slot = if model.value(var) == LBool::True { "early" } else { "late" };
+                let slot = if model.value(var) == LBool::True {
+                    "early"
+                } else {
+                    "late"
+                };
                 println!("  task {name}: {slot}");
             }
         }

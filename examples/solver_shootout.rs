@@ -24,7 +24,10 @@ fn main() {
     ];
     let budget = Budget::conflicts(200_000);
 
-    println!("{:<16} {:>10} {:>10} {:>12} {:>9}", "solver", "solved", "aborted", "conflicts", "time");
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>9}",
+        "solver", "solved", "aborted", "conflicts", "time"
+    );
     for (name, cfg) in solvers {
         let mut solved = 0;
         let mut aborted = 0;

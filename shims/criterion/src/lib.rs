@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal wall-clock benchmark harness implementing the `criterion 0.5`
+//! API surface the bench targets use: [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! It reports mean / min / max wall-clock per iteration on stdout. There is
+//! no statistical analysis, outlier rejection, or HTML report — the point
+//! is that `cargo bench` compiles, runs, and prints comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque hint mirroring `criterion::BatchSize`; the shim times each batch
+/// individually regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine input is small; many iterations per batch in real criterion.
+    SmallInput,
+    /// Routine input is large.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Prevent the optimizer from discarding a value (mirror of
+/// `criterion::black_box`; uses a volatile-free best-effort fence).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    samples: u64,
+    /// Mean/min/max per-iteration time of the last run, filled by `iter*`.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut total = Duration::ZERO;
+        let (mut min, mut max) = (Duration::MAX, Duration::ZERO);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        self.result = Some((total / self.samples as u32, min, max));
+    }
+
+    /// Time `routine` on fresh inputs built by `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let (mut min, mut max) = (Duration::MAX, Duration::ZERO);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        self.result = Some((total / self.samples as u32, min, max));
+    }
+
+    /// Like `iter_batched`, with the input passed by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(&mut setup, |mut input| routine(&mut input), _size);
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Override measurement time; accepted and ignored by the shim (sample
+    /// count alone controls duration).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((mean, min, max)) => println!(
+                "{}/{:<28} mean {:>12.3?}  min {:>12.3?}  max {:>12.3?}  ({} samples)",
+                self.name, id, mean, min, max, self.samples
+            ),
+            None => println!("{}/{:<28} (no measurement taken)", self.name, id),
+        }
+        self
+    }
+
+    /// End the group (printing is already done per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver (mirror of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Begin a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            samples: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions under one group name (mirror of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups (mirror of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("iter", |b| b.iter(|| std::hint::black_box(2 + 2)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| {
+                    runs += 1;
+                    v.iter().sum::<u64>()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

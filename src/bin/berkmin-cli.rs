@@ -104,10 +104,12 @@ fn read_input(opts: &Options) -> Cnf {
         }),
         None => {
             let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).unwrap_or_else(|e| {
-                eprintln!("cannot read stdin: {e}");
-                std::process::exit(2);
-            });
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot read stdin: {e}");
+                    std::process::exit(2);
+                });
             buf
         }
     };

@@ -1,0 +1,53 @@
+//! DRAT pipeline end-to-end: solve a small UNSAT instance with proof
+//! logging on, and validate the refutation with the independent RUP
+//! checker — both the in-memory proof and its textual DRAT round-trip.
+
+use berkmin_drat::{check_refutation, DratProof, TextDratWriter};
+use berkmin_gens::hole;
+use berkmin_suite::prelude::*;
+
+#[test]
+fn hole5_refutation_is_machine_checkable() {
+    let inst = hole::pigeonhole(5); // PHP(6,5): UNSAT by construction (§9)
+    assert_eq!(inst.expected, Some(false));
+
+    let mut proof = DratProof::new();
+    let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
+    assert!(solver.solve_with_proof(&mut proof).is_unsat());
+    assert!(proof.ends_with_empty_clause());
+
+    let report = check_refutation(&inst.cnf, &proof).expect("refutation must check");
+    assert!(
+        report.additions_checked > 0,
+        "pigeonhole needs real learnt clauses, not a propagation-only refutation"
+    );
+}
+
+#[test]
+fn streamed_text_proof_checks_after_reparsing() {
+    // The same run, but streamed as textual DRAT and re-parsed — the
+    // on-disk format must carry everything the checker needs.
+    let inst = hole::pigeonhole(5);
+    let mut sink = TextDratWriter::new(Vec::new());
+    let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
+    assert!(solver.solve_with_proof(&mut sink).is_unsat());
+
+    let bytes = sink.into_inner().expect("in-memory writer cannot fail");
+    let text = String::from_utf8(bytes).expect("DRAT text is ASCII");
+    let proof = DratProof::parse(&text).expect("emitted DRAT must re-parse");
+    assert!(proof.ends_with_empty_clause());
+    check_refutation(&inst.cnf, &proof).expect("re-parsed refutation must check");
+}
+
+#[test]
+fn budget_aborted_runs_leave_no_empty_clause_in_the_proof() {
+    // An Unknown verdict must not smuggle a refutation into the sink.
+    let inst = hole::pigeonhole(7); // hard enough to exhaust a tiny budget
+    let mut proof = DratProof::new();
+    let cfg = SolverConfig::berkmin().with_budget(Budget::conflicts(5));
+    let mut solver = Solver::new(&inst.cnf, cfg);
+    match solver.solve_with_proof(&mut proof) {
+        SolveStatus::Unknown(_) => assert!(!proof.ends_with_empty_clause()),
+        other => panic!("expected a budget abort, got {other:?}"),
+    }
+}

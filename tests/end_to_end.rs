@@ -76,7 +76,11 @@ fn unsat_families_produce_checkable_refutations() {
             "{}: expected UNSAT",
             inst.name
         );
-        assert!(proof.ends_with_empty_clause(), "{}: no empty clause", inst.name);
+        assert!(
+            proof.ends_with_empty_clause(),
+            "{}: no empty clause",
+            inst.name
+        );
         // Zero checked additions is legitimate when the formula is already
         // contradictory by unit propagation (e.g. tight BMC horizons).
         check_refutation(&inst.cnf, &proof)
@@ -91,7 +95,11 @@ fn ablation_suite_classes_have_consistent_metadata() {
         for inst in class_suite(class) {
             assert!(inst.cnf.num_vars() > 0, "{}: empty instance", inst.name);
             assert!(inst.cnf.num_clauses() > 0, "{}: no clauses", inst.name);
-            assert!(inst.expected.is_some(), "{}: suites must know verdicts", inst.name);
+            assert!(
+                inst.expected.is_some(),
+                "{}: suites must know verdicts",
+                inst.name
+            );
         }
     }
 }

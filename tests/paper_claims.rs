@@ -20,14 +20,21 @@ fn skin_effect_young_clauses_dominate() {
     assert!(solver.solve().is_unsat());
     let stats = solver.stats();
     let near: u64 = (0..=10).map(|r| stats.f(r)).sum();
-    let far: u64 = (100..stats.top_distance_hist.len()).map(|r| stats.f(r)).sum();
+    let far: u64 = (100..stats.top_distance_hist.len())
+        .map(|r| stats.f(r))
+        .sum();
     assert!(
         near > far,
         "decisions at distance ≤10 ({near}) should dominate distance ≥100 ({far})"
     );
     // f(1) is the peak region; f(0) is small (top clause is consumed by BCP
     // immediately after being learnt, §6).
-    assert!(stats.f(1) > stats.f(0), "f(1)={} f(0)={}", stats.f(1), stats.f(0));
+    assert!(
+        stats.f(1) > stats.f(0),
+        "f(1)={} f(0)={}",
+        stats.f(1),
+        stats.f(0)
+    );
 }
 
 #[test]

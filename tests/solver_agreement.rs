@@ -11,11 +11,26 @@ fn paper_configs() -> Vec<(&'static str, SolverConfig)> {
         ("berkmin", SolverConfig::berkmin()),
         ("less_sensitivity", SolverConfig::less_sensitivity()),
         ("less_mobility", SolverConfig::less_mobility()),
-        ("sat_top", SolverConfig::with_top_polarity(TopClausePolarity::SatTop)),
-        ("unsat_top", SolverConfig::with_top_polarity(TopClausePolarity::UnsatTop)),
-        ("take_0", SolverConfig::with_top_polarity(TopClausePolarity::Take0)),
-        ("take_1", SolverConfig::with_top_polarity(TopClausePolarity::Take1)),
-        ("take_rand", SolverConfig::with_top_polarity(TopClausePolarity::TakeRand)),
+        (
+            "sat_top",
+            SolverConfig::with_top_polarity(TopClausePolarity::SatTop),
+        ),
+        (
+            "unsat_top",
+            SolverConfig::with_top_polarity(TopClausePolarity::UnsatTop),
+        ),
+        (
+            "take_0",
+            SolverConfig::with_top_polarity(TopClausePolarity::Take0),
+        ),
+        (
+            "take_1",
+            SolverConfig::with_top_polarity(TopClausePolarity::Take1),
+        ),
+        (
+            "take_rand",
+            SolverConfig::with_top_polarity(TopClausePolarity::TakeRand),
+        ),
         ("limited_keeping", SolverConfig::limited_keeping()),
         ("chaff_like", SolverConfig::chaff_like()),
         ("limmat_like", SolverConfig::limmat_like()),
@@ -79,6 +94,53 @@ fn all_configs_agree_on_planning_and_bmc_instances() {
         bmc_gen::bmc_counter_enable(3),
         bmc_gen::bmc_counter_enable_unsat(3),
     ]);
+}
+
+#[test]
+fn berkmin_and_chaff_agree_on_fifty_random_3sat_instances() {
+    // Smoke sweep: 50 uniform-random 3-SAT instances straddling the phase
+    // transition (m/n from ~3.5 to ~5.0, so both verdicts occur). The
+    // BerkMin and Chaff-like configurations must agree on every one, and
+    // every SAT model must actually satisfy its formula.
+    let (mut sat_seen, mut unsat_seen) = (0u32, 0u32);
+    for seed in 0..50u64 {
+        let n = 24;
+        let m = 84 + (seed as usize % 5) * 9; // 84..=120 clauses
+        let inst = ksat::random_ksat(n, m, 3, seed);
+        let verdicts: Vec<bool> = [SolverConfig::berkmin(), SolverConfig::chaff_like()]
+            .into_iter()
+            .map(|cfg| {
+                let mut solver = Solver::new(&inst.cnf, cfg);
+                match solver.solve() {
+                    SolveStatus::Sat(model) => {
+                        assert!(
+                            inst.cnf.is_satisfied_by(&model),
+                            "bad model on {} (seed {seed})",
+                            inst.name
+                        );
+                        true
+                    }
+                    SolveStatus::Unsat => false,
+                    SolveStatus::Unknown(r) => {
+                        panic!("{}: aborted without budget: {r}", inst.name)
+                    }
+                }
+            })
+            .collect();
+        assert_eq!(
+            verdicts[0], verdicts[1],
+            "BerkMin and Chaff-like disagree on {} (seed {seed})",
+            inst.name
+        );
+        if verdicts[0] {
+            sat_seen += 1;
+        } else {
+            unsat_seen += 1;
+        }
+    }
+    // The sweep only exercises agreement if both verdicts actually occur.
+    assert!(sat_seen > 0, "sweep never produced a SAT instance");
+    assert!(unsat_seen > 0, "sweep never produced an UNSAT instance");
 }
 
 #[test]
