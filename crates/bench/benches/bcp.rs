@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use berkmin::{Solver, SolverConfig};
+use berkmin::{Budget, Solver, SolverConfig};
 use berkmin_cnf::{Cnf, Lit, Var};
+use berkmin_gens::{hole, ksat};
 
 /// A long implication chain: x0 → x1 → … → xn, with x0 forced. Solved by
 /// pure unit propagation. The unit comes *last* so the chain is still
@@ -69,5 +70,44 @@ fn bench_bcp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bcp);
+/// Full search on propagation-heavy paper workloads: unlike the synthetic
+/// chains above these run real conflicts, learning and §8 reductions, so
+/// the clause-arena layout, the inline binary watchers *and* the compacting
+/// GC are all on the clock.
+fn bench_search_bcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcp_search");
+    group.sample_size(10);
+
+    let php = hole::pigeonhole(6); // PHP(7,6): UNSAT, BCP-dominated
+    group.bench_function("hole_6", |b| {
+        b.iter_batched(
+            || Solver::new(&php.cnf, SolverConfig::berkmin()),
+            |mut s| {
+                assert!(s.solve().is_unsat());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Random 3-SAT near the phase transition; the conflict budget makes the
+    // workload deterministic and machine-independent.
+    let r3 = ksat::random_ksat(250, 1050, 3, 0xB16B_0055);
+    group.bench_function("random3sat_250", |b| {
+        b.iter_batched(
+            || {
+                Solver::new(
+                    &r3.cnf,
+                    SolverConfig::berkmin().with_budget(Budget::conflicts(20_000)),
+                )
+            },
+            |mut s| {
+                let _ = s.solve();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bcp, bench_search_bcp);
 criterion_main!(benches);

@@ -38,11 +38,8 @@ impl Solver {
         loop {
             // --- responsible-clause bookkeeping (paper §4, §8) ---
             self.stats.responsible_clauses += 1;
-            {
-                let c = self.db.get_mut(cref);
-                // clause_activity(C): conflicts C has been responsible for.
-                c.activity = c.activity.saturating_add(1);
-            }
+            // clause_activity(C): conflicts C has been responsible for.
+            self.db.bump_activity(cref);
             if self.config.sensitivity == Sensitivity::Berkmin {
                 // Bump once per literal occurrence in the responsible clause,
                 // including the resolved-on variable (§4's worked example
@@ -55,12 +52,17 @@ impl Solver {
             }
 
             // --- resolve: merge this clause's literals ---
-            // For a reason clause, lits[0] is the implied literal `p` itself
-            // and is skipped; the conflicting clause contributes all lits.
-            let start = usize::from(p.is_some());
+            // For a reason clause, the implied literal `p` itself is being
+            // resolved on and is skipped. Binary clauses propagate straight
+            // from the watch lists without reordering the arena record, so
+            // `p` is not guaranteed to sit at position 0 — match it by
+            // value. The conflicting clause (`p == None`) contributes all.
             let n = self.db.lits(cref).len();
-            for k in start..n {
+            for k in 0..n {
                 let q = self.db.lits(cref)[k];
+                if p == Some(q) {
+                    continue;
+                }
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -249,10 +251,10 @@ mod tests {
         assert!(s.propagate().is_none());
         s.assume(lit(-1));
         let confl = s.propagate().unwrap();
-        let before: u32 = s.db.iter_live().map(|c| s.db.get(c).activity).sum();
+        let before: u32 = s.db.iter_live().map(|c| s.db.activity(c)).sum();
         assert_eq!(before, 0);
         let (learnt, bt) = s.analyze(confl);
-        let after: u32 = s.db.iter_live().map(|c| s.db.get(c).activity).sum();
+        let after: u32 = s.db.iter_live().map(|c| s.db.activity(c)).sum();
         assert!(
             after >= 2,
             "at least conflicting + one reason clause credited"

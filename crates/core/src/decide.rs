@@ -36,9 +36,9 @@ impl Solver {
             let cref = self.db.stack[idx];
             let mut satisfied = false;
             let mut clause_best: Option<(Lit, u64)> = None;
-            let n = self.db.lits(cref).len();
-            for k in 0..n {
-                let l = self.db.lits(cref)[k];
+            // One contiguous arena slice per clause — the scan over the
+            // stack is a linear walk, not a pointer chase.
+            for &l in self.db.lits(cref) {
                 match self.lit_value(l) {
                     LBool::True => {
                         satisfied = true;

@@ -61,6 +61,8 @@ mod analyze;
 mod clause_db;
 mod config;
 mod decide;
+#[cfg(test)]
+mod gc_props;
 mod heap;
 mod polarity;
 mod proof;

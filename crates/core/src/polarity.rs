@@ -77,11 +77,17 @@ impl Solver {
     /// matching the paper's "rough estimate" framing.
     pub(crate) fn nb_two(&self, l: Lit) -> u32 {
         let mut total = 0u32;
-        for &other in &self.bin_occ[l.code()] {
+        // The live binary clauses containing `l` are exactly the inline
+        // watch entries visited when `¬l` becomes true, and the clauses
+        // containing `¬v` are the entries visited when `v` becomes true —
+        // the occurrence lists the paper's `nb_two` wants fall out of the
+        // binary watch scheme for free.
+        for w in &self.bin_watches[(!l).code()] {
+            let other = w.other;
             if self.lit_value(other) == LBool::True {
                 continue;
             }
-            total += 1 + self.bin_occ[(!other).code()].len() as u32;
+            total += 1 + self.bin_watches[other.code()].len() as u32;
             if total > self.config.nb_two_threshold {
                 break;
             }

@@ -8,6 +8,12 @@
 //! topmost clause is never removed — the paper's anti-looping guard.
 //! Clauses satisfied by retained (level-0) assignments are removed outright,
 //! and literals false at level 0 are stripped.
+//!
+//! Removal is a two-step affair on the flat clause arena: the policy *marks*
+//! records as garbage, and the compacting collector
+//! ([`Solver::collect_garbage`]) — run once at the end of every reduction —
+//! reclaims the space, emits the DRAT `d` lines, and rewrites every live
+//! [`ClauseRef`](crate::clause_db::ClauseRef).
 
 use berkmin_cnf::{LBool, Lit};
 
@@ -23,19 +29,14 @@ impl Solver {
         debug_assert_eq!(self.decision_level(), 0);
         self.stats.reductions += 1;
 
-        // Level-0 implications become facts; their reason clauses may be
-        // deleted below, so drop the references first (conflict analysis
-        // never consults level-0 reasons).
-        for i in 0..self.trail.len() {
-            let v = self.trail[i].var();
-            self.reason[v.index()] = None;
-        }
-
         self.simplify_by_level0(proof);
         self.db.compact_stack();
-        self.apply_policy(proof);
-        self.db.compact_stack();
-        self.rebuild_watches();
+        self.apply_policy();
+        // Reclaim every record marked above: the GC emits their DRAT `d`
+        // lines, compacts the arena, and rewrites stack/reason/watch
+        // references (reasons of level-0 facts whose clause died are
+        // dropped — analysis never consults level-0 reasons).
+        self.collect_garbage(proof);
     }
 
     /// Removes clauses satisfied by retained level-0 assignments and strips
@@ -57,7 +58,8 @@ impl Solver {
                 }
             }
             if satisfied {
-                proof.delete_clause(self.db.lits(cref));
+                // Mark only; the GC emits the DRAT `d` line when the record
+                // (whose literals stay readable until then) is reclaimed.
                 self.db.delete(cref);
                 self.stats.deleted_clauses += 1;
                 continue;
@@ -74,7 +76,6 @@ impl Solver {
                 .filter(|&l| self.lit_value(l) != LBool::False)
                 .collect();
             proof.add_clause(&new);
-            proof.delete_clause(&old);
             match new.len() {
                 0 => {
                     // Cannot happen after complete BCP, but stay sound.
@@ -89,17 +90,26 @@ impl Solver {
                     self.db.delete(cref);
                     self.stats.deleted_clauses += 1;
                 }
-                _ => {
-                    self.db.get_mut(cref).lits = new;
+                n => {
+                    // Shrink in place — the record keeps its `ClauseRef`.
+                    // The old literal set is overwritten here, so its `d`
+                    // line is emitted now rather than by the GC.
+                    proof.delete_clause(&old);
+                    self.db.lits_mut(cref)[..n].copy_from_slice(&new);
+                    self.db.shrink(cref, n);
                 }
             }
         }
     }
 
     /// Applies the configured keep/remove rule to the learnt-clause stack.
-    fn apply_policy<S: ProofSink>(&mut self, proof: &mut S) {
-        let stack: Vec<ClauseRef> = self.db.stack.clone();
-        let n = stack.len();
+    /// Clauses are only marked here; the GC reports them to the proof sink.
+    fn apply_policy(&mut self) {
+        // Deletion only flips a header bit — the stack itself is never
+        // mutated here, so it can be indexed directly without a clone. The
+        // loops stop at `n - 1`: the topmost clause is never removed (§8),
+        // the paper's anti-looping guard.
+        let n = self.db.stack.len();
         if n == 0 {
             return;
         }
@@ -111,23 +121,18 @@ impl Solver {
                 old_act_inc,
                 ..
             } => {
-                for (i, &cref) in stack.iter().enumerate() {
-                    if i == n - 1 {
-                        continue; // topmost clause is never removed (§8)
-                    }
+                for i in 0..n - 1 {
+                    let cref = self.db.stack[i];
+                    debug_assert!(self.db.is_learnt(cref), "original clause on the stack");
                     let distance = (n - 1 - i) as u64;
                     let young = distance * 16 < 15 * n as u64;
-                    let (len, act) = {
-                        let c = self.db.get(cref);
-                        (c.lits.len() as u32, c.activity)
-                    };
+                    let (len, act) = (self.db.len(cref) as u32, self.db.activity(cref));
                     let keep = if young {
                         len < young_len || act > young_act
                     } else {
                         len < old_len || act > self.old_act_threshold
                     };
                     if !keep {
-                        proof.delete_clause(self.db.lits(cref));
                         self.db.delete(cref);
                         self.stats.deleted_clauses += 1;
                     }
@@ -138,12 +143,9 @@ impl Solver {
                 self.old_act_threshold = self.old_act_threshold.saturating_add(old_act_inc);
             }
             DbPolicy::LengthBounded { max_len } => {
-                for (i, &cref) in stack.iter().enumerate() {
-                    if i == n - 1 {
-                        continue; // retain the anti-looping guard here too
-                    }
-                    if self.db.lits(cref).len() as u32 > max_len {
-                        proof.delete_clause(self.db.lits(cref));
+                for i in 0..n - 1 {
+                    let cref = self.db.stack[i];
+                    if self.db.len(cref) as u32 > max_len {
                         self.db.delete(cref);
                         self.stats.deleted_clauses += 1;
                     }
@@ -174,10 +176,19 @@ mod tests {
             let lits: Vec<Lit> = (0..len).map(|j| lit((i * len + j + 1) as i32)).collect();
             // Bypass record_learnt's asserting-literal machinery: install
             // the clause directly so nothing is enqueued.
-            let cref = s.db.add_learnt(lits);
+            let cref = s.db.add_learnt(&lits);
             s.attach(cref);
         }
         s
+    }
+
+    /// Raises a clause's activity counter to `target` (test scaffolding; the
+    /// arena only exposes unit bumps, as conflict analysis credits one
+    /// conflict at a time).
+    fn set_activity(s: &mut Solver, cref: crate::clause_db::ClauseRef, target: u32) {
+        while s.db.activity(cref) < target {
+            s.db.bump_activity(cref);
+        }
     }
 
     #[test]
@@ -194,20 +205,27 @@ mod tests {
         let mut s = stacked_solver(SolverConfig::berkmin(), 8, 50);
         // Mark one clause active enough to survive (> 7).
         let survivor = s.db.stack[2];
-        s.db.get_mut(survivor).activity = 8;
+        set_activity(&mut s, survivor, 8);
+        let survivor_lits = s.db.lits(survivor).to_vec();
         s.reduce_db(&mut NoProof);
-        // Kept: the active one and the topmost.
+        // Kept: the active one and the topmost. The GC relocates records,
+        // so identify the survivor by content, not by its old ClauseRef.
         assert_eq!(s.db.stack.len(), 2);
-        assert!(s.db.stack.contains(&survivor));
+        assert!(s
+            .db
+            .stack
+            .iter()
+            .any(|&c| s.db.lits(c) == &survivor_lits[..] && s.db.activity(c) == 8));
         assert_eq!(s.stats().deleted_clauses, 6);
     }
 
     #[test]
     fn topmost_clause_is_never_removed() {
         let mut s = stacked_solver(SolverConfig::berkmin(), 4, 60);
-        let top = *s.db.stack.last().unwrap();
+        let top_lits = s.db.lits(*s.db.stack.last().unwrap()).to_vec();
         s.reduce_db(&mut NoProof);
-        assert!(s.db.stack.contains(&top));
+        let new_top = *s.db.stack.last().unwrap();
+        assert_eq!(s.db.lits(new_top), &top_lits[..]);
     }
 
     #[test]
@@ -235,7 +253,7 @@ mod tests {
         let mut s = stacked_solver(SolverConfig::limited_keeping(), 6, 50);
         // Activity is irrelevant for limited_keeping.
         let c = s.db.stack[1];
-        s.db.get_mut(c).activity = 1000;
+        set_activity(&mut s, c, 1000);
         s.reduce_db(&mut NoProof);
         // All length-50 clauses except the topmost are removed.
         assert_eq!(s.db.stack.len(), 1);

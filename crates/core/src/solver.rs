@@ -67,13 +67,25 @@ impl SolveStatus {
     }
 }
 
-/// A watch-list entry: the clause plus a *blocker* literal whose truth lets
-/// BCP skip the clause without touching its memory (SATO/Chaff-style fast
-/// BCP, paper §2).
+/// A watch-list entry for a clause of length ≥ 3: the clause plus a
+/// *blocker* literal whose truth lets BCP skip the clause without touching
+/// its memory (SATO/Chaff-style fast BCP, paper §2).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Watcher {
     pub cref: ClauseRef,
     pub blocker: Lit,
+}
+
+/// A binary clause stored *inline* in the watch list: the other literal is
+/// the watcher, so propagating through a binary clause never touches the
+/// clause arena. `cref` exists only to serve as the reason/conflict handle
+/// for conflict analysis.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BinWatcher {
+    /// The clause's other literal — everything BCP needs.
+    pub other: Lit,
+    /// Arena record backing this clause (activity, stack age, proofs).
+    pub cref: ClauseRef,
 }
 
 /// The BerkMin CDCL SAT-solver.
@@ -103,11 +115,16 @@ pub struct Solver {
     pub(crate) config: SolverConfig,
     pub(crate) db: ClauseDb,
     /// Watch lists indexed by literal code: `watches[l.code()]` holds the
-    /// clauses in which `¬l` is watched (visited when `l` becomes true).
+    /// clauses of length ≥ 3 in which `¬l` is watched (visited when `l`
+    /// becomes true). Binary clauses live in [`Solver::bin_watches`].
     pub(crate) watches: Vec<Vec<Watcher>>,
-    /// For each literal `l`, the other literals of live binary clauses
-    /// containing `l` — the occurrence lists behind `nb_two` (paper §7).
-    pub(crate) bin_occ: Vec<Vec<Lit>>,
+    /// Inline binary watch lists: `bin_watches[l.code()]` holds, for every
+    /// live binary clause containing `¬l`, the clause's *other* literal
+    /// (plus its arena handle) — visited when `l` becomes true, without any
+    /// arena access. These double as the occurrence lists behind `nb_two`
+    /// (paper §7): the binary clauses containing `l` are exactly the
+    /// entries of `bin_watches[(¬l).code()]`.
+    pub(crate) bin_watches: Vec<Vec<BinWatcher>>,
     pub(crate) assigns: Vec<LBool>,
     pub(crate) level: Vec<u32>,
     pub(crate) reason: Vec<Option<ClauseRef>>,
@@ -156,7 +173,7 @@ impl Solver {
             config,
             db: ClauseDb::new(),
             watches: Vec::new(),
-            bin_occ: Vec::new(),
+            bin_watches: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
             reason: Vec::new(),
@@ -241,7 +258,7 @@ impl Solver {
             return;
         }
         self.watches.resize(2 * n, Vec::new());
-        self.bin_occ.resize(2 * n, Vec::new());
+        self.bin_watches.resize(2 * n, Vec::new());
         self.assigns.resize(n, LBool::Undef);
         self.level.resize(n, 0);
         self.reason.resize(n, None);
@@ -293,11 +310,7 @@ impl Solver {
                 true
             }
             _ => {
-                if ls.len() == 2 {
-                    self.bin_occ[ls[0].code()].push(ls[1]);
-                    self.bin_occ[ls[1].code()].push(ls[0]);
-                }
-                let cref = self.db.add_original(ls);
+                let cref = self.db.add_original(&ls);
                 self.attach(cref);
                 let live = self.db.num_live() as u64;
                 self.stats.max_live_clauses = self.stats.max_live_clauses.max(live);
@@ -362,40 +375,46 @@ impl Solver {
     }
 
     /// Registers the two watched literals of `cref` (positions 0 and 1).
+    /// Binary clauses go to the inline [`Solver::bin_watches`] lists, longer
+    /// clauses to the blocker-carrying [`Solver::watches`] lists.
     pub(crate) fn attach(&mut self, cref: ClauseRef) {
-        let (l0, l1) = {
+        debug_assert!(!self.db.is_garbage(cref), "attach of deleted {cref:?}");
+        let (l0, l1, binary) = {
             let lits = self.db.lits(cref);
-            (lits[0], lits[1])
+            (lits[0], lits[1], lits.len() == 2)
         };
-        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        if binary {
+            self.bin_watches[(!l0).code()].push(BinWatcher { other: l1, cref });
+            self.bin_watches[(!l1).code()].push(BinWatcher { other: l0, cref });
+        } else {
+            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        }
     }
 
-    /// Rebuilds every watch list and binary-occurrence list from the live
-    /// clause set. Only valid at decision level 0 with an empty propagation
-    /// queue (i.e. during database reduction).
+    /// Rebuilds every watch list (long and binary) from the live clause
+    /// set. Only valid at decision level 0 with an empty propagation queue
+    /// (i.e. during database reduction).
     pub(crate) fn rebuild_watches(&mut self) {
         debug_assert_eq!(self.decision_level(), 0);
         for w in &mut self.watches {
             w.clear();
         }
-        for o in &mut self.bin_occ {
-            o.clear();
+        for w in &mut self.bin_watches {
+            w.clear();
         }
         let live: Vec<ClauseRef> = self.db.iter_live().collect();
         for cref in live {
-            debug_assert!(self.db.lits(cref).len() >= 2);
+            debug_assert!(self.db.len(cref) >= 2);
             self.attach(cref);
-            let lits = self.db.lits(cref);
-            if lits.len() == 2 {
-                let (a, b) = (lits[0], lits[1]);
-                self.bin_occ[a.code()].push(b);
-                self.bin_occ[b.code()].push(a);
-            }
         }
     }
 
-    /// Boolean constraint propagation with two watched literals.
+    /// Boolean constraint propagation with two watched literals, structured
+    /// as blocker-check → binary-pass → long-clause-pass: for each newly
+    /// true literal the inline binary watchers are drained first (no arena
+    /// access at all), then the long-clause watchers with the Chaff blocker
+    /// fast path in front of any arena read.
     ///
     /// Returns the conflicting clause, if any. On conflict the propagation
     /// queue is drained so the caller sees a consistent trail.
@@ -405,9 +424,32 @@ impl Solver {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             let false_lit = !p;
+
+            // --- binary pass: the watcher *is* the other literal. ---
+            let bins = std::mem::take(&mut self.bin_watches[p.code()]);
+            for w in &bins {
+                match self.lit_value(w.other) {
+                    LBool::True => {}
+                    LBool::Undef => {
+                        self.stats.propagations += 1;
+                        self.unchecked_enqueue(w.other, Some(w.cref));
+                    }
+                    LBool::False => {
+                        conflict = Some(w.cref);
+                        break;
+                    }
+                }
+            }
+            self.bin_watches[p.code()] = bins;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                break 'queue;
+            }
+
+            // --- long-clause pass. ---
             let mut ws = std::mem::take(&mut self.watches[p.code()]);
             let mut i = 0;
-            'watchers: while i < ws.len() {
+            while i < ws.len() {
                 let w = ws[i];
                 // Fast path: the blocker literal already satisfies the clause.
                 if self.lit_value(w.blocker) == LBool::True {
@@ -416,11 +458,11 @@ impl Solver {
                 }
                 let cref = w.cref;
                 {
-                    let c = self.db.get_mut(cref);
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
+                    let c = self.db.lits_mut(cref);
+                    if c[0] == false_lit {
+                        c.swap(0, 1);
                     }
-                    debug_assert_eq!(c.lits[1], false_lit, "watch invariant violated");
+                    debug_assert_eq!(c[1], false_lit, "watch invariant violated");
                 }
                 let first = self.db.lits(cref)[0];
                 if first != w.blocker && self.lit_value(first) == LBool::True {
@@ -432,18 +474,21 @@ impl Solver {
                     continue;
                 }
                 // Look for a non-false literal to move the watch to.
-                let len = self.db.lits(cref).len();
-                for k in 2..len {
-                    let lk = self.db.lits(cref)[k];
+                let mut relocated = None;
+                for (k, &lk) in self.db.lits(cref).iter().enumerate().skip(2) {
                     if self.lit_value(lk) != LBool::False {
-                        self.db.get_mut(cref).lits.swap(1, k);
-                        self.watches[(!lk).code()].push(Watcher {
-                            cref,
-                            blocker: first,
-                        });
-                        ws.swap_remove(i);
-                        continue 'watchers;
+                        relocated = Some((k, lk));
+                        break;
                     }
+                }
+                if let Some((k, lk)) = relocated {
+                    self.db.lits_mut(cref).swap(1, k);
+                    self.watches[(!lk).code()].push(Watcher {
+                        cref,
+                        blocker: first,
+                    });
+                    ws.swap_remove(i);
+                    continue;
                 }
                 // Clause is unit (or conflicting) under the current trail.
                 ws[i] = Watcher {
@@ -465,6 +510,35 @@ impl Solver {
             self.watches[p.code()] = ws;
         }
         conflict
+    }
+
+    /// Runs the compacting clause-arena garbage collector: reclaims every
+    /// record marked deleted (emitting its DRAT `d` line), slides the
+    /// survivors to the front of the arena, and rewrites every outstanding
+    /// [`ClauseRef`] — the conflict-clause stack, the trail's reason
+    /// pointers, and (by rebuilding) the watch lists. A reason whose clause
+    /// was deleted belongs to a level-0 fact, whose reason is never
+    /// consulted again, so it is dropped.
+    ///
+    /// Only valid at decision level 0 with a fully propagated trail; run at
+    /// every §8 database reduction.
+    pub(crate) fn collect_garbage<S: ProofSink>(&mut self, proof: &mut S) {
+        debug_assert_eq!(self.decision_level(), 0);
+        self.db.compact_stack();
+        if self.db.garbage_words() == 0 {
+            // Nothing was deleted or shrunk: every outstanding reference
+            // (watches included) is still valid — skip the whole collection.
+            return;
+        }
+        let (map, reclaimed) = self.db.collect(proof);
+        self.stats.gc_runs += 1;
+        self.stats.gc_words_reclaimed += reclaimed as u64;
+        for r in &mut self.reason {
+            if let Some(cref) = *r {
+                *r = map.remap_live(cref);
+            }
+        }
+        self.rebuild_watches();
     }
 
     /// Solves the formula (without proof logging).
@@ -559,11 +633,7 @@ impl Solver {
             self.unchecked_enqueue(lits[0], None);
         } else {
             let asserting = lits[0];
-            if lits.len() == 2 {
-                self.bin_occ[lits[0].code()].push(lits[1]);
-                self.bin_occ[lits[1].code()].push(lits[0]);
-            }
-            let cref = self.db.add_learnt(lits);
+            let cref = self.db.add_learnt(&lits);
             self.attach(cref);
             self.unchecked_enqueue(asserting, Some(cref));
         }

@@ -27,6 +27,11 @@ pub struct Stats {
     pub learnt_lits_total: u64,
     /// Conflict clauses deleted by database management.
     pub deleted_clauses: u64,
+    /// Compacting clause-arena garbage collections performed (one per §8
+    /// reduction).
+    pub gc_runs: u64,
+    /// Total arena words reclaimed by the compacting collector.
+    pub gc_words_reclaimed: u64,
     /// Maximum number of live clauses (original + learnt) ever in memory —
     /// the "Largest CNF size" column of Table 9.
     pub max_live_clauses: u64,

@@ -13,7 +13,32 @@
 
 #![forbid(unsafe_code)]
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
+
+/// Smoke-mode flag: when set, every benchmark runs exactly one sample — the
+/// shim's analog of real criterion's `cargo bench -- --test`, used by CI to
+/// keep the bench targets from rotting without paying for a full run.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables smoke mode (one sample per benchmark).
+pub fn set_smoke(on: bool) {
+    SMOKE.store(on, Ordering::Relaxed);
+}
+
+/// Whether smoke mode is enabled.
+pub fn is_smoke() -> bool {
+    SMOKE.load(Ordering::Relaxed)
+}
+
+/// Scans the harness arguments (everything after `--` on the `cargo bench`
+/// command line) and enables smoke mode when `--test` is present. Invoked
+/// by [`criterion_main!`] before any group runs.
+pub fn init_from_args() {
+    if std::env::args().any(|a| a == "--test") {
+        set_smoke(true);
+    }
+}
 
 /// Opaque hint mirroring `criterion::BatchSize`; the shim times each batch
 /// individually regardless of the variant.
@@ -114,15 +139,16 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
+        let samples = if is_smoke() { 1 } else { self.samples };
         let mut bencher = Bencher {
-            samples: self.samples,
+            samples,
             result: None,
         };
         f(&mut bencher);
         match bencher.result {
             Some((mean, min, max)) => println!(
                 "{}/{:<28} mean {:>12.3?}  min {:>12.3?}  max {:>12.3?}  ({} samples)",
-                self.name, id, mean, min, max, self.samples
+                self.name, id, mean, min, max, samples
             ),
             None => println!("{}/{:<28} (no measurement taken)", self.name, id),
         }
@@ -163,11 +189,13 @@ macro_rules! criterion_group {
 }
 
 /// Emit `main` running the listed groups (mirror of
-/// `criterion::criterion_main!`).
+/// `criterion::criterion_main!`). Respects `-- --test` (smoke mode: one
+/// sample per benchmark), like real criterion.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_from_args();
             $($group();)+
         }
     };
@@ -176,9 +204,28 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that read or toggle the global smoke flag. Poison
+    /// from an earlier panicking holder is irrelevant (the guard below
+    /// restores the flag), so it is ignored.
+    static SMOKE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn smoke_lock() -> std::sync::MutexGuard<'static, ()> {
+        SMOKE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Restores smoke mode to off even if the test body panics.
+    struct SmokeOff;
+    impl Drop for SmokeOff {
+        fn drop(&mut self) {
+            set_smoke(false);
+        }
+    }
 
     #[test]
     fn group_runs_and_reports() {
+        let _guard = smoke_lock();
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("shim");
         group.sample_size(3);
@@ -196,5 +243,24 @@ mod tests {
         });
         group.finish();
         assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn smoke_mode_takes_a_single_sample() {
+        let _guard = smoke_lock();
+        set_smoke(true);
+        let _restore = SmokeOff;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-smoke");
+        group.sample_size(50);
+        let mut runs = 0u32;
+        group.bench_function("once", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(runs)
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 1, "--test smoke mode must run exactly one sample");
     }
 }

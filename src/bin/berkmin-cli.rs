@@ -133,17 +133,29 @@ fn main() -> ExitCode {
     let want_proof = opts.proof_path.is_some() || opts.check_proof;
     let mut solver = Solver::new(&cnf, opts.config.clone());
     let mut proof = DratProof::new();
+    let start = std::time::Instant::now();
     let status = if want_proof {
         solver.solve_with_proof(&mut proof)
     } else {
         solver.solve()
     };
+    let elapsed = start.elapsed();
 
     if !opts.quiet {
         let s = solver.stats();
         println!(
             "c decisions {} conflicts {} propagations {} restarts {} learnt {}",
             s.decisions, s.conflicts, s.propagations, s.restarts, s.learnt_total
+        );
+        // Propagation throughput: the arena/BCP speedups show up here
+        // without needing the criterion benches.
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "c time {:.3} s  propagation rate {:.0} lits/sec  gc {} ({} words reclaimed)",
+            elapsed.as_secs_f64(),
+            s.propagations as f64 / secs,
+            s.gc_runs,
+            s.gc_words_reclaimed
         );
     }
 

@@ -2,6 +2,7 @@
 //! logging on, and validate the refutation with the independent RUP
 //! checker — both the in-memory proof and its textual DRAT round-trip.
 
+use berkmin::{DbPolicy, RestartPolicy};
 use berkmin_drat::{check_refutation, DratProof, TextDratWriter};
 use berkmin_gens::hole;
 use berkmin_suite::prelude::*;
@@ -37,6 +38,39 @@ fn streamed_text_proof_checks_after_reparsing() {
     let proof = DratProof::parse(&text).expect("emitted DRAT must re-parse");
     assert!(proof.ends_with_empty_clause());
     check_refutation(&inst.cnf, &proof).expect("re-parsed refutation must check");
+}
+
+#[test]
+fn deletion_heavy_hole5_proof_carries_d_lines_and_still_checks() {
+    // Force the §8 reducer to actually delete clauses on hole(5): frequent
+    // restarts plus a GRASP-style length bound almost every learnt clause
+    // exceeds. The compacting GC emits the DRAT `d` lines at reclaim time;
+    // the independent checker must accept the proof with deletion enabled.
+    let inst = hole::pigeonhole(5);
+    let mut cfg = SolverConfig::berkmin();
+    cfg.restart = RestartPolicy::FixedInterval(25);
+    cfg.db_policy = DbPolicy::LengthBounded { max_len: 3 };
+
+    let mut proof = DratProof::new();
+    let mut solver = Solver::new(&inst.cnf, cfg);
+    assert!(solver.solve_with_proof(&mut proof).is_unsat());
+
+    let stats = solver.stats();
+    assert!(stats.deleted_clauses > 0, "reduction must delete clauses");
+    assert!(
+        stats.gc_runs > 0,
+        "deletions must trigger the compacting GC"
+    );
+    assert!(stats.gc_words_reclaimed > 0, "GC must reclaim arena space");
+    assert!(
+        proof.num_deletions() > 0,
+        "the GC path must emit DRAT `d` lines"
+    );
+    assert!(
+        proof.to_text().lines().any(|l| l.starts_with("d ")),
+        "textual DRAT must carry the deletions"
+    );
+    check_refutation(&inst.cnf, &proof).expect("refutation with deletions must check");
 }
 
 #[test]

@@ -1,0 +1,50 @@
+//! Guards against the root-package trap: plain `cargo test -q` at the
+//! workspace root runs only this facade package's suite, **not** the member
+//! crates' unit and property tests — `--workspace` is required for those.
+//! This test (which plain `cargo test -q` *does* run) pins the CI workflow
+//! to the full-coverage invocations, so dropping a `--workspace` flag or
+//! the bench smoke step fails loudly instead of silently shrinking CI.
+//!
+//! The assertions are comment-anchored: `.github/workflows/ci.yml` carries
+//! a `workspace-guard:` marker comment pointing back at this file.
+
+use std::fs;
+use std::path::Path;
+
+fn ci_config() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(".github/workflows/ci.yml");
+    fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read CI workflow {}: {e}", path.display()))
+}
+
+#[test]
+fn ci_tests_the_whole_workspace() {
+    let ci = ci_config();
+    for required in [
+        "cargo test -q --workspace",
+        "cargo test -q --doc --workspace",
+        "cargo clippy --workspace --all-targets",
+        "cargo build --release --workspace --all-targets",
+    ] {
+        assert!(
+            ci.contains(required),
+            "CI workflow no longer runs `{required}` — plain `cargo test` at \
+             the root covers only the facade package, so CI must keep the \
+             --workspace invocations (see this file's module docs)"
+        );
+    }
+}
+
+#[test]
+fn ci_keeps_the_bench_smoke_step() {
+    let ci = ci_config();
+    assert!(
+        ci.contains("cargo bench -p berkmin-bench --bench bcp -- --test"),
+        "CI workflow dropped the criterion-shim BCP bench smoke step; the \
+         bench layer would rot silently without it"
+    );
+    assert!(
+        ci.contains("workspace-guard:"),
+        "CI workflow lost its marker comment linking back to tests/workspace_guard.rs"
+    );
+}
