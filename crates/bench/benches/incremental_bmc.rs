@@ -1,0 +1,79 @@
+//! Incremental-vs-scratch bounded model checking on the enabled-counter
+//! netlist: the clause-reusing `BmcDriver` sweep against per-depth scratch
+//! re-unrolling/re-solving. Beyond wall-clock, each incremental iteration
+//! asserts the acceptance property directly — same failure depth as
+//! scratch, strictly fewer total conflicts — so the `-- --test` smoke run
+//! in CI re-checks it on every push.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use berkmin::SolverConfig;
+use berkmin_circuit::arith::enabled_counter;
+use berkmin_circuit::bmc::{scratch_first_reaching_depth, BmcDriver, BmcOutcome};
+
+/// The shared scratch baseline, reduced to (first SAT depth, conflicts).
+fn scratch_sweep(bits: usize, max_depth: usize) -> (Option<usize>, u64) {
+    let pattern: Vec<(usize, bool)> = (0..bits).map(|o| (o, true)).collect();
+    let cfg = SolverConfig::berkmin();
+    let (outcome, conflicts) = scratch_first_reaching_depth(
+        &enabled_counter(bits),
+        &pattern,
+        max_depth,
+        &cfg,
+        |_, _, _| {},
+    );
+    match outcome {
+        BmcOutcome::Reached { depth, .. } => (Some(depth), conflicts),
+        BmcOutcome::Exhausted => (None, conflicts),
+        BmcOutcome::Aborted { reason, .. } => panic!("scratch aborted without budget: {reason}"),
+    }
+}
+
+/// Incremental sweep with one warm driver. Returns depth and conflicts.
+fn incremental_sweep(bits: usize, max_depth: usize) -> (Option<usize>, u64) {
+    let pattern: Vec<(usize, bool)> = (0..bits).map(|o| (o, true)).collect();
+    let mut driver = BmcDriver::new(enabled_counter(bits), SolverConfig::berkmin());
+    let depth = match driver.first_reaching_depth(&pattern, max_depth) {
+        BmcOutcome::Reached { depth, .. } => Some(depth),
+        BmcOutcome::Exhausted => None,
+        BmcOutcome::Aborted { reason, .. } => panic!("aborted without budget: {reason}"),
+    };
+    (depth, driver.solver().stats().conflicts)
+}
+
+fn bench_incremental_bmc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_bmc");
+    group.sample_size(10);
+    for bits in [3usize, 4] {
+        let horizon = (1 << bits) - 1;
+        // Acceptance check, once and untimed: same failure depth, strictly
+        // fewer total conflicts for the clause-reusing driver.
+        let (scratch_depth, scratch_conflicts) = scratch_sweep(bits, horizon);
+        let (incremental_depth, incremental_conflicts) = incremental_sweep(bits, horizon);
+        assert_eq!(scratch_depth, Some(horizon));
+        assert_eq!(incremental_depth, scratch_depth);
+        assert!(
+            incremental_conflicts < scratch_conflicts,
+            "clause reuse regressed at {bits} bits: incremental \
+             {incremental_conflicts} >= scratch {scratch_conflicts} conflicts"
+        );
+        group.bench_function(format!("scratch_cnt{bits}e"), |b| {
+            b.iter_batched(
+                || (),
+                |()| scratch_sweep(bits, horizon),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("incremental_cnt{bits}e"), |b| {
+            b.iter_batched(
+                || (),
+                |()| incremental_sweep(bits, horizon),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental_bmc);
+criterion_main!(benches);

@@ -328,6 +328,32 @@ pub fn counter(bits: usize) -> Netlist {
     n
 }
 
+/// Builds an n-bit binary up-counter with a per-cycle *enable* input: the
+/// count advances only when enable is high. Outputs the count bits.
+///
+/// Unlike the free-running [`counter`], whose whole unrolling is fixed by
+/// unit propagation, the enable inputs make every bounded-reachability
+/// question a genuine search problem — the workload behind the incremental
+/// [`crate::bmc::BmcDriver`] tests and benches.
+pub fn enabled_counter(bits: usize) -> Netlist {
+    assert!(bits > 0, "counter width must be positive");
+    let mut n = Netlist::new();
+    let en = n.input();
+    let q: Bus = (0..bits).map(|_| n.dff(false)).collect();
+    // Carry chain gated by enable: q[i] toggles when enable and all lower
+    // bits are 1.
+    let mut all_lower = en;
+    for &qi in &q {
+        let next = n.xor(qi, all_lower);
+        n.connect_dff(qi, next);
+        all_lower = n.and(all_lower, qi);
+    }
+    for &bit in &q {
+        n.set_output(bit);
+    }
+    n
+}
+
 /// Builds an n-bit odd-parity tree. Input: `bits` wires; output: their XOR.
 pub fn parity_tree(bits: usize) -> Netlist {
     assert!(bits > 0, "parity width must be positive");

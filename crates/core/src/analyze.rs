@@ -128,6 +128,54 @@ impl Solver {
         (learnt, bt_level)
     }
 
+    /// Final-conflict analysis for assumption-based solving: called when the
+    /// pending assumption `failed` is already false under the trail built
+    /// from the earlier assumptions. Walks the implication graph of `¬failed`
+    /// backwards and collects every assumption pseudo-decision it rests on,
+    /// returning the failed core `{failed} ∪ {assumptions implying ¬failed}`
+    /// — a subset of the assumption set whose conjunction with the formula
+    /// is unsatisfiable (the incremental analog of MiniSat's
+    /// `analyzeFinal`).
+    ///
+    /// Only assumption levels exist below the walk's horizon (real decisions
+    /// are only ever taken once every assumption is enqueued), so every
+    /// reason-less trail literal above level 0 the walk marks *is* an
+    /// assumption.
+    pub(crate) fn analyze_final(&mut self, failed: Lit) -> Vec<Lit> {
+        let mut core = vec![failed];
+        if self.decision_level() == 0 {
+            // ¬failed is a root-level fact: the formula alone refutes the
+            // assumption, no other assumption shares the blame.
+            return core;
+        }
+        self.seen[failed.var().index()] = true;
+        let bound = self.trail_lim[0];
+        for i in (bound..self.trail.len()).rev() {
+            let x = self.trail[i].var();
+            if !self.seen[x.index()] {
+                continue;
+            }
+            match self.reason[x.index()] {
+                None => {
+                    debug_assert!(self.level[x.index()] > 0, "root facts have level 0");
+                    core.push(self.trail[i]);
+                }
+                Some(rc) => {
+                    let n = self.db.lits(rc).len();
+                    for k in 0..n {
+                        let q = self.db.lits(rc)[k];
+                        if q.var() != x && self.level[q.var().index()] > 0 {
+                            self.seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            self.seen[x.index()] = false;
+        }
+        self.seen[failed.var().index()] = false;
+        core
+    }
+
     /// Local (non-recursive) conflict-clause minimization: drop any literal
     /// whose reason clause is entirely subsumed by the remaining literals
     /// and level-0 facts. A post-paper technique (MiniSat), kept behind

@@ -179,6 +179,12 @@ impl Default for DbPolicy {
 
 /// Resource budgets turning a run into a deterministic, machine-independent
 /// experiment. A budget of `u64::MAX` means unlimited.
+///
+/// Budgets are accounted **per solve call**: each call to
+/// [`Solver::solve`](crate::Solver::solve) (or its assumption/proof
+/// variants) measures its own spend, so in incremental use a later call
+/// never inherits an earlier call's consumption — re-calling after an
+/// abort simply grants a fresh allowance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Budget {
     /// Abort after this many conflicts.

@@ -46,7 +46,6 @@ impl VarHeap {
     }
 
     #[inline]
-    #[cfg_attr(not(test), allow(dead_code))] // exercised by the unit tests
     pub fn len(&self) -> usize {
         self.heap.len()
     }

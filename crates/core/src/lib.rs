@@ -48,6 +48,17 @@
 //! preset; see that type's documentation for the mapping. Resource budgets
 //! ([`Budget`]) provide deterministic, machine-independent "timeouts".
 //!
+//! # Incremental solving
+//!
+//! The solver is a long-lived object: [`Solver::add_clause`] may be called
+//! between solves, and [`Solver::solve_with_assumptions`] answers
+//! satisfiability under a set of assumption literals enqueued as
+//! pseudo-decisions below every real decision — the learnt-clause database,
+//! variable activities and polarity state stay warm across calls. When the
+//! assumptions are to blame for an UNSAT answer,
+//! [`Solver::failed_assumptions`] returns the failed core extracted by
+//! final-conflict analysis.
+//!
 //! # Proof logging
 //!
 //! [`Solver::solve_with_proof`] streams every learnt clause and deletion to

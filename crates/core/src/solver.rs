@@ -32,6 +32,11 @@ impl std::fmt::Display for StopReason {
 }
 
 /// Result of [`Solver::solve`].
+///
+/// For [`Solver::solve_with_assumptions`] runs, [`SolveStatus::Unsat`] means
+/// *unsatisfiable under the given assumptions*; consult
+/// [`Solver::failed_assumptions`] to distinguish an absolute refutation
+/// (empty core) from an assumption conflict (non-empty core).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SolveStatus {
     /// Satisfiable; carries a model that satisfies every original clause.
@@ -148,6 +153,26 @@ pub struct Solver {
     pub(crate) old_act_threshold: u32,
     /// Set once the empty clause has been reported to the proof sink.
     emitted_empty: bool,
+    /// Assumptions of the current [`Solver::solve_with_assumptions`] call,
+    /// enqueued lazily as pseudo-decisions at levels `1..=assumptions.len()`
+    /// below any real decision.
+    pub(crate) assumptions: Vec<Lit>,
+    /// Failed-assumption core of the last assumption-UNSAT answer (empty
+    /// after an absolute refutation or a SAT/Unknown answer).
+    pub(crate) failed: Vec<Lit>,
+    /// Stats snapshot taken at solve entry: budgets are per-call, so each
+    /// check compares against the growth since this baseline rather than
+    /// the lifetime totals (which would make a second call inherit the
+    /// previous call's spend).
+    budget_base: BudgetBase,
+}
+
+/// Per-solve-call baseline of the budgeted counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct BudgetBase {
+    conflicts: u64,
+    decisions: u64,
+    propagations: u64,
 }
 
 impl Solver {
@@ -192,12 +217,23 @@ impl Solver {
             conflicts_since_restart: 0,
             old_act_threshold,
             emitted_empty: false,
+            assumptions: Vec::new(),
+            failed: Vec::new(),
+            budget_base: BudgetBase::default(),
         }
     }
 
     /// Number of variables known to the solver.
     pub fn num_vars(&self) -> usize {
         self.num_vars
+    }
+
+    /// Grows the per-variable tables to cover `n` variables without adding
+    /// any clause. Incremental callers that allocate variables externally
+    /// (e.g. Tseitin or activation literals) use this to keep the solver's
+    /// variable space — and therefore its models — in sync with theirs.
+    pub fn reserve_vars(&mut self, n: usize) {
+        self.ensure_vars(n);
     }
 
     /// Search statistics accumulated so far.
@@ -210,10 +246,31 @@ impl Solver {
         &self.config
     }
 
-    /// Replaces the resource budget (e.g. to resume an aborted run with a
-    /// larger allowance).
+    /// Replaces the resource budget. Budgets are accounted **per solve
+    /// call**: every call measures its own spend against the configured
+    /// limits, so an aborted run can simply be called again (learnt clauses
+    /// and heuristic state carry over) — with or without a new budget.
     pub fn set_budget(&mut self, budget: Budget) {
         self.config.budget = budget;
+    }
+
+    /// The failed-assumption core of the most recent
+    /// [`Solver::solve_with_assumptions`] call that returned
+    /// [`SolveStatus::Unsat`]: a subset `C` of the assumptions such that the
+    /// formula conjoined with `C` is unsatisfiable, extracted by
+    /// final-conflict analysis over the implication graph.
+    ///
+    /// Empty when the formula is unsatisfiable outright (no assumptions
+    /// needed), and after any SAT or Unknown answer.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    /// Number of variables currently queued in the decision heap (only
+    /// populated under [`ActivityIndex::Heap`]). Exposed so incremental
+    /// callers can check that heuristic state survives between solve calls.
+    pub fn decision_heap_len(&self) -> usize {
+        self.heap.len()
     }
 
     /// `false` once the clause set has been proven contradictory.
@@ -546,21 +603,50 @@ impl Solver {
         self.solve_with_proof(&mut NoProof)
     }
 
+    /// Solves the formula under `assumptions` (without proof logging).
+    ///
+    /// Assumptions are enqueued as *pseudo-decisions* at levels
+    /// `1..=assumptions.len()`, below every real decision, so the search
+    /// explores only total assignments extending them. They are **not**
+    /// clauses: nothing is added to the database, the learnt clauses derived
+    /// during the run are consequences of the formula alone, and the next
+    /// call may use a completely different assumption set while reusing the
+    /// warm learnt-clause database, activities and saved polarities.
+    ///
+    /// Returns [`SolveStatus::Unsat`] both when the formula is refuted
+    /// outright and when it merely conflicts with the assumptions;
+    /// [`Solver::failed_assumptions`] distinguishes the two (empty vs
+    /// non-empty core).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveStatus {
+        self.solve_with_assumptions_and_proof(assumptions, &mut NoProof)
+    }
+
     /// Solves the formula, reporting every learnt clause and deletion to
     /// `proof` (see [`ProofSink`]); the final report of an UNSAT run is the
     /// empty clause.
     ///
-    /// May be called repeatedly: a previous SAT answer's trail is undone
-    /// first, so clauses can be added between calls (incremental use), and
-    /// a budget-aborted run resumes where it stopped after
-    /// [`Solver::set_budget`].
+    /// May be called repeatedly: a previous answer's search tree is undone
+    /// first, so clauses can be added between calls (incremental use) while
+    /// learnt clauses, variable activities and saved heuristic state stay
+    /// warm. Budgets are accounted per call, so a budget-aborted run
+    /// continues by simply calling again (optionally after
+    /// [`Solver::set_budget`]).
     pub fn solve_with_proof<S: ProofSink>(&mut self, proof: &mut S) -> SolveStatus {
+        self.solve_with_assumptions_and_proof(&[], proof)
+    }
+
+    /// [`Solver::solve_with_assumptions`] with proof logging. An
+    /// assumption-UNSAT answer emits **no** empty clause (the formula itself
+    /// is not refuted); only an absolute refutation concludes the proof.
+    pub fn solve_with_assumptions_and_proof<S: ProofSink>(
+        &mut self,
+        assumptions: &[Lit],
+        proof: &mut S,
+    ) -> SolveStatus {
+        self.begin_solve(assumptions);
         if !self.ok {
             return self.conclude_unsat(proof);
         }
-        // Re-entry after a SAT answer (possibly with new clauses added at
-        // level 0 in between): restart the search tree.
-        self.cancel_until(0);
         if self.decision_level() == 0 && self.propagate().is_some() {
             self.ok = false;
             return self.conclude_unsat(proof);
@@ -578,18 +664,51 @@ impl Solver {
                 self.cancel_until(bt_level);
                 self.record_learnt(learnt);
                 self.on_conflict_maintenance();
-                if self.stats.conflicts >= self.config.budget.max_conflicts {
+                if self.spent(self.stats.conflicts, self.budget_base.conflicts)
+                    >= self.config.budget.max_conflicts
+                {
                     return SolveStatus::Unknown(StopReason::ConflictBudget);
                 }
             } else {
-                if self.stats.propagations >= self.config.budget.max_propagations {
+                if self.spent(self.stats.propagations, self.budget_base.propagations)
+                    >= self.config.budget.max_propagations
+                {
                     return SolveStatus::Unknown(StopReason::PropagationBudget);
                 }
                 if self.restart_due() {
                     self.restart(proof);
                     continue;
                 }
-                if self.stats.decisions >= self.config.budget.max_decisions {
+                // Enqueue pending assumptions as pseudo-decisions: the
+                // assumption at index `i` owns decision level `i + 1`. An
+                // already-implied assumption opens a *dummy* level (keeping
+                // index and level in lockstep); a falsified one means the
+                // formula conflicts with the assumption set — extract the
+                // core and answer UNSAT without touching `ok`.
+                let mut asserted_assumption = false;
+                while self.decision_level() < self.assumptions.len() {
+                    let a = self.assumptions[self.decision_level()];
+                    match self.lit_value(a) {
+                        LBool::True => self.trail_lim.push(self.trail.len()),
+                        LBool::Undef => {
+                            self.assume(a);
+                            asserted_assumption = true;
+                            break;
+                        }
+                        LBool::False => {
+                            self.failed = self.analyze_final(a);
+                            self.stats.assumption_conflicts += 1;
+                            self.cancel_until(0);
+                            return SolveStatus::Unsat;
+                        }
+                    }
+                }
+                if asserted_assumption {
+                    continue; // propagate the assumption before deciding
+                }
+                if self.spent(self.stats.decisions, self.budget_base.decisions)
+                    >= self.config.budget.max_decisions
+                {
                     return SolveStatus::Unknown(StopReason::DecisionBudget);
                 }
                 match self.decide() {
@@ -604,6 +723,41 @@ impl Solver {
                 }
             }
         }
+    }
+
+    /// Per-call budget spend: how much `counter` has grown since the
+    /// baseline snapshot taken at solve entry.
+    #[inline]
+    fn spent(&self, counter: u64, base: u64) -> u64 {
+        counter - base
+    }
+
+    /// Resets the per-call state at the top of every solve entry point: the
+    /// previous search tree is undone, the assumption set is installed (its
+    /// variables materialized), the stale failed core is dropped, and the
+    /// budget baseline and restart scratch are re-armed so no limit or
+    /// conflict-count leaks in from an earlier call.
+    fn begin_solve(&mut self, assumptions: &[Lit]) {
+        self.cancel_until(0);
+        let max_var = assumptions
+            .iter()
+            .map(|l| l.var().index() + 1)
+            .max()
+            .unwrap_or(0);
+        self.ensure_vars(max_var);
+        self.assumptions = assumptions.to_vec();
+        self.failed.clear();
+        self.conflicts_since_restart = 0;
+        self.budget_base = BudgetBase {
+            conflicts: self.stats.conflicts,
+            decisions: self.stats.decisions,
+            propagations: self.stats.propagations,
+        };
+        self.stats.solve_calls += 1;
+        debug_assert!(
+            self.seen.iter().all(|&s| !s),
+            "conflict-analysis scratch leaked across solve calls"
+        );
     }
 
     fn conclude_unsat<S: ProofSink>(&mut self, proof: &mut S) -> SolveStatus {

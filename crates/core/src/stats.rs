@@ -53,6 +53,12 @@ pub struct Stats {
     /// Number of clauses inspected as "responsible for a conflict" during
     /// conflict analysis (paper §4's sensitivity set).
     pub responsible_clauses: u64,
+    /// Number of solve calls made on this solver (incremental use: the
+    /// counters above accumulate across calls).
+    pub solve_calls: u64,
+    /// Number of solve calls answered UNSAT by final-conflict analysis of a
+    /// falsified assumption (the formula itself was not refuted).
+    pub assumption_conflicts: u64,
 }
 
 impl Stats {

@@ -1,0 +1,123 @@
+//! Property tests for incremental solving under assumptions: on random
+//! clause batches with random assumption sets, the incremental solver (one
+//! long-lived object accumulating clauses and warm heuristic state) must
+//! agree with a fresh scratch solver on every prefix, every SAT model must
+//! satisfy its assumptions, and every reported failed core must itself be
+//! UNSAT-forcing.
+
+use berkmin::{SolveStatus, Solver, SolverConfig};
+use berkmin_cnf::Lit;
+use proptest::prelude::*;
+
+const MAX_VAR: u32 = 8;
+
+/// One randomized increment: a batch of clauses to add, then a query under
+/// an assumption set. Literals are DIMACS-style signed variable numbers.
+type Batch = (Vec<Vec<i32>>, Vec<i32>);
+
+fn dimacs_lit() -> impl Strategy<Value = i32> {
+    (1u32..=MAX_VAR, any::<bool>()).prop_map(|(v, neg)| if neg { -(v as i32) } else { v as i32 })
+}
+
+fn clause() -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec(dimacs_lit(), 1..=3)
+}
+
+fn batch() -> impl Strategy<Value = Batch> {
+    (
+        prop::collection::vec(clause(), 1..=12),
+        prop::collection::vec(dimacs_lit(), 0..=3),
+    )
+}
+
+fn lits(ns: &[i32]) -> Vec<Lit> {
+    ns.iter().map(|&n| Lit::from_dimacs(n)).collect()
+}
+
+/// Scratch oracle: a fresh solver over `clauses` with the assumptions added
+/// as unit clauses — `F` is UNSAT under assumptions `A` iff `F ∧ A` is
+/// unsatisfiable.
+fn scratch_verdict(clauses: &[Vec<i32>], assumptions: &[Lit]) -> bool {
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    for c in clauses {
+        s.add_clause(lits(c));
+    }
+    for &a in assumptions {
+        s.add_clause([a]);
+    }
+    match s.solve() {
+        SolveStatus::Sat(_) => true,
+        SolveStatus::Unsat => false,
+        SolveStatus::Unknown(r) => panic!("scratch aborted without budget: {r}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn incremental_matches_scratch_on_every_prefix(batches in prop::collection::vec(batch(), 1..=3)) {
+        let mut incremental = Solver::with_config(SolverConfig::berkmin());
+        let mut so_far: Vec<Vec<i32>> = Vec::new();
+        for (clauses, assumptions) in &batches {
+            for c in clauses {
+                incremental.add_clause(lits(c));
+                so_far.push(c.clone());
+            }
+            let assumptions = lits(assumptions);
+            let expected = scratch_verdict(&so_far, &assumptions);
+            match incremental.solve_with_assumptions(&assumptions) {
+                SolveStatus::Sat(m) => {
+                    prop_assert!(expected, "incremental SAT, scratch UNSAT");
+                    for &a in &assumptions {
+                        prop_assert!(m.satisfies(a), "model violates assumption {a:?}");
+                    }
+                    // The model satisfies every clause added so far.
+                    for c in &so_far {
+                        prop_assert!(
+                            lits(c).iter().any(|&l| m.satisfies(l)),
+                            "model falsifies clause {c:?}"
+                        );
+                    }
+                    prop_assert!(incremental.failed_assumptions().is_empty());
+                }
+                SolveStatus::Unsat => {
+                    prop_assert!(!expected, "incremental UNSAT, scratch SAT");
+                    let core = incremental.failed_assumptions().to_vec();
+                    for &c in &core {
+                        prop_assert!(
+                            assumptions.contains(&c),
+                            "core literal {c:?} is not an assumption"
+                        );
+                    }
+                    // The core alone (with the formula) is already UNSAT.
+                    prop_assert!(
+                        !scratch_verdict(&so_far, &core),
+                        "reported core {core:?} is not UNSAT-forcing"
+                    );
+                    if core.is_empty() {
+                        prop_assert!(!incremental.is_ok());
+                    }
+                }
+                SolveStatus::Unknown(r) => {
+                    return Err(TestCaseError::fail(format!("aborted without budget: {r}")));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_assumption_queries_are_stable(clauses in prop::collection::vec(clause(), 1..=15),
+                                              asm in prop::collection::vec(dimacs_lit(), 1..=3)) {
+        // Asking the same question twice on a warm solver must give the
+        // same verdict (learnt clauses never change satisfiability).
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        for c in &clauses {
+            s.add_clause(lits(c));
+        }
+        let assumptions = lits(&asm);
+        let first = s.solve_with_assumptions(&assumptions).is_sat();
+        let second = s.solve_with_assumptions(&assumptions).is_sat();
+        prop_assert_eq!(first, second);
+    }
+}

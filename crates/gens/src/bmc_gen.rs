@@ -1,7 +1,7 @@
 //! Bounded-model-checking instances (the SAT-2002 `bmc2/cnt10` analog in
 //! Table 10, plus `fifo`/`f2clk`-style reachability questions).
 
-use berkmin_circuit::arith::counter;
+use berkmin_circuit::arith::{counter, enabled_counter};
 use berkmin_circuit::bmc::unroll;
 use berkmin_circuit::Netlist;
 use berkmin_cnf::Lit;
@@ -31,24 +31,6 @@ pub fn bmc_counter_unsat(bits: usize) -> BenchInstance {
     BenchInstance::new(format!("cnt{bits}u"), enc.cnf, Some(false))
 }
 
-/// Builds a `bits`-bit counter with a per-cycle *enable* input: the count
-/// advances only when enable is high. Outputs the count bits.
-fn enabled_counter(bits: usize) -> Netlist {
-    let mut n = Netlist::new();
-    let en = n.input();
-    let q: Vec<_> = (0..bits).map(|_| n.dff(false)).collect();
-    let mut all_lower = en; // carry chain gated by enable
-    for &qi in &q {
-        let next = n.xor(qi, all_lower);
-        n.connect_dff(qi, next);
-        all_lower = n.and(all_lower, qi);
-    }
-    for &bit in &q {
-        n.set_output(bit);
-    }
-    n
-}
-
 /// `cntN` with a free enable input per cycle: reaching all-ones at cycle
 /// `2^bits − 1` forces *every* enable high — satisfiable with a unique
 /// enable trace the solver must discover (unlike the free-running counter,
@@ -73,6 +55,21 @@ pub fn bmc_counter_enable_unsat(bits: usize) -> BenchInstance {
         enc.constrain_output_at(horizon, o, true);
     }
     BenchInstance::new(format!("cnt{bits}eu"), enc.cnf, Some(false))
+}
+
+/// One per-depth query of the enabled-counter reachability sweep: "is the
+/// count all-ones at cycle `depth`?" — SAT iff `depth ≥ 2^bits − 1` (the
+/// enable input lets the counter park once it arrives). This is the scratch
+/// instance the incremental `BmcDriver` sweep answers with one warm solver;
+/// benches build one per depth to measure what clause reuse saves.
+pub fn bmc_counter_enable_at(bits: usize, depth: usize) -> BenchInstance {
+    let n = enabled_counter(bits);
+    let mut enc = unroll(&n, depth + 1);
+    for o in 0..bits {
+        enc.constrain_output_at(depth, o, true);
+    }
+    let expected = Some(depth >= (1usize << bits) - 1);
+    BenchInstance::new(format!("cnt{bits}e@{depth}"), enc.cnf, expected)
 }
 
 /// Builds a `depth`-stage shift register (FIFO skeleton): input bit enters
@@ -186,6 +183,14 @@ mod tests {
     fn enabled_counter_needs_every_enable() {
         assert!(solve(&bmc_counter_enable(3)));
         assert!(!solve(&bmc_counter_enable_unsat(3)));
+    }
+
+    #[test]
+    fn per_depth_queries_flip_at_the_horizon() {
+        for depth in 0..=8 {
+            let inst = bmc_counter_enable_at(3, depth);
+            assert_eq!(solve(&inst), depth >= 7, "{}", inst.name);
+        }
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Command-line front end: solve a DIMACS CNF file with any of the paper's
 //! solver configurations, optionally emitting and self-checking a DRAT
-//! proof. Output follows the SAT-competition conventions (`c` comments,
-//! `s` status, `v` model lines).
+//! proof — or run an incremental bounded-model-checking sweep with the
+//! `bmc` subcommand. Output follows the SAT-competition conventions
+//! (`c` comments, `s` status, `v` model lines).
 //!
 //! ```text
 //! usage: berkmin-cli [OPTIONS] [FILE]
+//!        berkmin-cli bmc [OPTIONS]
 //!
 //!   FILE                   DIMACS CNF file ('-' or absent = stdin)
 //!   --config NAME          berkmin | chaff | limmat | less-sensitivity |
@@ -15,6 +17,12 @@
 //!   --check-proof          verify the proof with the built-in RUP checker
 //!   --no-model             suppress the 'v' model lines
 //!   --quiet                suppress statistics
+//!
+//! bmc options (enabled-counter all-ones reachability sweep):
+//!   --bits N               counter width (default 3)
+//!   --max-depth D          deepest cycle to try (default 2^bits - 1)
+//!   --scratch              re-solve every depth from scratch instead of
+//!                          reusing one incremental solver (for comparison)
 //! ```
 
 use std::fs;
@@ -22,6 +30,8 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use berkmin::{Budget, SolveStatus, Solver, SolverConfig};
+use berkmin_circuit::arith::enabled_counter;
+use berkmin_circuit::bmc::{scratch_first_reaching_depth, BmcDriver, BmcOutcome};
 use berkmin_cnf::{dimacs, Cnf, LBool, Var};
 use berkmin_drat::{check_refutation, DratProof};
 
@@ -37,9 +47,26 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: berkmin-cli [--config NAME] [--max-conflicts N] [--seed N] \
-         [--proof FILE] [--check-proof] [--no-model] [--quiet] [FILE]"
+         [--proof FILE] [--check-proof] [--no-model] [--quiet] [FILE]\n\
+         \x20      berkmin-cli bmc [--bits N] [--max-depth D] [--config NAME] \
+         [--max-conflicts N] [--seed N] [--scratch] [--quiet]"
     );
     std::process::exit(2);
+}
+
+fn config_by_name(name: &str) -> SolverConfig {
+    match name {
+        "berkmin" => SolverConfig::berkmin(),
+        "chaff" => SolverConfig::chaff_like(),
+        "limmat" => SolverConfig::limmat_like(),
+        "less-sensitivity" => SolverConfig::less_sensitivity(),
+        "less-mobility" => SolverConfig::less_mobility(),
+        "limited-keeping" => SolverConfig::limited_keeping(),
+        other => {
+            eprintln!("unknown config {other:?}");
+            usage()
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -56,18 +83,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--config" => {
                 let name = args.next().unwrap_or_else(|| usage());
-                opts.config = match name.as_str() {
-                    "berkmin" => SolverConfig::berkmin(),
-                    "chaff" => SolverConfig::chaff_like(),
-                    "limmat" => SolverConfig::limmat_like(),
-                    "less-sensitivity" => SolverConfig::less_sensitivity(),
-                    "less-mobility" => SolverConfig::less_mobility(),
-                    "limited-keeping" => SolverConfig::limited_keeping(),
-                    other => {
-                        eprintln!("unknown config {other:?}");
-                        usage()
-                    }
-                };
+                opts.config = config_by_name(&name);
             }
             "--max-conflicts" => {
                 let n = args
@@ -119,7 +135,184 @@ fn read_input(opts: &Options) -> Cnf {
     })
 }
 
+struct BmcOptions {
+    bits: usize,
+    max_depth: Option<usize>,
+    config: SolverConfig,
+    scratch: bool,
+    quiet: bool,
+}
+
+fn parse_bmc_args(argv: &[String]) -> BmcOptions {
+    let mut opts = BmcOptions {
+        bits: 3,
+        max_depth: None,
+        config: SolverConfig::berkmin(),
+        scratch: false,
+        quiet: false,
+    };
+    let mut args = argv.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bits" => {
+                opts.bits = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&b| (1..=16).contains(&b))
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-depth" => {
+                opts.max_depth = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--config" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                opts.config = config_by_name(name);
+            }
+            "--max-conflicts" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.config.budget = Budget::conflicts(n);
+            }
+            "--seed" => {
+                let n = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.config.seed = n;
+            }
+            "--scratch" => opts.scratch = true,
+            "--quiet" => opts.quiet = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// The `bmc` subcommand: sweep an enabled-counter netlist for the first
+/// depth at which the all-ones state is reachable — incrementally (one
+/// growing encoding, one warm solver, per-depth activation literals) or,
+/// with `--scratch`, by re-unrolling and re-solving every depth.
+fn run_bmc(argv: &[String]) -> ExitCode {
+    let opts = parse_bmc_args(argv);
+    let bits = opts.bits;
+    let max_depth = opts.max_depth.unwrap_or((1 << bits) - 1);
+    let pattern: Vec<(usize, bool)> = (0..bits).map(|o| (o, true)).collect();
+    if !opts.quiet {
+        println!(
+            "c berkmin-cli bmc: {bits}-bit enabled counter, all-ones target, \
+             depths 0..={max_depth}, {} mode",
+            if opts.scratch {
+                "scratch"
+            } else {
+                "incremental"
+            }
+        );
+    }
+
+    let netlist = enabled_counter(bits);
+    let start = std::time::Instant::now();
+    let mut total_conflicts = 0u64;
+    let mut outcome: Option<usize> = None;
+    if opts.scratch {
+        let quiet = opts.quiet;
+        let (result, conflicts) = scratch_first_reaching_depth(
+            &netlist,
+            &pattern,
+            max_depth,
+            &opts.config,
+            |t, status, so_far| {
+                if !quiet {
+                    println!(
+                        "c depth {t}: {} (conflicts so far {so_far})",
+                        describe(status)
+                    );
+                }
+            },
+        );
+        total_conflicts = conflicts;
+        match result {
+            BmcOutcome::Reached { depth, .. } => outcome = Some(depth),
+            BmcOutcome::Exhausted => {}
+            BmcOutcome::Aborted { depth, reason } => {
+                println!("s UNKNOWN");
+                println!("c stopped at depth {depth}: {reason}");
+                return ExitCode::SUCCESS;
+            }
+        }
+    } else {
+        let mut driver = BmcDriver::new(netlist, opts.config.clone());
+        for t in 0..=max_depth {
+            let status = driver.check_outputs_at(t, &pattern);
+            total_conflicts = driver.solver().stats().conflicts;
+            if !opts.quiet {
+                println!(
+                    "c depth {t}: {} (conflicts so far {total_conflicts})",
+                    describe(&status)
+                );
+            }
+            match status {
+                SolveStatus::Sat(_) => {
+                    outcome = Some(t);
+                    break;
+                }
+                SolveStatus::Unsat => {}
+                SolveStatus::Unknown(reason) => {
+                    println!("s UNKNOWN");
+                    println!("c stopped at depth {t}: {reason}");
+                    return ExitCode::SUCCESS;
+                }
+            }
+        }
+        let s = driver.solver().stats();
+        if !opts.quiet {
+            println!(
+                "c warm solver: {} solve calls, {} learnt clauses live, {} learnt total",
+                s.solve_calls,
+                driver.solver().num_learnt_clauses(),
+                s.learnt_total
+            );
+        }
+    }
+
+    if !opts.quiet {
+        println!(
+            "c time {:.3} s  total conflicts {total_conflicts}",
+            start.elapsed().as_secs_f64()
+        );
+    }
+    match outcome {
+        Some(depth) => {
+            println!("s SATISFIABLE");
+            println!("c all-ones first reachable at depth {depth}");
+            ExitCode::from(10)
+        }
+        None => {
+            println!("s UNSATISFIABLE");
+            println!("c all-ones unreachable within depth {max_depth}");
+            ExitCode::from(20)
+        }
+    }
+}
+
+fn describe(status: &SolveStatus) -> &'static str {
+    match status {
+        SolveStatus::Sat(_) => "reachable",
+        SolveStatus::Unsat => "unreachable",
+        SolveStatus::Unknown(_) => "unknown",
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("bmc") {
+        return run_bmc(&argv[1..]);
+    }
     let opts = parse_args();
     let cnf = read_input(&opts);
     if !opts.quiet {

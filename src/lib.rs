@@ -33,7 +33,14 @@ pub use berkmin_gens;
 /// The handful of names almost every user wants in scope.
 pub mod prelude {
     pub use berkmin::{Budget, SolveStatus, Solver, SolverConfig, Stats, StopReason};
+    pub use berkmin_circuit::bmc::{BmcDriver, BmcEncoding, BmcOutcome};
     pub use berkmin_cnf::{Assignment, Clause, Cnf, LBool, Lit, Var};
     pub use berkmin_drat::{check_refutation, DratProof};
     pub use berkmin_gens::BenchInstance;
 }
+
+// Compile (and run) the README's code blocks as doctests, so the
+// "Incremental solving" walkthrough can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}

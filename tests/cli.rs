@@ -100,3 +100,36 @@ fn malformed_input_exits_2() {
     let (_, code) = run_with_stdin(&["--quiet"], "p cnf x y\n");
     assert_eq!(code, 2);
 }
+
+#[test]
+fn bmc_subcommand_incremental_and_scratch_agree_on_depth() {
+    // The enabled 3-bit counter first shows all-ones at depth 7; both modes
+    // must find it and exit with the SAT code.
+    for extra in [&[][..], &["--scratch"][..]] {
+        let mut args = vec!["bmc", "--bits", "3"];
+        args.extend_from_slice(extra);
+        let (stdout, code) = run_with_stdin(&args, "");
+        assert_eq!(code, 10, "args {args:?}: {stdout}");
+        assert!(stdout.contains("s SATISFIABLE"), "{stdout}");
+        assert!(
+            stdout.contains("first reachable at depth 7"),
+            "args {args:?}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn bmc_subcommand_reports_unreachable_within_short_bound() {
+    let (stdout, code) = run_with_stdin(&["bmc", "--bits", "3", "--max-depth", "5"], "");
+    assert_eq!(code, 20, "{stdout}");
+    assert!(stdout.contains("s UNSATISFIABLE"), "{stdout}");
+    assert!(stdout.contains("unreachable within depth 5"), "{stdout}");
+}
+
+#[test]
+fn bmc_subcommand_budget_abort_reports_unknown() {
+    let (stdout, code) = run_with_stdin(&["bmc", "--bits", "4", "--max-conflicts", "1"], "");
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("s UNKNOWN"), "{stdout}");
+    assert!(stdout.contains("conflict budget exhausted"), "{stdout}");
+}

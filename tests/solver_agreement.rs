@@ -144,6 +144,89 @@ fn berkmin_and_chaff_agree_on_fifty_random_3sat_instances() {
 }
 
 #[test]
+fn berkmin_and_chaff_agree_under_random_assumption_sets() {
+    // Assumption sweep: for random 3-SAT instances near the phase
+    // transition, the BerkMin and Chaff-like configurations must agree on
+    // SAT/UNSAT under every random assumption set, each warm solver
+    // carrying its learnt clauses across the per-instance queries. SAT
+    // models must honor the assumptions; UNSAT cores must be subsets of
+    // the assumptions that are themselves UNSAT-forcing.
+    let (mut sat_seen, mut unsat_seen) = (0u32, 0u32);
+    for seed in 0..12u64 {
+        let n = 20;
+        let m = 70 + (seed as usize % 5) * 7; // straddle the transition
+        let inst = ksat::random_ksat(n, m, 3, seed);
+        let mut berkmin_solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
+        let mut chaff_solver = Solver::new(&inst.cnf, SolverConfig::chaff_like());
+        for round in 0..4u64 {
+            // Deterministic pseudo-random assumption set, 1..=3 literals.
+            let mut x = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(round + 1);
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let count = 1 + (next() % 3) as usize;
+            let assumptions: Vec<Lit> = (0..count)
+                .map(|_| {
+                    let v = (next() % n as u64) as u32;
+                    Lit::new(Var::new(v), next() & 1 == 0)
+                })
+                .collect();
+            let verdicts: Vec<bool> = [
+                (&mut berkmin_solver, "berkmin"),
+                (&mut chaff_solver, "chaff"),
+            ]
+            .into_iter()
+            .map(
+                |(solver, name)| match solver.solve_with_assumptions(&assumptions) {
+                    SolveStatus::Sat(model) => {
+                        assert!(inst.cnf.is_satisfied_by(&model), "{name} bad model");
+                        for &a in &assumptions {
+                            assert!(model.satisfies(a), "{name} ignored assumption {a:?}");
+                        }
+                        true
+                    }
+                    SolveStatus::Unsat => {
+                        for &c in solver.failed_assumptions() {
+                            assert!(
+                                assumptions.contains(&c),
+                                "{name} core literal {c:?} not among assumptions"
+                            );
+                        }
+                        let core = solver.failed_assumptions().to_vec();
+                        assert!(
+                            solver.solve_with_assumptions(&core).is_unsat(),
+                            "{name} core is not UNSAT-forcing"
+                        );
+                        false
+                    }
+                    SolveStatus::Unknown(r) => {
+                        panic!("{name} on {} aborted without budget: {r}", inst.name)
+                    }
+                },
+            )
+            .collect();
+            assert_eq!(
+                verdicts[0], verdicts[1],
+                "configs disagree on {} (seed {seed}, round {round}, {assumptions:?})",
+                inst.name
+            );
+            if verdicts[0] {
+                sat_seen += 1;
+            } else {
+                unsat_seen += 1;
+            }
+        }
+    }
+    assert!(sat_seen > 0, "sweep never produced a SAT query");
+    assert!(unsat_seen > 0, "sweep never produced an UNSAT query");
+}
+
+#[test]
 fn restart_policies_never_change_verdicts() {
     let instances = [hole::pigeonhole(5), parity::parity_learning(10, 14, 7)];
     for inst in &instances {

@@ -44,6 +44,12 @@ fn ci_keeps_the_bench_smoke_step() {
          bench layer would rot silently without it"
     );
     assert!(
+        ci.contains("cargo bench -p berkmin-bench --bench incremental_bmc -- --test"),
+        "CI workflow dropped the incremental-BMC bench smoke step; it is \
+         what re-checks that clause reuse keeps beating per-depth scratch \
+         re-solving"
+    );
+    assert!(
         ci.contains("workspace-guard:"),
         "CI workflow lost its marker comment linking back to tests/workspace_guard.rs"
     );
