@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use berkmin::SolverConfig;
+use berkmin::{SatEngine, SolverBuilder, SolverConfig};
 use berkmin_circuit::arith::enabled_counter;
 use berkmin_circuit::bmc::{scratch_first_reaching_depth, BmcDriver, BmcOutcome};
 
@@ -38,7 +38,24 @@ fn incremental_sweep(bits: usize, max_depth: usize) -> (Option<usize>, u64) {
         BmcOutcome::Exhausted => None,
         BmcOutcome::Aborted { reason, .. } => panic!("aborted without budget: {reason}"),
     };
-    (depth, driver.solver().stats().conflicts)
+    (depth, driver.engine().stats().conflicts)
+}
+
+/// The same incremental sweep, but driven through a `Box<dyn SatEngine>`
+/// trait object — the API-redesign guard: the trait indirection must cost
+/// nothing observable, i.e. the search (conflict count) is *identical* to
+/// the concrete-type path.
+fn dyn_engine_sweep(bits: usize, max_depth: usize) -> (Option<usize>, u64) {
+    let pattern: Vec<(usize, bool)> = (0..bits).map(|o| (o, true)).collect();
+    let engine: Box<dyn SatEngine> =
+        SolverBuilder::with_config(SolverConfig::berkmin()).build_engine();
+    let mut driver = BmcDriver::with_engine(enabled_counter(bits), engine);
+    let depth = match driver.first_reaching_depth(&pattern, max_depth) {
+        BmcOutcome::Reached { depth, .. } => Some(depth),
+        BmcOutcome::Exhausted => None,
+        BmcOutcome::Aborted { reason, .. } => panic!("aborted without budget: {reason}"),
+    };
+    (depth, driver.engine().stats().conflicts)
 }
 
 fn bench_incremental_bmc(c: &mut Criterion) {
@@ -56,6 +73,14 @@ fn bench_incremental_bmc(c: &mut Criterion) {
             incremental_conflicts < scratch_conflicts,
             "clause reuse regressed at {bits} bits: incremental \
              {incremental_conflicts} >= scratch {scratch_conflicts} conflicts"
+        );
+        // Trait-object guard: the dyn-SatEngine sweep must be search-for-
+        // search identical to the concrete-type sweep.
+        let (dyn_depth, dyn_conflicts) = dyn_engine_sweep(bits, horizon);
+        assert_eq!(dyn_depth, incremental_depth);
+        assert_eq!(
+            dyn_conflicts, incremental_conflicts,
+            "dyn SatEngine indirection changed the search at {bits} bits"
         );
         group.bench_function(format!("scratch_cnt{bits}e"), |b| {
             b.iter_batched(

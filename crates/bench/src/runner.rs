@@ -1,8 +1,11 @@
-//! Instance and suite runners with deterministic budgets.
+//! Instance and suite runners with deterministic budgets. The run path is
+//! engine-generic: every instance is driven through `dyn SatEngine`, so
+//! the harness measures whatever engine a configuration (or an entirely
+//! different backend) builds.
 
 use std::time::{Duration, Instant};
 
-use berkmin::{Budget, SolveStatus, Solver, SolverConfig, Stats};
+use berkmin::{Budget, SatEngine, SolveStatus, SolverBuilder, SolverConfig, Stats};
 use berkmin_gens::BenchInstance;
 
 /// Verdict of a single run.
@@ -40,7 +43,8 @@ pub struct RunResult {
     pub stats: Stats,
 }
 
-/// Runs `inst` under `config` with the given conflict budget.
+/// Runs `inst` under `config` with the given conflict budget: builds the
+/// configured engine and delegates to the engine-generic [`run_engine`].
 ///
 /// # Panics
 ///
@@ -48,9 +52,27 @@ pub struct RunResult {
 /// expectation, or if a SAT model fails verification — an experiment with a
 /// wrong answer must never be reported.
 pub fn run_instance(inst: &BenchInstance, config: &SolverConfig, budget: Budget) -> RunResult {
-    let mut solver = Solver::new(&inst.cnf, config.clone().with_budget(budget));
+    let mut engine = SolverBuilder::with_config(config.clone().with_budget(budget)).build_engine();
+    // Feed the borrowed formula straight through the trait surface rather
+    // than `SolverBuilder::cnf`, which would buffer a per-clause copy only
+    // for `build()` to replay — this path runs 50× per sweep.
+    engine.reserve_vars(inst.cnf.num_vars());
+    for clause in &inst.cnf {
+        engine.add_clause(clause.lits());
+    }
+    run_engine(inst, engine.as_mut())
+}
+
+/// Runs `inst` on a pre-built engine already loaded with the instance's
+/// clauses — the measurement core every harness shares, generic over any
+/// [`SatEngine`].
+///
+/// # Panics
+///
+/// Same verdict/model checks as [`run_instance`].
+pub fn run_engine(inst: &BenchInstance, engine: &mut dyn SatEngine) -> RunResult {
     let start = Instant::now();
-    let status = solver.solve();
+    let status = engine.solve();
     let time = start.elapsed();
     let verdict = match &status {
         SolveStatus::Sat(model) => {
@@ -82,7 +104,7 @@ pub fn run_instance(inst: &BenchInstance, config: &SolverConfig, budget: Budget)
         name: inst.name.clone(),
         verdict,
         time,
-        stats: solver.stats().clone(),
+        stats: engine.stats().clone(),
     }
 }
 

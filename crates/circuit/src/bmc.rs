@@ -19,7 +19,7 @@
 //!   this answers the same questions in a fraction of the conflicts of
 //!   per-depth scratch re-solving.
 
-use berkmin::{SolveStatus, Solver, SolverConfig, StopReason};
+use berkmin::{SatEngine, SolveStatus, Solver, SolverBuilder, SolverConfig, StopReason};
 use berkmin_cnf::{Assignment, Cnf, Lit, Var};
 
 use crate::netlist::{Gate, Netlist};
@@ -210,7 +210,13 @@ pub enum BmcOutcome {
 }
 
 /// Incremental bounded-model-checking driver: one growing unrolling, one
-/// warm solver, per-depth properties asserted via activation literals.
+/// warm engine, per-depth properties asserted via activation literals.
+///
+/// The driver is generic over any [`SatEngine`] (defaulting to the
+/// concrete [`Solver`]): [`BmcDriver::new`] builds a BerkMin engine from a
+/// [`SolverConfig`], while [`BmcDriver::with_engine`] accepts a
+/// pre-assembled engine — including a `Box<dyn SatEngine>`, so harnesses
+/// can pick the configuration at runtime behind one trait object.
 ///
 /// Each query [`BmcDriver::check_outputs_at`] allocates a fresh activation
 /// variable `act`, adds guard clauses `¬act ∨ constraint` and solves under
@@ -236,11 +242,11 @@ pub enum BmcOutcome {
 /// }
 /// ```
 #[derive(Debug)]
-pub struct BmcDriver {
+pub struct BmcDriver<E: SatEngine = Solver> {
     netlist: Netlist,
     enc: BmcEncoding,
-    solver: Solver,
-    /// Number of `enc.cnf` clauses already fed to the solver.
+    engine: E,
+    /// Number of `enc.cnf` clauses already fed to the engine.
     clauses_fed: usize,
     /// Activation literal of the last query, retired (unit `¬act`) at the
     /// start of the next one — deferred so that a SAT answer's model still
@@ -249,13 +255,23 @@ pub struct BmcDriver {
 }
 
 impl BmcDriver {
-    /// Creates a driver for `netlist` with a fresh solver under `config`.
-    /// No frame is unrolled yet; queries extend the encoding on demand.
+    /// Creates a driver for `netlist` with a fresh BerkMin engine under
+    /// `config`. No frame is unrolled yet; queries extend the encoding on
+    /// demand.
     pub fn new(netlist: Netlist, config: SolverConfig) -> Self {
+        BmcDriver::with_engine(netlist, SolverBuilder::with_config(config).build())
+    }
+}
+
+impl<E: SatEngine> BmcDriver<E> {
+    /// Creates a driver for `netlist` around a pre-assembled engine (e.g.
+    /// a `Box<dyn SatEngine>` from
+    /// [`SolverBuilder::build_engine`](berkmin::SolverBuilder::build_engine)).
+    pub fn with_engine(netlist: Netlist, engine: E) -> Self {
         BmcDriver {
             netlist,
             enc: BmcEncoding::new(),
-            solver: Solver::with_config(config),
+            engine,
             clauses_fed: 0,
             pending_retire: None,
         }
@@ -266,9 +282,16 @@ impl BmcDriver {
         &self.enc
     }
 
-    /// The underlying warm solver (stats, learnt-clause counts, …).
-    pub fn solver(&self) -> &Solver {
-        &self.solver
+    /// The underlying warm engine (stats, failed cores, …).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Deprecated name of [`BmcDriver::engine`], from when the driver was
+    /// hard-wired to the concrete [`Solver`].
+    #[deprecated(note = "use `engine()`")]
+    pub fn solver(&self) -> &E {
+        &self.engine
     }
 
     /// The netlist being checked.
@@ -277,7 +300,7 @@ impl BmcDriver {
     }
 
     /// Extends the unrolling to at least `steps` cycles and feeds every new
-    /// clause to the solver. Learnt clauses from earlier depths are kept:
+    /// clause to the engine. Learnt clauses from earlier depths are kept:
     /// they are consequences of the (monotonically growing) formula.
     pub fn extend_to(&mut self, steps: usize) {
         while self.enc.steps() < steps {
@@ -286,13 +309,13 @@ impl BmcDriver {
         self.sync();
     }
 
-    /// Feeds the encoding's clauses the solver has not seen yet, keeping
+    /// Feeds the encoding's clauses the engine has not seen yet, keeping
     /// the variable spaces aligned even for constraint-free variables
     /// (primary inputs).
     fn sync(&mut self) {
-        self.solver.reserve_vars(self.enc.cnf.num_vars());
+        self.engine.reserve_vars(self.enc.cnf.num_vars());
         for clause in &self.enc.cnf.clauses()[self.clauses_fed..] {
-            self.solver.add_clause(clause.iter().copied());
+            self.engine.add_clause(clause.lits());
         }
         self.clauses_fed = self.enc.cnf.num_clauses();
     }
@@ -318,7 +341,8 @@ impl BmcDriver {
             self.enc.cnf.add_clause([!act, out]);
         }
         self.sync();
-        let status = self.solver.solve_with_assumptions(&[act]);
+        self.engine.assume(act);
+        let status = self.engine.solve();
         self.pending_retire = Some(act);
         status
     }
@@ -536,24 +560,24 @@ mod tests {
         for t in 0..7 {
             assert!(driver.check_outputs_at(t, &pattern).is_unsat(), "depth {t}");
             assert_eq!(
-                driver.solver().failed_assumptions().len(),
+                driver.engine().failed_assumptions().len(),
                 1,
                 "per-depth UNSAT must core on the activation literal"
             );
         }
         assert!(
-            driver.solver().stats().learnt_total > 0,
+            driver.engine().stats().learnt_total > 0,
             "enabled-counter BMC must force learning"
         );
         assert!(
-            driver.solver().num_learnt_clauses() > 0,
+            driver.engine().num_learnt_clauses() > 0,
             "learnt clauses wiped between depths"
         );
         assert!(
-            driver.solver().decision_heap_len() > 0,
+            driver.engine().decision_heap_len() > 0,
             "decision heap emptied between calls"
         );
-        assert_eq!(driver.solver().stats().solve_calls, 7);
+        assert_eq!(driver.engine().stats().solve_calls, 7);
         // Depth 7 is then reachable on the same warm solver.
         assert!(driver.check_outputs_at(7, &pattern).is_sat());
     }
@@ -574,7 +598,7 @@ mod tests {
             BmcOutcome::Reached { depth, .. } => assert_eq!(depth, 7),
             other => panic!("expected Reached, got {other:?}"),
         }
-        let incremental_conflicts = driver.solver().stats().conflicts;
+        let incremental_conflicts = driver.engine().stats().conflicts;
         assert!(
             incremental_conflicts < scratch_conflicts,
             "incremental ({incremental_conflicts} conflicts) not cheaper \

@@ -22,9 +22,9 @@
 //! ```
 
 use std::fmt;
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 
-use crate::{Cnf, Lit};
+use crate::{ClauseSink, Cnf, Lit};
 
 /// Error produced when DIMACS text cannot be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,7 +77,11 @@ impl std::error::Error for ParseDimacsError {}
 ///
 /// The declared variable count in the `p cnf` header is honored as a lower
 /// bound (files sometimes understate it); the declared clause count is
-/// ignored, as many historical files get it wrong.
+/// ignored, as many historical files get it wrong. Should a file carry
+/// several header lines (malformed but tolerated), the **largest**
+/// declared variable count wins — a streaming sink can only ever grow its
+/// variable space, so this is the one semantics both the buffered and
+/// streaming paths can share.
 ///
 /// # Errors
 ///
@@ -85,22 +89,99 @@ impl std::error::Error for ParseDimacsError {}
 /// an unterminated final clause.
 pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
     let mut cnf = Cnf::new();
-    let mut current: Vec<Lit> = Vec::new();
-    let mut declared_vars: usize = 0;
-    let mut last_line = 0;
-
+    let mut state = LineParser::default();
     for (lineno, line) in text.lines().enumerate() {
-        let lineno = lineno + 1;
-        last_line = lineno;
+        if !state.line(lineno + 1, line, &mut cnf)? {
+            break;
+        }
+    }
+    state.finish(&mut cnf)?;
+    Ok(cnf)
+}
+
+/// What [`stream_into`] saw: the effective variable count (the larger of
+/// the declared header count and the largest variable actually referenced)
+/// and the number of clauses delivered to the sink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DimacsSummary {
+    /// Effective number of variables (header lower bound honored).
+    pub num_vars: usize,
+    /// Number of clauses emitted to the sink.
+    pub num_clauses: usize,
+}
+
+/// Reads DIMACS CNF from `reader` and feeds it clause-by-clause into
+/// `sink` — no intermediate [`Cnf`] is built, so a solver implementing
+/// [`ClauseSink`] ingests arbitrarily large files at a constant memory
+/// overhead (one line plus one clause).
+///
+/// Accepts the same dialect as [`parse`] (comments anywhere, clauses
+/// spanning/sharing lines, `%` terminator, understated headers, largest
+/// header winning when several occur) and reports the same errors on the
+/// same lines; `stream_into` into a fresh [`Cnf`] produces exactly what
+/// `parse` returns (a property test pins this agreement).
+///
+/// # Errors
+///
+/// Returns [`ReadDimacsError::Io`] on reader failure and
+/// [`ReadDimacsError::Parse`] on malformed content. The sink may have
+/// received any prefix of the stream when an error is returned.
+pub fn stream_into<R: Read, S: ClauseSink>(
+    reader: R,
+    sink: &mut S,
+) -> Result<DimacsSummary, ReadDimacsError> {
+    let mut reader = BufReader::new(reader);
+    let mut state = LineParser::default();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(ReadDimacsError::Io)?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        if !state
+            .line(lineno, &line, sink)
+            .map_err(ReadDimacsError::Parse)?
+        {
+            break;
+        }
+    }
+    state.finish(sink).map_err(ReadDimacsError::Parse)
+}
+
+/// The shared DIMACS line-parsing core behind [`parse`] and
+/// [`stream_into`]: both feed lines through [`LineParser::line`] and close
+/// with [`LineParser::finish`], so the buffered and streaming paths cannot
+/// drift apart in dialect or error reporting.
+#[derive(Default)]
+struct LineParser {
+    current: Vec<Lit>,
+    summary: DimacsSummary,
+    max_var: usize,
+    last_line: usize,
+}
+
+impl LineParser {
+    /// Processes one input line (1-based `lineno`). Returns `Ok(false)` on
+    /// the `%` terminator line, after which no further lines should be fed.
+    fn line<S: ClauseSink>(
+        &mut self,
+        lineno: usize,
+        line: &str,
+        sink: &mut S,
+    ) -> Result<bool, ParseDimacsError> {
+        self.last_line = lineno;
         let trimmed = line.trim();
         if trimmed.is_empty() {
-            continue;
+            return Ok(true);
         }
         if let Some(comment) = trimmed.strip_prefix('c') {
             // `c` must be a standalone token ("c foo"), not e.g. "clause".
             if comment.is_empty() || comment.starts_with(char::is_whitespace) {
-                cnf.add_comment(comment.trim_start());
-                continue;
+                sink.comment(comment.trim_start());
+                return Ok(true);
             }
             return Err(ParseDimacsError {
                 line: lineno,
@@ -118,12 +199,14 @@ pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
                     kind: ErrorKind::BadHeader(trimmed.into()),
                 });
             }
-            declared_vars = nv.unwrap();
-            continue;
+            let (nv, nc) = (nv.unwrap(), nc.unwrap());
+            self.summary.num_vars = self.summary.num_vars.max(nv);
+            sink.header(nv, nc);
+            return Ok(true);
         }
         // `%` terminates some SATLIB files.
         if trimmed.starts_with('%') {
-            break;
+            return Ok(false);
         }
         for tok in trimmed.split_whitespace() {
             let n: i64 = tok.parse().map_err(|_| ParseDimacsError {
@@ -131,7 +214,9 @@ pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
                 kind: ErrorKind::BadToken(tok.into()),
             })?;
             if n == 0 {
-                cnf.add_clause(current.drain(..));
+                self.summary.num_clauses += 1;
+                sink.clause(&self.current);
+                self.current.clear();
             } else {
                 if n.unsigned_abs() > u32::MAX as u64 / 2 {
                     return Err(ParseDimacsError {
@@ -139,27 +224,26 @@ pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
                         kind: ErrorKind::LiteralOutOfRange(n),
                     });
                 }
-                current.push(Lit::from_dimacs(n as i32));
+                self.max_var = self.max_var.max(n.unsigned_abs() as usize);
+                self.current.push(Lit::from_dimacs(n as i32));
             }
         }
+        Ok(true)
     }
-    if !current.is_empty() {
-        return Err(ParseDimacsError {
-            line: last_line,
-            kind: ErrorKind::UnterminatedClause,
-        });
-    }
-    if declared_vars > cnf.num_vars() {
-        let mut grown = Cnf::with_vars(declared_vars);
-        for c in cnf.iter() {
-            grown.push_clause(c.clone());
+
+    /// Closes the stream: rejects an unterminated trailing clause and
+    /// returns the effective summary.
+    fn finish<S: ClauseSink>(self, _sink: &mut S) -> Result<DimacsSummary, ParseDimacsError> {
+        if !self.current.is_empty() {
+            return Err(ParseDimacsError {
+                line: self.last_line,
+                kind: ErrorKind::UnterminatedClause,
+            });
         }
-        for c in cnf.comments() {
-            grown.add_comment(c.clone());
-        }
-        return Ok(grown);
+        let mut summary = self.summary;
+        summary.num_vars = summary.num_vars.max(self.max_var);
+        Ok(summary)
     }
-    Ok(cnf)
 }
 
 /// Reads and parses DIMACS CNF from any [`Read`] implementor (a `&mut`
@@ -169,12 +253,10 @@ pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
 ///
 /// Returns [`ReadDimacsError::Io`] on I/O failure and
 /// [`ReadDimacsError::Parse`] on malformed content.
-pub fn read<R: Read>(mut reader: R) -> Result<Cnf, ReadDimacsError> {
-    let mut text = String::new();
-    reader
-        .read_to_string(&mut text)
-        .map_err(ReadDimacsError::Io)?;
-    parse(&text).map_err(ReadDimacsError::Parse)
+pub fn read<R: Read>(reader: R) -> Result<Cnf, ReadDimacsError> {
+    let mut cnf = Cnf::new();
+    stream_into(reader, &mut cnf)?;
+    Ok(cnf)
 }
 
 /// Error produced by [`read`].

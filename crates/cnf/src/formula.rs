@@ -65,6 +65,13 @@ impl Cnf {
         self.num_vars
     }
 
+    /// Grows the variable count to at least `n` without adding clauses —
+    /// used when an external source (a DIMACS header, a solver) declares
+    /// variables the clauses may never mention. Never shrinks.
+    pub fn ensure_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
     /// Number of clauses.
     #[inline]
     pub fn num_clauses(&self) -> usize {

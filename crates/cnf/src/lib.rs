@@ -35,8 +35,10 @@ mod clause;
 pub mod dimacs;
 mod formula;
 mod lit;
+mod sink;
 
 pub use assignment::{Assignment, LBool};
 pub use clause::Clause;
 pub use formula::Cnf;
 pub use lit::{Lit, Var};
+pub use sink::ClauseSink;

@@ -1,0 +1,120 @@
+//! Streaming clause consumption.
+//!
+//! [`ClauseSink`] is the receiving end of clause *producers* — most
+//! prominently [`dimacs::stream_into`](crate::dimacs::stream_into), which
+//! feeds a DIMACS file clause-by-clause into any sink without materializing
+//! an intermediate [`Cnf`]. A solver that implements `ClauseSink` therefore
+//! ingests problem files straight into its internal clause database; `Cnf`
+//! implements it too, so the buffered and streaming paths share one
+//! vocabulary.
+//!
+//! # Examples
+//!
+//! ```
+//! use berkmin_cnf::{dimacs, ClauseSink, Cnf, Lit};
+//!
+//! /// A sink that only counts.
+//! #[derive(Default)]
+//! struct Counter {
+//!     clauses: usize,
+//!     lits: usize,
+//! }
+//!
+//! impl ClauseSink for Counter {
+//!     fn clause(&mut self, lits: &[Lit]) {
+//!         self.clauses += 1;
+//!         self.lits += lits.len();
+//!     }
+//! }
+//!
+//! let mut counter = Counter::default();
+//! let summary = dimacs::stream_into("p cnf 3 2\n1 -2 0\n2 3 0\n".as_bytes(), &mut counter)?;
+//! assert_eq!((counter.clauses, counter.lits), (2, 4));
+//! assert_eq!((summary.num_vars, summary.num_clauses), (3, 2));
+//! # Ok::<(), berkmin_cnf::dimacs::ReadDimacsError>(())
+//! ```
+
+use crate::{Cnf, Lit};
+
+/// Receiver of a clause stream (e.g. from a DIMACS parse).
+///
+/// Producers call the methods in document order: [`ClauseSink::header`]
+/// and [`ClauseSink::comment`] as encountered, [`ClauseSink::clause`] once
+/// per terminated clause. Only `clause` is mandatory; the other callbacks
+/// default to no-ops, so sinks that just want the clauses (a solver, a
+/// counter) implement a single method.
+pub trait ClauseSink {
+    /// A `p cnf <num_vars> <num_clauses>` header line was seen. The declared
+    /// variable count is a *lower bound* on the variable space (historical
+    /// files understate it); sinks that track variables should grow to at
+    /// least `num_vars`. The declared clause count is advisory only.
+    fn header(&mut self, num_vars: usize, num_clauses: usize) {
+        let _ = (num_vars, num_clauses);
+    }
+
+    /// A complete clause was read (the literals before its `0` terminator,
+    /// in input order, unnormalized). The slice is only valid for the
+    /// duration of the call.
+    fn clause(&mut self, lits: &[Lit]);
+
+    /// A `c` comment line was seen (leading whitespace stripped).
+    fn comment(&mut self, text: &str) {
+        let _ = text;
+    }
+}
+
+impl<S: ClauseSink + ?Sized> ClauseSink for &mut S {
+    fn header(&mut self, num_vars: usize, num_clauses: usize) {
+        (**self).header(num_vars, num_clauses);
+    }
+
+    fn clause(&mut self, lits: &[Lit]) {
+        (**self).clause(lits);
+    }
+
+    fn comment(&mut self, text: &str) {
+        (**self).comment(text);
+    }
+}
+
+/// Streaming into a [`Cnf`] reproduces exactly what
+/// [`dimacs::parse`](crate::dimacs::parse) builds: clauses in input order,
+/// the declared variable count honored as a lower bound, comments kept.
+impl ClauseSink for Cnf {
+    fn header(&mut self, num_vars: usize, _num_clauses: usize) {
+        self.ensure_vars(num_vars);
+    }
+
+    fn clause(&mut self, lits: &[Lit]) {
+        self.add_clause(lits.iter().copied());
+    }
+
+    fn comment(&mut self, text: &str) {
+        self.add_comment(text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    #[test]
+    fn cnf_sink_grows_vars_from_header_and_clauses() {
+        let mut cnf = Cnf::new();
+        ClauseSink::header(&mut cnf, 5, 1);
+        assert_eq!(cnf.num_vars(), 5);
+        ClauseSink::clause(&mut cnf, &[Lit::pos(Var::new(8))]);
+        assert_eq!(cnf.num_vars(), 9);
+        ClauseSink::comment(&mut cnf, "hello");
+        assert_eq!(cnf.comments(), &["hello".to_string()]);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut cnf = Cnf::new();
+        let mut sink = &mut cnf;
+        ClauseSink::clause(&mut sink, &[Lit::pos(Var::new(0))]);
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+}

@@ -246,7 +246,7 @@ mod tests {
         // Force the conflict by deciding a=0 manually.
         let mut s = paper_example_solver(SolverConfig::berkmin());
         assert!(s.propagate().is_none());
-        s.assume(lit(-1));
+        s.push_decision(lit(-1));
         let confl = s.propagate().expect("a=0 must conflict (paper §2)");
         let (learnt, bt) = s.analyze(confl);
         // The conflict is confined to level 1, so we backtrack to 0 and the
@@ -276,7 +276,7 @@ mod tests {
             cfg.sensitivity = sens;
             let mut s = paper_example_solver(cfg);
             assert!(s.propagate().is_none());
-            s.assume(lit(-1));
+            s.push_decision(lit(-1));
             let confl = s.propagate().unwrap();
             let (learnt, bt) = s.analyze(confl);
             s.cancel_until(bt);
@@ -297,7 +297,7 @@ mod tests {
     fn clause_activity_counts_responsibility() {
         let mut s = paper_example_solver(SolverConfig::berkmin());
         assert!(s.propagate().is_none());
-        s.assume(lit(-1));
+        s.push_decision(lit(-1));
         let confl = s.propagate().unwrap();
         let before: u32 = s.db.iter_live().map(|c| s.db.activity(c)).sum();
         assert_eq!(before, 0);

@@ -1,0 +1,250 @@
+//! Construction-time assembly of a solver session.
+//!
+//! [`SolverBuilder`] owns everything a [`Solver`] needs *before* the first
+//! solve call: the [`SolverConfig`], the proof sink (attached once, at
+//! construction — not per call), a reserved variable space, initial
+//! clauses, and the two IPASIR-style solve-event hooks (terminate and
+//! learnt-clause callbacks). `build()` yields a concrete [`Solver`];
+//! `build_engine()` yields it as a `Box<dyn SatEngine>` for drivers that
+//! are generic over engines.
+
+use berkmin_cnf::{ClauseSink, Cnf, Lit};
+
+use crate::config::SolverConfig;
+use crate::engine::SatEngine;
+use crate::proof::ProofSink;
+use crate::solver::{LearntCallback, Solver, TerminateCallback};
+
+/// Builder for a [`Solver`] session.
+///
+/// # Examples
+///
+/// Assemble a session with clauses, an assumption, and solve:
+///
+/// ```
+/// use berkmin::{SolverBuilder, SolverConfig};
+/// use berkmin_cnf::Lit;
+///
+/// let [a, b] = [1, 2].map(Lit::from_dimacs);
+/// let mut solver = SolverBuilder::with_config(SolverConfig::berkmin())
+///     .clause([a, b])
+///     .clause([!a, b])
+///     .build();
+/// solver.assume(!b);
+/// assert!(solver.solve().is_unsat());
+/// assert_eq!(solver.failed_assumptions(), &[!b]);
+/// assert!(solver.solve().is_sat()); // assumptions were consumed
+/// ```
+///
+/// Event hooks are installed here too — a terminate callback polled at
+/// restart boundaries and a learnt-clause callback for short clauses:
+///
+/// ```
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// use berkmin::SolverBuilder;
+/// use berkmin_cnf::Lit;
+///
+/// let learnt = Rc::new(RefCell::new(Vec::new()));
+/// let tap = Rc::clone(&learnt);
+/// let mut solver = SolverBuilder::new()
+///     .on_learnt(4, move |clause| tap.borrow_mut().push(clause.to_vec()))
+///     .clause([Lit::from_dimacs(1), Lit::from_dimacs(2)])
+///     .build();
+/// assert!(solver.solve().is_sat()); // (trivially SAT: nothing learnt)
+/// assert!(learnt.borrow().is_empty());
+/// ```
+#[must_use = "a builder does nothing until `build()` or `build_engine()`"]
+pub struct SolverBuilder {
+    config: SolverConfig,
+    proof: Option<Box<dyn ProofSink>>,
+    reserve_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    terminate: Option<TerminateCallback>,
+    on_learnt: Option<(usize, LearntCallback)>,
+}
+
+impl Default for SolverBuilder {
+    fn default() -> Self {
+        SolverBuilder::new()
+    }
+}
+
+impl SolverBuilder {
+    /// A builder with the paper's full BerkMin configuration.
+    pub fn new() -> Self {
+        SolverBuilder::with_config(SolverConfig::berkmin())
+    }
+
+    /// A builder with an explicit configuration (any preset or custom
+    /// [`SolverConfig`]).
+    pub fn with_config(config: SolverConfig) -> Self {
+        SolverBuilder {
+            config,
+            proof: None,
+            reserve_vars: 0,
+            clauses: Vec::new(),
+            terminate: None,
+            on_learnt: None,
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn config(mut self, config: SolverConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches the proof sink every [`Solver::solve`] call will report
+    /// learnt clauses and deletions to. Attach an
+    /// `Rc<RefCell<...>>`-wrapped sink (which implements [`ProofSink`])
+    /// to keep a handle for reading the proof back after solving.
+    pub fn proof(mut self, sink: impl ProofSink + 'static) -> Self {
+        self.proof = Some(Box::new(sink));
+        self
+    }
+
+    /// Pre-reserves a variable space of at least `n` variables.
+    pub fn reserve_vars(mut self, n: usize) -> Self {
+        self.reserve_vars = self.reserve_vars.max(n);
+        self
+    }
+
+    /// Appends one initial clause.
+    pub fn clause(mut self, lits: impl IntoIterator<Item = Lit>) -> Self {
+        self.clauses.push(lits.into_iter().collect());
+        self
+    }
+
+    /// Appends every clause of `cnf` and reserves its variable space.
+    pub fn cnf(mut self, cnf: &Cnf) -> Self {
+        self.reserve_vars = self.reserve_vars.max(cnf.num_vars());
+        for clause in cnf {
+            self.clauses.push(clause.iter().copied().collect());
+        }
+        self
+    }
+
+    /// Installs the terminate callback: polled at solve entry and at every
+    /// restart boundary; returning `true` aborts the running call with
+    /// [`SolveStatus::Unknown`](crate::SolveStatus::Unknown)\(
+    /// [`StopReason::Callback`](crate::StopReason::Callback)\). Budgets are
+    /// unaffected — a later call proceeds with its full per-call allowance.
+    /// The callback observes only its captured state (no solver access), so
+    /// it cannot perturb the search it interrupts.
+    pub fn on_terminate(mut self, callback: impl FnMut() -> bool + 'static) -> Self {
+        self.terminate = Some(Box::new(callback));
+        self
+    }
+
+    /// Installs the learnt-clause callback: fired once per conflict-derived
+    /// learnt clause of length ≤ `max_len` (asserting literal first),
+    /// right after the clause is reported to the proof sink and before the
+    /// search resumes. Every delivered clause is a logical consequence of
+    /// the formula alone — assumptions never leak into learnt clauses — so
+    /// IC3/BMC-style drivers may forward them to sibling solvers.
+    pub fn on_learnt(mut self, max_len: usize, callback: impl FnMut(&[Lit]) + 'static) -> Self {
+        self.on_learnt = Some((max_len, Box::new(callback)));
+        self
+    }
+
+    /// Builds the concrete [`Solver`].
+    pub fn build(self) -> Solver {
+        let mut solver = Solver::with_config(self.config);
+        if let Some(sink) = self.proof {
+            solver.replace_proof_sink(sink);
+        }
+        solver.set_terminate(self.terminate);
+        solver.set_learnt_callback(self.on_learnt);
+        solver.reserve_vars(self.reserve_vars);
+        for clause in self.clauses {
+            solver.add_clause(clause);
+        }
+        solver
+    }
+
+    /// Builds the solver as a boxed [`SatEngine`] trait object — the form
+    /// engine-generic drivers (BMC, bench harness, CLI) consume.
+    pub fn build_engine(self) -> Box<dyn SatEngine> {
+        Box::new(self.build())
+    }
+}
+
+/// Streaming DIMACS into a builder buffers the clauses for `build()`.
+/// (Prefer streaming into the built [`Solver`] directly when no further
+/// construction-time choices depend on the file's contents.)
+impl ClauseSink for SolverBuilder {
+    fn header(&mut self, num_vars: usize, _num_clauses: usize) {
+        self.reserve_vars = self.reserve_vars.max(num_vars);
+    }
+
+    fn clause(&mut self, lits: &[Lit]) {
+        self.clauses.push(lits.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    #[test]
+    fn builder_matches_direct_construction() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([lit(1), lit(2)]);
+        cnf.add_clause([lit(-1), lit(2)]);
+        let mut direct = Solver::new(&cnf, SolverConfig::berkmin());
+        let mut built = SolverBuilder::with_config(SolverConfig::berkmin())
+            .cnf(&cnf)
+            .build();
+        assert_eq!(direct.solve().is_sat(), built.solve().is_sat());
+        assert_eq!(direct.num_vars(), built.num_vars());
+        assert_eq!(direct.stats().conflicts, built.stats().conflicts);
+    }
+
+    #[test]
+    fn reserved_vars_cover_unconstrained_variables() {
+        let solver = SolverBuilder::new().reserve_vars(10).build();
+        assert_eq!(solver.num_vars(), 10);
+    }
+
+    #[test]
+    fn clause_sink_impl_buffers_header_and_clauses() {
+        let mut builder = SolverBuilder::new();
+        ClauseSink::header(&mut builder, 7, 1);
+        ClauseSink::clause(&mut builder, &[lit(1), lit(-2)]);
+        let mut solver = builder.build();
+        assert_eq!(solver.num_vars(), 7);
+        assert_eq!(solver.num_original_clauses(), 1);
+        assert!(solver.solve().is_sat());
+    }
+
+    #[test]
+    fn proof_sink_attaches_at_construction() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Counting(usize);
+        impl ProofSink for Counting {
+            fn add_clause(&mut self, _lits: &[Lit]) {
+                self.0 += 1;
+            }
+            fn delete_clause(&mut self, _lits: &[Lit]) {}
+        }
+
+        let sink = Rc::new(RefCell::new(Counting::default()));
+        let mut solver = SolverBuilder::new()
+            .proof(Rc::clone(&sink))
+            .clause([lit(1)])
+            .clause([lit(-1)])
+            .build();
+        assert!(solver.solve().is_unsat());
+        // At minimum the empty clause was reported.
+        assert!(sink.borrow().0 >= 1);
+        assert!(!solver.is_ok());
+    }
+}

@@ -22,56 +22,84 @@
 //! 4. **Database management** (§8) — age/length/activity-based clause
 //!    retention with a rising old-clause threshold ([`DbPolicy`]).
 //!
-//! # Quick start
+//! # Quick start: the builder/session flow
+//!
+//! A solver is assembled once through [`SolverBuilder`] — configuration,
+//! proof sink, reserved variables, initial clauses and event hooks all
+//! attach at construction — and then driven as a *session*: stage
+//! assumptions with [`Solver::assume`], call [`Solver::solve`] (the one
+//! entry point), inspect, repeat.
 //!
 //! ```
-//! use berkmin::{Solver, SolverConfig, SolveStatus};
-//! use berkmin_cnf::{Cnf, Lit, Var};
+//! use berkmin::{SolverBuilder, SolverConfig, SolveStatus};
+//! use berkmin_cnf::Lit;
 //!
 //! // (x ∨ y) ∧ (¬x ∨ y) ∧ (¬y ∨ z)
-//! let mut cnf = Cnf::new();
-//! let [x, y, z] = [0, 1, 2].map(|i| Var::new(i));
-//! cnf.add_clause([Lit::pos(x), Lit::pos(y)]);
-//! cnf.add_clause([Lit::neg(x), Lit::pos(y)]);
-//! cnf.add_clause([Lit::neg(y), Lit::pos(z)]);
+//! let [x, y, z] = [1, 2, 3].map(Lit::from_dimacs);
+//! let mut solver = SolverBuilder::with_config(SolverConfig::berkmin())
+//!     .clause([x, y])
+//!     .clause([!x, y])
+//!     .clause([!y, z])
+//!     .build();
 //!
-//! let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
 //! match solver.solve() {
-//!     SolveStatus::Sat(model) => assert!(cnf.is_satisfied_by(&model)),
+//!     SolveStatus::Sat(model) => assert!(model.satisfies(z)),
 //!     other => panic!("expected SAT, got {other:?}"),
 //! }
+//!
+//! // Incremental: assumptions are per-call, clauses accumulate.
+//! solver.assume(!z);
+//! assert!(solver.solve().is_unsat());
+//! assert_eq!(solver.failed_assumptions(), &[!z]);
+//! assert!(solver.solve().is_sat());
 //! ```
+//!
+//! # Engine genericity
+//!
+//! [`SatEngine`] is the object-safe face of the session API
+//! (`add_clause` / `assume` / `solve` / `value` / `failed_assumptions` /
+//! `stats`): drivers written against `dyn SatEngine` — the BMC driver, the
+//! bench harness, the CLI — accept any configuration (or backend) behind
+//! one trait object, built with [`SolverBuilder::build_engine`].
+//!
+//! # Solve events
+//!
+//! Two IPASIR-style hooks install at construction time:
+//! [`SolverBuilder::on_terminate`] (polled at solve entry and every
+//! restart boundary; aborts with [`StopReason::Callback`] without touching
+//! budgets) and [`SolverBuilder::on_learnt`] (delivers every
+//! conflict-derived learnt clause up to a length cap — each one a
+//! consequence of the formula alone, never of the assumptions).
+//!
+//! # Proof logging
+//!
+//! A [`ProofSink`] attached via [`SolverBuilder::proof`] receives every
+//! learnt clause and deletion of every solve call; the `berkmin-drat`
+//! crate turns that stream into a checkable DRAT proof. Wrap the sink in
+//! `Rc<RefCell<...>>` (which itself implements `ProofSink`) to keep a
+//! reading handle.
+//!
+//! # Streaming ingestion
+//!
+//! [`Solver`] implements [`berkmin_cnf::ClauseSink`], so
+//! [`berkmin_cnf::dimacs::stream_into`] parses a DIMACS file straight into
+//! the clause database — no intermediate [`berkmin_cnf::Cnf`] is built.
 //!
 //! # Reproducing the paper's ablations
 //!
 //! Every comparison arm in the paper's Tables 1–5 is a [`SolverConfig`]
 //! preset; see that type's documentation for the mapping. Resource budgets
 //! ([`Budget`]) provide deterministic, machine-independent "timeouts".
-//!
-//! # Incremental solving
-//!
-//! The solver is a long-lived object: [`Solver::add_clause`] may be called
-//! between solves, and [`Solver::solve_with_assumptions`] answers
-//! satisfiability under a set of assumption literals enqueued as
-//! pseudo-decisions below every real decision — the learnt-clause database,
-//! variable activities and polarity state stay warm across calls. When the
-//! assumptions are to blame for an UNSAT answer,
-//! [`Solver::failed_assumptions`] returns the failed core extracted by
-//! final-conflict analysis.
-//!
-//! # Proof logging
-//!
-//! [`Solver::solve_with_proof`] streams every learnt clause and deletion to
-//! a [`ProofSink`]; the `berkmin-drat` crate turns that stream into a
-//! checkable DRAT proof.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod analyze;
+mod builder;
 mod clause_db;
 mod config;
 mod decide;
+mod engine;
 #[cfg(test)]
 mod gc_props;
 mod heap;
@@ -82,13 +110,17 @@ mod rng;
 mod solver;
 mod stats;
 
+pub use builder::SolverBuilder;
 pub use config::{
     ActivityIndex, Budget, DbPolicy, DecisionStrategy, FreeVarPolarity, RestartPolicy, Sensitivity,
     SolverConfig, TopClausePolarity,
 };
+pub use engine::SatEngine;
 pub use proof::{NoProof, ProofSink};
-pub use solver::{SolveStatus, Solver, StopReason};
+pub use solver::{LearntCallback, SolveStatus, Solver, StopReason, TerminateCallback};
 pub use stats::Stats;
 
-// Re-export the vocabulary crate so downstream users need only one import.
+// Re-export the vocabulary crate (and the clause-stream trait most
+// engine users want in scope) so downstream users need only one import.
 pub use berkmin_cnf as cnf;
+pub use berkmin_cnf::ClauseSink;

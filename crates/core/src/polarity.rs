@@ -195,7 +195,7 @@ mod tests {
         let mut s = solver(TopClausePolarity::Symmetrize);
         s.add_clause([lit(1), lit(2)]);
         assert_eq!(s.nb_two(lit(1)), 1);
-        s.assume(lit(2)); // satisfies (a∨b)
+        s.push_decision(lit(2)); // satisfies (a∨b)
         assert_eq!(s.nb_two(lit(1)), 0);
     }
 

@@ -19,6 +19,11 @@ pub enum StopReason {
     DecisionBudget,
     /// The propagation budget was exhausted.
     PropagationBudget,
+    /// The terminate callback (see
+    /// [`SolverBuilder::on_terminate`](crate::SolverBuilder::on_terminate))
+    /// asked the solver to stop. Budgets are unaffected: a later
+    /// [`Solver::solve`] call gets its usual per-call allowance.
+    Callback,
 }
 
 impl std::fmt::Display for StopReason {
@@ -27,16 +32,51 @@ impl std::fmt::Display for StopReason {
             StopReason::ConflictBudget => write!(f, "conflict budget exhausted"),
             StopReason::DecisionBudget => write!(f, "decision budget exhausted"),
             StopReason::PropagationBudget => write!(f, "propagation budget exhausted"),
+            StopReason::Callback => write!(f, "terminate callback requested stop"),
         }
+    }
+}
+
+/// A boxed terminate callback: polled at solve entry and restart
+/// boundaries; returning `true` aborts with [`StopReason::Callback`].
+pub type TerminateCallback = Box<dyn FnMut() -> bool>;
+
+/// A boxed learnt-clause callback: receives each conflict-derived learnt
+/// clause (asserting literal first) whose length is within the cap it was
+/// registered with.
+pub type LearntCallback = Box<dyn FnMut(&[Lit])>;
+
+/// The solve-event hooks a solver carries (installed at construction time
+/// through [`SolverBuilder`](crate::SolverBuilder), replaceable later via
+/// [`Solver::set_terminate`] / [`Solver::set_learnt_callback`]). Callbacks
+/// receive no solver reference — they observe only what they captured plus
+/// the arguments passed, so they cannot perturb the search.
+#[derive(Default)]
+pub(crate) struct SolveEvents {
+    /// Polled at solve entry and at every restart boundary; returning
+    /// `true` aborts the call with [`StopReason::Callback`].
+    pub(crate) terminate: Option<TerminateCallback>,
+    /// Fired once per conflict-derived learnt clause of length ≤ the cap
+    /// (asserting literal first), right after the clause is reported to the
+    /// proof sink and before search resumes.
+    pub(crate) on_learnt: Option<(usize, LearntCallback)>,
+}
+
+impl std::fmt::Debug for SolveEvents {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolveEvents")
+            .field("terminate", &self.terminate.is_some())
+            .field("on_learnt", &self.on_learnt.as_ref().map(|(cap, _)| *cap))
+            .finish()
     }
 }
 
 /// Result of [`Solver::solve`].
 ///
-/// For [`Solver::solve_with_assumptions`] runs, [`SolveStatus::Unsat`] means
-/// *unsatisfiable under the given assumptions*; consult
-/// [`Solver::failed_assumptions`] to distinguish an absolute refutation
-/// (empty core) from an assumption conflict (non-empty core).
+/// For runs under assumptions (staged with [`Solver::assume`]),
+/// [`SolveStatus::Unsat`] means *unsatisfiable under those assumptions*;
+/// consult [`Solver::failed_assumptions`] to distinguish an absolute
+/// refutation (empty core) from an assumption conflict (non-empty core).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SolveStatus {
     /// Satisfiable; carries a model that satisfies every original clause.
@@ -95,8 +135,12 @@ pub(crate) struct BinWatcher {
 
 /// The BerkMin CDCL SAT-solver.
 ///
-/// Construct with [`Solver::new`] (from a [`Cnf`]) or [`Solver::with_config`]
-/// and incremental [`Solver::add_clause`] calls, then call [`Solver::solve`].
+/// Construct through [`SolverBuilder`](crate::SolverBuilder) (which owns
+/// the configuration, the proof sink and the solve-event hooks), or with
+/// the [`Solver::new`] / [`Solver::with_config`] shortcuts when none of
+/// those attachments are needed. Per call, stage assumptions with
+/// [`Solver::assume`] and then run [`Solver::solve`] — the one entry point
+/// for plain, assumption, and proof-logged solving alike.
 ///
 /// # Examples
 ///
@@ -115,7 +159,6 @@ pub(crate) struct BinWatcher {
 /// let model = status.model().expect("satisfiable");
 /// assert!(cnf.is_satisfied_by(model));
 /// ```
-#[derive(Debug)]
 pub struct Solver {
     pub(crate) config: SolverConfig,
     pub(crate) db: ClauseDb,
@@ -165,6 +208,33 @@ pub struct Solver {
     /// the lifetime totals (which would make a second call inherit the
     /// previous call's spend).
     budget_base: BudgetBase,
+    /// Assumptions staged by [`Solver::assume`] since the last solve call;
+    /// consumed (IPASIR-style) by the next [`Solver::solve`].
+    pending_assumptions: Vec<Lit>,
+    /// The construction-time proof sink every [`Solver::solve`] call
+    /// reports to ([`NoProof`] unless a sink was attached via
+    /// [`SolverBuilder::proof`](crate::SolverBuilder::proof)).
+    proof: Box<dyn ProofSink>,
+    /// Terminate / learnt-clause hooks (see [`SolveEvents`]).
+    events: SolveEvents,
+}
+
+impl std::fmt::Debug for Solver {
+    /// The solver holds closures and a `dyn` proof sink, so `Debug` prints
+    /// a summary of the search state rather than the raw fields.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Solver")
+            .field("num_vars", &self.num_vars)
+            .field("num_live_clauses", &self.db.num_live())
+            .field("num_learnt_clauses", &self.db.num_learnt())
+            .field("decision_level", &self.decision_level())
+            .field("ok", &self.ok)
+            .field("pending_assumptions", &self.pending_assumptions)
+            .field("events", &self.events)
+            .field("config", &self.config)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Per-solve-call baseline of the budgeted counters.
@@ -220,6 +290,9 @@ impl Solver {
             assumptions: Vec::new(),
             failed: Vec::new(),
             budget_base: BudgetBase::default(),
+            pending_assumptions: Vec::new(),
+            proof: Box::new(NoProof),
+            events: SolveEvents::default(),
         }
     }
 
@@ -254,8 +327,8 @@ impl Solver {
         self.config.budget = budget;
     }
 
-    /// The failed-assumption core of the most recent
-    /// [`Solver::solve_with_assumptions`] call that returned
+    /// The failed-assumption core of the most recent assumption-carrying
+    /// [`Solver::solve`] call that returned
     /// [`SolveStatus::Unsat`]: a subset `C` of the assumptions such that the
     /// formula conjoined with `C` is unsatisfiable, extracted by
     /// final-conflict analysis over the implication graph.
@@ -406,8 +479,10 @@ impl Solver {
         self.trail.push(l);
     }
 
-    /// Opens a new decision level and assigns the decision literal.
-    pub(crate) fn assume(&mut self, l: Lit) {
+    /// Opens a new decision level and assigns the decision literal. (The
+    /// *session* method [`Solver::assume`] merely stages an assumption for
+    /// the next solve call; this is the internal trail operation.)
+    pub(crate) fn push_decision(&mut self, l: Lit) {
         self.trail_lim.push(self.trail.len());
         self.unchecked_enqueue(l, None);
     }
@@ -598,32 +673,39 @@ impl Solver {
         self.rebuild_watches();
     }
 
-    /// Solves the formula (without proof logging).
-    pub fn solve(&mut self) -> SolveStatus {
-        self.solve_with_proof(&mut NoProof)
+    /// Stages an assumption for the next [`Solver::solve`] call
+    /// (IPASIR-style). Assumptions accumulate until the next solve, which
+    /// consumes them all — afterwards the solver is unconstrained again.
+    ///
+    /// During that call they act as *pseudo-decisions* at levels
+    /// `1..=k` below every real decision, so the search explores only
+    /// total assignments extending them. They are **not** clauses: nothing
+    /// is added to the database, the learnt clauses derived during the run
+    /// are consequences of the formula alone, and the next call may use a
+    /// completely different assumption set while reusing the warm
+    /// learnt-clause database, activities and saved polarities.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use berkmin::{Solver, SolverConfig};
+    /// use berkmin_cnf::Lit;
+    ///
+    /// let mut solver = Solver::with_config(SolverConfig::berkmin());
+    /// solver.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+    /// solver.assume(Lit::from_dimacs(-1));
+    /// let status = solver.solve(); // SAT; the model sets x2
+    /// assert!(status.model().unwrap().satisfies(Lit::from_dimacs(2)));
+    /// assert!(solver.solve().is_sat()); // assumptions were consumed
+    /// ```
+    pub fn assume(&mut self, lit: Lit) {
+        self.pending_assumptions.push(lit);
     }
 
-    /// Solves the formula under `assumptions` (without proof logging).
-    ///
-    /// Assumptions are enqueued as *pseudo-decisions* at levels
-    /// `1..=assumptions.len()`, below every real decision, so the search
-    /// explores only total assignments extending them. They are **not**
-    /// clauses: nothing is added to the database, the learnt clauses derived
-    /// during the run are consequences of the formula alone, and the next
-    /// call may use a completely different assumption set while reusing the
-    /// warm learnt-clause database, activities and saved polarities.
-    ///
-    /// Returns [`SolveStatus::Unsat`] both when the formula is refuted
-    /// outright and when it merely conflicts with the assumptions;
-    /// [`Solver::failed_assumptions`] distinguishes the two (empty vs
-    /// non-empty core).
-    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveStatus {
-        self.solve_with_assumptions_and_proof(assumptions, &mut NoProof)
-    }
-
-    /// Solves the formula, reporting every learnt clause and deletion to
-    /// `proof` (see [`ProofSink`]); the final report of an UNSAT run is the
-    /// empty clause.
+    /// Solves the formula under the assumptions staged by
+    /// [`Solver::assume`] since the last call (consuming them), reporting
+    /// learnt clauses and deletions to the construction-time proof sink
+    /// (see [`SolverBuilder::proof`](crate::SolverBuilder::proof)).
     ///
     /// May be called repeatedly: a previous answer's search tree is undone
     /// first, so clauses can be added between calls (incremental use) while
@@ -631,19 +713,67 @@ impl Solver {
     /// warm. Budgets are accounted per call, so a budget-aborted run
     /// continues by simply calling again (optionally after
     /// [`Solver::set_budget`]).
-    pub fn solve_with_proof<S: ProofSink>(&mut self, proof: &mut S) -> SolveStatus {
-        self.solve_with_assumptions_and_proof(&[], proof)
+    ///
+    /// Returns [`SolveStatus::Unsat`] both when the formula is refuted
+    /// outright and when it merely conflicts with the assumptions;
+    /// [`Solver::failed_assumptions`] distinguishes the two (empty vs
+    /// non-empty core). An assumption-UNSAT answer emits **no** empty
+    /// clause to the proof sink (the formula itself is not refuted); only
+    /// an absolute refutation concludes the proof.
+    pub fn solve(&mut self) -> SolveStatus {
+        // The sink is swapped out for the duration of the call so the
+        // search (which borrows `self` mutably throughout) can report to
+        // it; `NoProof` stands in should anything inspect `self.proof`.
+        let mut sink = std::mem::replace(&mut self.proof, Box::new(NoProof));
+        let status = self.solve_session(&mut *sink);
+        self.proof = sink;
+        status
     }
 
-    /// [`Solver::solve_with_assumptions`] with proof logging. An
-    /// assumption-UNSAT answer emits **no** empty clause (the formula itself
-    /// is not refuted); only an absolute refutation concludes the proof.
+    /// Deprecated pre-session entry point: stages `assumptions` and runs
+    /// [`Solver::solve`] (so the construction-time proof sink, terminate
+    /// callback and learnt-clause callback all still apply).
+    #[deprecated(note = "stage assumptions with `assume(lit)` and call `solve()`")]
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveStatus {
+        for &a in assumptions {
+            self.assume(a);
+        }
+        self.solve()
+    }
+
+    /// Deprecated pre-session entry point: runs one [`Solver::solve`] call
+    /// reporting to `proof` instead of the construction-time sink (attach
+    /// the sink once via [`SolverBuilder::proof`](crate::SolverBuilder::proof)
+    /// instead).
+    #[deprecated(
+        note = "attach the sink at construction time with `SolverBuilder::proof` and call `solve()`"
+    )]
+    pub fn solve_with_proof<S: ProofSink>(&mut self, proof: &mut S) -> SolveStatus {
+        self.solve_session(proof)
+    }
+
+    /// Deprecated pre-session entry point: stages `assumptions` and runs
+    /// one [`Solver::solve`] call reporting to `proof`.
+    #[deprecated(note = "use `SolverBuilder::proof`, `assume(lit)` and `solve()`")]
     pub fn solve_with_assumptions_and_proof<S: ProofSink>(
         &mut self,
         assumptions: &[Lit],
         proof: &mut S,
     ) -> SolveStatus {
-        self.begin_solve(assumptions);
+        for &a in assumptions {
+            self.assume(a);
+        }
+        self.solve_session(proof)
+    }
+
+    /// One solve session: consumes the pending assumptions and runs the
+    /// CDCL loop, reporting to `proof`. The single implementation behind
+    /// [`Solver::solve`] and the deprecated wrappers.
+    fn solve_session(&mut self, proof: &mut dyn ProofSink) -> SolveStatus {
+        self.begin_solve();
+        if self.should_terminate() {
+            return SolveStatus::Unknown(StopReason::Callback);
+        }
         if !self.ok {
             return self.conclude_unsat(proof);
         }
@@ -661,6 +791,11 @@ impl Solver {
                 }
                 let (learnt, bt_level) = self.analyze(confl);
                 proof.add_clause(&learnt);
+                if let Some((cap, callback)) = &mut self.events.on_learnt {
+                    if learnt.len() <= *cap {
+                        callback(&learnt);
+                    }
+                }
                 self.cancel_until(bt_level);
                 self.record_learnt(learnt);
                 self.on_conflict_maintenance();
@@ -676,6 +811,12 @@ impl Solver {
                     return SolveStatus::Unknown(StopReason::PropagationBudget);
                 }
                 if self.restart_due() {
+                    // The terminate callback is polled at every restart
+                    // boundary — the natural "between search trees" point
+                    // the IC3/BMC drivers expect. Budgets are untouched.
+                    if self.should_terminate() {
+                        return SolveStatus::Unknown(StopReason::Callback);
+                    }
                     self.restart(proof);
                     continue;
                 }
@@ -691,7 +832,7 @@ impl Solver {
                     match self.lit_value(a) {
                         LBool::True => self.trail_lim.push(self.trail.len()),
                         LBool::Undef => {
-                            self.assume(a);
+                            self.push_decision(a);
                             asserted_assumption = true;
                             break;
                         }
@@ -718,7 +859,7 @@ impl Solver {
                         if self.config.record_decisions {
                             self.stats.decision_log.push(l.var());
                         }
-                        self.assume(l);
+                        self.push_decision(l);
                     }
                 }
             }
@@ -732,20 +873,21 @@ impl Solver {
         counter - base
     }
 
-    /// Resets the per-call state at the top of every solve entry point: the
-    /// previous search tree is undone, the assumption set is installed (its
-    /// variables materialized), the stale failed core is dropped, and the
-    /// budget baseline and restart scratch are re-armed so no limit or
-    /// conflict-count leaks in from an earlier call.
-    fn begin_solve(&mut self, assumptions: &[Lit]) {
+    /// Resets the per-call state at the top of every solve session: the
+    /// previous search tree is undone, the pending assumptions are consumed
+    /// and installed (their variables materialized), the stale failed core
+    /// is dropped, and the budget baseline and restart scratch are re-armed
+    /// so no limit or conflict-count leaks in from an earlier call.
+    fn begin_solve(&mut self) {
         self.cancel_until(0);
-        let max_var = assumptions
+        self.assumptions = std::mem::take(&mut self.pending_assumptions);
+        let max_var = self
+            .assumptions
             .iter()
             .map(|l| l.var().index() + 1)
             .max()
             .unwrap_or(0);
         self.ensure_vars(max_var);
-        self.assumptions = assumptions.to_vec();
         self.failed.clear();
         self.conflicts_since_restart = 0;
         self.budget_base = BudgetBase {
@@ -760,12 +902,49 @@ impl Solver {
         );
     }
 
-    fn conclude_unsat<S: ProofSink>(&mut self, proof: &mut S) -> SolveStatus {
+    fn conclude_unsat(&mut self, proof: &mut dyn ProofSink) -> SolveStatus {
         if !self.emitted_empty {
             proof.add_clause(&[]);
             self.emitted_empty = true;
         }
         SolveStatus::Unsat
+    }
+
+    /// Polls the terminate callback, if any.
+    fn should_terminate(&mut self) -> bool {
+        match &mut self.events.terminate {
+            Some(callback) => callback(),
+            None => false,
+        }
+    }
+
+    /// Installs (or clears) the terminate callback — polled at solve entry
+    /// and at every restart boundary; returning `true` makes the current
+    /// and any later [`Solver::solve`] call return
+    /// [`SolveStatus::Unknown`]\([`StopReason::Callback`]\) until the
+    /// callback is cleared or starts returning `false`. Budgets are never
+    /// consumed by a callback stop. Usually installed at construction time
+    /// via [`SolverBuilder::on_terminate`](crate::SolverBuilder::on_terminate).
+    pub fn set_terminate(&mut self, callback: Option<TerminateCallback>) {
+        self.events.terminate = callback;
+    }
+
+    /// Installs (or clears) the learnt-clause callback: fired once per
+    /// conflict-derived learnt clause of length ≤ `max_len` (asserting
+    /// literal first), after the clause is reported to the proof sink and
+    /// before search resumes. Every delivered clause is a logical
+    /// consequence of the original formula (never of the assumptions).
+    /// Usually installed at construction time via
+    /// [`SolverBuilder::on_learnt`](crate::SolverBuilder::on_learnt).
+    pub fn set_learnt_callback(&mut self, callback: Option<(usize, LearntCallback)>) {
+        self.events.on_learnt = callback;
+    }
+
+    /// Replaces the construction-time proof sink, returning the previous
+    /// one — how a caller that attached a shared sink reclaims sole
+    /// ownership (e.g. to `Rc::try_unwrap` it) without dropping the solver.
+    pub fn replace_proof_sink(&mut self, sink: Box<dyn ProofSink>) -> Box<dyn ProofSink> {
+        std::mem::replace(&mut self.proof, sink)
     }
 
     /// Installs a freshly learnt clause: records activities, attaches
@@ -836,11 +1015,11 @@ impl Solver {
     }
 
     /// Abandons the current search tree and runs database management (§8).
-    fn restart<S: ProofSink>(&mut self, proof: &mut S) {
+    fn restart(&mut self, mut proof: &mut dyn ProofSink) {
         self.stats.restarts += 1;
         self.conflicts_since_restart = 0;
         self.cancel_until(0);
-        self.reduce_db(proof);
+        self.reduce_db(&mut proof);
     }
 
     /// Bumps `var_activity(v)` by 1 (paper §4) and fixes up the heap index.

@@ -34,6 +34,14 @@ fn lits(ns: &[i32]) -> Vec<Lit> {
     ns.iter().map(|&n| Lit::from_dimacs(n)).collect()
 }
 
+/// Session-API shorthand: stage `assumptions` and run one solve call.
+fn solve_under(s: &mut Solver, assumptions: &[Lit]) -> SolveStatus {
+    for &a in assumptions {
+        s.assume(a);
+    }
+    s.solve()
+}
+
 /// Scratch oracle: a fresh solver over `clauses` with the assumptions added
 /// as unit clauses — `F` is UNSAT under assumptions `A` iff `F ∧ A` is
 /// unsatisfiable.
@@ -66,7 +74,7 @@ proptest! {
             }
             let assumptions = lits(assumptions);
             let expected = scratch_verdict(&so_far, &assumptions);
-            match incremental.solve_with_assumptions(&assumptions) {
+            match solve_under(&mut incremental, &assumptions) {
                 SolveStatus::Sat(m) => {
                     prop_assert!(expected, "incremental SAT, scratch UNSAT");
                     for &a in &assumptions {
@@ -116,8 +124,8 @@ proptest! {
             s.add_clause(lits(c));
         }
         let assumptions = lits(&asm);
-        let first = s.solve_with_assumptions(&assumptions).is_sat();
-        let second = s.solve_with_assumptions(&assumptions).is_sat();
+        let first = solve_under(&mut s, &assumptions).is_sat();
+        let second = solve_under(&mut s, &assumptions).is_sat();
         prop_assert_eq!(first, second);
     }
 }

@@ -9,6 +9,14 @@ fn lit(n: i32) -> Lit {
     Lit::from_dimacs(n)
 }
 
+/// Session-API shorthand: stage `assumptions` and run one solve call.
+fn solve_under(s: &mut Solver, assumptions: &[Lit]) -> SolveStatus {
+    for &a in assumptions {
+        s.assume(a);
+    }
+    s.solve()
+}
+
 /// Adds the pigeonhole clauses PHP(holes+1 → holes) to `s`.
 fn add_pigeonhole(s: &mut Solver, holes: usize) {
     let l = |p: usize, h: usize| lit((p * holes + h + 1) as i32);
@@ -129,7 +137,7 @@ fn assumptions_constrain_the_model() {
     let mut s = Solver::with_config(SolverConfig::berkmin());
     s.add_clause([lit(1), lit(2), lit(3)]);
     for asm in [vec![lit(-1), lit(-2)], vec![lit(-2), lit(-3)], vec![lit(2)]] {
-        match s.solve_with_assumptions(&asm) {
+        match solve_under(&mut s, &asm) {
             SolveStatus::Sat(m) => {
                 for &a in &asm {
                     assert!(m.satisfies(a), "model violates assumption {a:?}");
@@ -152,7 +160,7 @@ fn failed_core_is_a_subset_and_still_unsat() {
     s.add_clause([lit(-1), lit(2)]);
     s.add_clause([lit(-2), lit(3)]);
     let assumptions = [lit(4), lit(1), lit(-3)];
-    assert!(s.solve_with_assumptions(&assumptions).is_unsat());
+    assert!(solve_under(&mut s, &assumptions).is_unsat());
     assert!(s.is_ok(), "assumption conflict must not poison the solver");
     let core: Vec<Lit> = s.failed_assumptions().to_vec();
     assert!(!core.is_empty());
@@ -161,7 +169,7 @@ fn failed_core_is_a_subset_and_still_unsat() {
     }
     assert!(!core.contains(&lit(4)), "bystander dragged into the core");
     // Re-solving under just the core is still UNSAT.
-    assert!(s.solve_with_assumptions(&core).is_unsat());
+    assert!(solve_under(&mut s, &core).is_unsat());
     // And the solver still answers SAT without assumptions.
     assert!(s.solve().is_sat());
     assert_eq!(s.stats().assumption_conflicts, 2);
@@ -175,7 +183,7 @@ fn absolute_unsat_yields_empty_core() {
     assert!(!s.is_ok());
     // Once the formula is refuted outright, assumption calls still answer
     // UNSAT but no assumption is to blame: the core is empty.
-    assert!(s.solve_with_assumptions(&[lit(1), lit(5)]).is_unsat());
+    assert!(solve_under(&mut s, &[lit(1), lit(5)]).is_unsat());
     assert!(s.failed_assumptions().is_empty());
 }
 
@@ -187,9 +195,9 @@ fn assumption_call_on_unsat_formula_cores_or_refutes() {
     // itself be UNSAT-forcing.
     let mut s = Solver::with_config(SolverConfig::berkmin());
     add_pigeonhole(&mut s, 3);
-    assert!(s.solve_with_assumptions(&[lit(1), lit(5)]).is_unsat());
+    assert!(solve_under(&mut s, &[lit(1), lit(5)]).is_unsat());
     let core = s.failed_assumptions().to_vec();
-    assert!(s.solve_with_assumptions(&core).is_unsat());
+    assert!(solve_under(&mut s, &core).is_unsat());
 }
 
 #[test]
@@ -198,7 +206,7 @@ fn unit_assumption_against_root_fact_cores_alone() {
     let mut s = Solver::with_config(SolverConfig::berkmin());
     s.add_clause([lit(1)]);
     s.add_clause([lit(2), lit(3)]);
-    assert!(s.solve_with_assumptions(&[lit(2), lit(-1)]).is_unsat());
+    assert!(solve_under(&mut s, &[lit(2), lit(-1)]).is_unsat());
     assert_eq!(s.failed_assumptions(), &[lit(-1)]);
     assert!(s.is_ok());
     assert!(s.solve().is_sat());
@@ -208,7 +216,7 @@ fn unit_assumption_against_root_fact_cores_alone() {
 fn contradictory_assumptions_core_both_literals() {
     let mut s = Solver::with_config(SolverConfig::berkmin());
     s.add_clause([lit(1), lit(2)]);
-    assert!(s.solve_with_assumptions(&[lit(3), lit(-3)]).is_unsat());
+    assert!(solve_under(&mut s, &[lit(3), lit(-3)]).is_unsat());
     let core = s.failed_assumptions();
     assert!(
         core.contains(&lit(3)) && core.contains(&lit(-3)),
@@ -223,7 +231,7 @@ fn assumptions_on_fresh_variables_are_materialized() {
     // simply free, and the model must honor the assumption.
     let mut s = Solver::with_config(SolverConfig::berkmin());
     s.add_clause([lit(1)]);
-    match s.solve_with_assumptions(&[lit(-9)]) {
+    match solve_under(&mut s, &[lit(-9)]) {
         SolveStatus::Sat(m) => assert!(m.satisfies(lit(-9))),
         other => panic!("expected SAT, got {other:?}"),
     }
@@ -236,7 +244,7 @@ fn learnt_clauses_and_heap_state_survive_across_assumption_calls() {
     let mut s = Solver::with_config(cfg);
     add_pigeonhole(&mut s, 5);
     // First query under an assumption that doesn't decide the instance.
-    assert!(s.solve_with_assumptions(&[lit(1)]).is_unsat());
+    assert!(solve_under(&mut s, &[lit(1)]).is_unsat());
     let learnt_after_first = s.num_learnt_clauses();
     let conflicts_first = s.stats().conflicts;
     assert!(learnt_after_first > 0, "PHP must force learning");
@@ -248,7 +256,7 @@ fn learnt_clauses_and_heap_state_survive_across_assumption_calls() {
     // Second call: warm start. The learnt clauses are still in the
     // database, and the heuristic state makes the re-proof cheaper than
     // the first proof.
-    assert!(s.solve_with_assumptions(&[lit(2)]).is_unsat());
+    assert!(solve_under(&mut s, &[lit(2)]).is_unsat());
     let conflicts_second = s.stats().conflicts - conflicts_first;
     assert!(
         conflicts_second < conflicts_first,
@@ -265,7 +273,7 @@ fn add_clause_between_assumption_calls_keeps_warm_state() {
     s.add_clause([lit(1), lit(2), lit(3)]);
     let fixed = [lit(-3)];
     let mut models = 0;
-    while let SolveStatus::Sat(m) = s.solve_with_assumptions(&fixed) {
+    while let SolveStatus::Sat(m) = solve_under(&mut s, &fixed) {
         assert!(m.satisfies(lit(-3)));
         models += 1;
         assert!(models <= 3, "only 3 models have x3 = 0");

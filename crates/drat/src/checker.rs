@@ -465,9 +465,13 @@ mod tests {
                 }
             }
         }
-        let mut proof = DratProof::new();
-        let mut solver = berkmin::Solver::new(&f, berkmin::SolverConfig::berkmin());
-        assert!(solver.solve_with_proof(&mut proof).is_unsat());
+        let proof = std::rc::Rc::new(std::cell::RefCell::new(DratProof::new()));
+        let mut solver = berkmin::SolverBuilder::new()
+            .proof(std::rc::Rc::clone(&proof))
+            .cnf(&f)
+            .build();
+        assert!(solver.solve().is_unsat());
+        let proof = proof.borrow();
         assert!(proof.ends_with_empty_clause());
         let report = check_refutation(&f, &proof).expect("solver proof must check");
         assert!(report.additions_checked > 0);

@@ -5,8 +5,9 @@
 //! ending in the empty clause, interleaved with deletions — the DRAT
 //! format of modern SAT competitions. This crate provides:
 //!
-//! * [`DratProof`] — an in-memory proof that plugs into
-//!   [`berkmin::Solver::solve_with_proof`] as a [`berkmin::ProofSink`];
+//! * [`DratProof`] — an in-memory proof that attaches to a solver at
+//!   construction time via [`berkmin::SolverBuilder::proof`] as a
+//!   [`berkmin::ProofSink`];
 //! * [`TextDratWriter`] — a streaming sink emitting standard textual DRAT;
 //! * [`check_refutation`] — a forward RUP checker that independently
 //!   validates the solver's UNSAT verdicts (used throughout the
@@ -15,7 +16,9 @@
 //! # Example: verify an UNSAT answer end to end
 //!
 //! ```
-//! use berkmin::{Solver, SolverConfig};
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use berkmin::SolverBuilder;
 //! use berkmin_drat::{check_refutation, DratProof};
 //! use berkmin_cnf::{Cnf, Lit, Var};
 //!
@@ -26,10 +29,10 @@
 //! cnf.add_clause([Lit::neg(x), Lit::pos(y)]);
 //! cnf.add_clause([Lit::neg(y)]);
 //!
-//! let mut proof = DratProof::new();
-//! let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
-//! assert!(solver.solve_with_proof(&mut proof).is_unsat());
-//! check_refutation(&cnf, &proof).expect("machine-checkable refutation");
+//! let proof = Rc::new(RefCell::new(DratProof::new()));
+//! let mut solver = SolverBuilder::new().proof(Rc::clone(&proof)).cnf(&cnf).build();
+//! assert!(solver.solve().is_unsat());
+//! check_refutation(&cnf, &proof.borrow()).expect("machine-checkable refutation");
 //! ```
 
 #![forbid(unsafe_code)]

@@ -17,23 +17,27 @@ pub enum Step {
 /// An in-memory DRAT proof: the stream of clause additions and deletions a
 /// solver emitted, in order.
 ///
-/// Implements [`ProofSink`], so it can be handed directly to
-/// [`berkmin::Solver::solve_with_proof`]:
+/// Implements [`ProofSink`], so it attaches to a solver at construction
+/// time via [`berkmin::SolverBuilder::proof`] — wrap it in
+/// `Rc<RefCell<...>>` (itself a `ProofSink`) to keep a handle for reading
+/// the proof back after solving:
 ///
 /// ```
-/// use berkmin::{Solver, SolverConfig};
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+/// use berkmin::SolverBuilder;
 /// use berkmin_drat::DratProof;
-/// use berkmin_cnf::{Cnf, Lit};
+/// use berkmin_cnf::Lit;
 ///
-/// let mut cnf = Cnf::new();
-/// let x = cnf.fresh_var();
-/// cnf.add_clause([Lit::pos(x)]);
-/// cnf.add_clause([Lit::neg(x)]);
-///
-/// let mut proof = DratProof::new();
-/// let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
-/// assert!(solver.solve_with_proof(&mut proof).is_unsat());
-/// assert!(proof.ends_with_empty_clause());
+/// let x = Lit::from_dimacs(1);
+/// let proof = Rc::new(RefCell::new(DratProof::new()));
+/// let mut solver = SolverBuilder::new()
+///     .proof(Rc::clone(&proof))
+///     .clause([x])
+///     .clause([!x])
+///     .build();
+/// assert!(solver.solve().is_unsat());
+/// assert!(proof.borrow().ends_with_empty_clause());
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DratProof {

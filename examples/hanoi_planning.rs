@@ -53,11 +53,16 @@ fn main() {
         solver.stats().conflicts
     );
 
-    // One step fewer is impossible — and the solver proves it.
+    // One step fewer is impossible — and the solver proves it. The proof
+    // sink attaches at construction time through the builder.
     let unsat = hanoi::hanoi_unsat(disks);
-    let mut proof = berkmin_drat::DratProof::new();
-    let mut solver = Solver::new(&unsat.cnf, SolverConfig::berkmin());
-    assert!(solver.solve_with_proof(&mut proof).is_unsat());
+    let proof = std::rc::Rc::new(std::cell::RefCell::new(berkmin_drat::DratProof::new()));
+    let mut solver = SolverBuilder::with_config(SolverConfig::berkmin())
+        .proof(std::rc::Rc::clone(&proof))
+        .cnf(&unsat.cnf)
+        .build();
+    assert!(solver.solve().is_unsat());
+    let proof = proof.borrow();
     println!(
         "{} moves proven insufficient; machine-checkable proof has {} steps",
         steps - 1,

@@ -1,8 +1,13 @@
 //! Proof logging and independent checking: solve an unsatisfiable
-//! instance with DRAT recording, write the proof in the standard textual
-//! format, parse it back and verify it with the forward RUP checker.
+//! instance with DRAT recording (the sink attaches to the solver at
+//! construction time through the builder), write the proof in the standard
+//! textual format, parse it back and verify it with the forward RUP
+//! checker.
 //!
 //! Run with: `cargo run --release --example proof_logging`
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use berkmin_drat::{check_refutation, DratProof, TextDratWriter};
 use berkmin_gens::hole;
@@ -17,11 +22,15 @@ fn main() {
         inst.cnf.num_clauses()
     );
 
-    // Record the proof in memory while solving.
-    let mut proof = DratProof::new();
-    let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
-    let status = solver.solve_with_proof(&mut proof);
-    assert!(status.is_unsat());
+    // Record the proof in memory while solving: the shared sink attaches
+    // once at construction; the clone we keep reads the proof afterwards.
+    let proof = Rc::new(RefCell::new(DratProof::new()));
+    let mut solver = SolverBuilder::with_config(SolverConfig::berkmin())
+        .proof(Rc::clone(&proof))
+        .cnf(&inst.cnf)
+        .build();
+    assert!(solver.solve().is_unsat());
+    let proof = proof.borrow();
     println!(
         "solved UNSAT in {} conflicts; proof: {} additions, {} deletions",
         solver.stats().conflicts,
@@ -30,13 +39,18 @@ fn main() {
     );
 
     // Serialize to the standard DRAT text format (as `drat-trim` reads).
-    let mut buffer = Vec::new();
-    {
-        let mut writer = TextDratWriter::new(&mut buffer);
-        let mut solver2 = Solver::new(&inst.cnf, SolverConfig::berkmin());
-        assert!(solver2.solve_with_proof(&mut writer).is_unsat());
-        writer.into_inner().expect("in-memory writer cannot fail");
-    }
+    let writer = Rc::new(RefCell::new(TextDratWriter::new(Vec::new())));
+    let mut solver2 = SolverBuilder::with_config(SolverConfig::berkmin())
+        .proof(Rc::clone(&writer))
+        .cnf(&inst.cnf)
+        .build();
+    assert!(solver2.solve().is_unsat());
+    drop(solver2); // release the solver's handle on the shared sink
+    let buffer = Rc::try_unwrap(writer)
+        .unwrap_or_else(|_| panic!("sole owner after drop"))
+        .into_inner()
+        .into_inner()
+        .expect("in-memory writer cannot fail");
     println!("textual DRAT: {} bytes; first lines:", buffer.len());
     let text = String::from_utf8(buffer).expect("DRAT text is ASCII");
     for line in text.lines().take(5) {

@@ -2,15 +2,24 @@
 //! solver configurations, optionally emitting and self-checking a DRAT
 //! proof — or run an incremental bounded-model-checking sweep with the
 //! `bmc` subcommand. Output follows the SAT-competition conventions
-//! (`c` comments, `s` status, `v` model lines).
+//! (`c` comments, `s` status, `v` model lines wrapped at 78 columns).
+//!
+//! Both subcommands drive the solver exclusively through the session API:
+//! the engine is assembled by a `SolverBuilder` (proof sink attached at
+//! construction) and used as a `Box<dyn SatEngine>`, and plain solving
+//! streams the DIMACS input straight into the engine's clause database —
+//! no intermediate `Cnf` is materialized (the only exception is
+//! `--check-proof`, which must retain the original formula for the
+//! independent RUP checker).
 //!
 //! ```text
 //! usage: berkmin-cli [OPTIONS] [FILE]
 //!        berkmin-cli bmc [OPTIONS]
 //!
 //!   FILE                   DIMACS CNF file ('-' or absent = stdin)
-//!   --config NAME          berkmin | chaff | limmat | less-sensitivity |
+//!   --engine NAME          berkmin | chaff | limmat | less-sensitivity |
 //!                          less-mobility | limited-keeping   (default: berkmin)
+//!   --config NAME          alias of --engine (kept for compatibility)
 //!   --max-conflicts N      abort after N conflicts
 //!   --seed N               heuristic PRNG seed
 //!   --proof FILE           write a DRAT refutation to FILE on UNSAT
@@ -22,38 +31,42 @@
 //!   --bits N               counter width (default 3)
 //!   --max-depth D          deepest cycle to try (default 2^bits - 1)
 //!   --scratch              re-solve every depth from scratch instead of
-//!                          reusing one incremental solver (for comparison)
+//!                          reusing one incremental engine (for comparison)
 //! ```
+//!
+//! Exit codes: 10 = SAT, 20 = UNSAT, 0 = unknown (budget), 2 = usage or
+//! input error, 3 = internal error.
 
+use std::cell::RefCell;
 use std::fs;
-use std::io::Read;
 use std::process::ExitCode;
+use std::rc::Rc;
 
-use berkmin::{Budget, SolveStatus, Solver, SolverConfig};
+use berkmin::{Budget, SatEngine, SolveStatus, SolverBuilder, SolverConfig};
 use berkmin_circuit::arith::enabled_counter;
 use berkmin_circuit::bmc::{scratch_first_reaching_depth, BmcDriver, BmcOutcome};
-use berkmin_cnf::{dimacs, Cnf, LBool, Var};
+use berkmin_cnf::{dimacs, Assignment, ClauseSink, Cnf, LBool, Lit, Var};
 use berkmin_drat::{check_refutation, DratProof};
 
-struct Options {
-    file: Option<String>,
-    config: SolverConfig,
-    proof_path: Option<String>,
-    check_proof: bool,
-    print_model: bool,
-    quiet: bool,
-}
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: berkmin-cli [--config NAME] [--max-conflicts N] [--seed N] \
-         [--proof FILE] [--check-proof] [--no-model] [--quiet] [FILE]\n\
-         \x20      berkmin-cli bmc [--bits N] [--max-depth D] [--config NAME] \
-         [--max-conflicts N] [--seed N] [--scratch] [--quiet]"
-    );
+/// The one error-exit path for usage and input problems: message to
+/// stderr, exit code 2. (Solver outcomes exit through `main`'s `ExitCode`.)
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("{msg}");
     std::process::exit(2);
 }
 
+fn usage() -> ! {
+    die(
+        "usage: berkmin-cli [--engine NAME] [--max-conflicts N] [--seed N] \
+         [--proof FILE] [--check-proof] [--no-model] [--quiet] [FILE]\n\
+         \x20      berkmin-cli bmc [--bits N] [--max-depth D] [--engine NAME] \
+         [--max-conflicts N] [--seed N] [--scratch] [--quiet]",
+    );
+}
+
+/// Maps the `--engine` preset name to its configuration — the one switch
+/// behind which every comparison arm hides, since all of them are driven
+/// through the same `dyn SatEngine`.
 fn config_by_name(name: &str) -> SolverConfig {
     match name {
         "berkmin" => SolverConfig::berkmin(),
@@ -62,11 +75,17 @@ fn config_by_name(name: &str) -> SolverConfig {
         "less-sensitivity" => SolverConfig::less_sensitivity(),
         "less-mobility" => SolverConfig::less_mobility(),
         "limited-keeping" => SolverConfig::limited_keeping(),
-        other => {
-            eprintln!("unknown config {other:?}");
-            usage()
-        }
+        other => die(format!("unknown engine {other:?}")),
     }
+}
+
+struct Options {
+    file: Option<String>,
+    config: SolverConfig,
+    proof_path: Option<String>,
+    check_proof: bool,
+    print_model: bool,
+    quiet: bool,
 }
 
 fn parse_args() -> Options {
@@ -81,7 +100,7 @@ fn parse_args() -> Options {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--config" => {
+            "--engine" | "--config" => {
                 let name = args.next().unwrap_or_else(|| usage());
                 opts.config = config_by_name(&name);
             }
@@ -112,27 +131,99 @@ fn parse_args() -> Options {
     opts
 }
 
-fn read_input(opts: &Options) -> Cnf {
-    let text = match &opts.file {
-        Some(path) => fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(2);
-        }),
-        None => {
-            let mut buf = String::new();
-            std::io::stdin()
-                .read_to_string(&mut buf)
-                .unwrap_or_else(|e| {
-                    eprintln!("cannot read stdin: {e}");
-                    std::process::exit(2);
-                });
-            buf
+/// Streaming ingestion target: every clause goes straight into the engine;
+/// only when the RUP checker will need the original formula afterwards is
+/// a mirror `Cnf` kept alongside.
+struct Ingest<'a> {
+    engine: &'a mut Box<dyn SatEngine>,
+    mirror: Option<&'a mut Cnf>,
+}
+
+impl ClauseSink for Ingest<'_> {
+    fn header(&mut self, num_vars: usize, num_clauses: usize) {
+        self.engine.reserve_vars(num_vars);
+        if let Some(cnf) = &mut self.mirror {
+            cnf.header(num_vars, num_clauses);
         }
+    }
+
+    fn clause(&mut self, lits: &[Lit]) {
+        SatEngine::add_clause(self.engine, lits);
+        if let Some(cnf) = &mut self.mirror {
+            cnf.clause(lits);
+        }
+    }
+}
+
+/// Streams the DIMACS input (file or stdin) into `sink` without buffering
+/// the whole text, exiting with code 2 on I/O or parse errors.
+fn stream_input(file: &Option<String>, sink: &mut Ingest) -> dimacs::DimacsSummary {
+    let result = match file {
+        Some(path) => match fs::File::open(path) {
+            Ok(f) => dimacs::stream_into(std::io::BufReader::new(f), sink),
+            Err(e) => die(format!("cannot read {path}: {e}")),
+        },
+        None => dimacs::stream_into(std::io::stdin().lock(), sink),
     };
-    dimacs::parse(&text).unwrap_or_else(|e| {
-        eprintln!("parse error: {e}");
-        std::process::exit(2);
-    })
+    result.unwrap_or_else(|e| die(format!("cannot read DIMACS input: {e}")))
+}
+
+/// Clause sink that checks every streamed clause against a model — how
+/// the SAT answer of the streaming (no intermediate `Cnf`) path gets its
+/// self-verification back: the input file is streamed a second time,
+/// clause by clause, against the model.
+struct ModelCheck<'a> {
+    model: &'a Assignment,
+    ok: bool,
+}
+
+impl ClauseSink for ModelCheck<'_> {
+    fn clause(&mut self, lits: &[Lit]) {
+        if !lits.iter().any(|&l| self.model.satisfies(l)) {
+            self.ok = false;
+        }
+    }
+}
+
+/// Self-verifies a SAT model: against the mirror `Cnf` when one was kept
+/// (`--check-proof`), else by re-streaming the input file. Returns `None`
+/// when verification is impossible (stdin input, or the file vanished) —
+/// the model is still correct by construction of the solver.
+fn verify_model(model: &Assignment, mirror: &Option<Cnf>, file: &Option<String>) -> Option<bool> {
+    if let Some(cnf) = mirror {
+        return Some(cnf.is_satisfied_by(model));
+    }
+    let path = file.as_ref()?;
+    let f = fs::File::open(path).ok()?;
+    let mut check = ModelCheck { model, ok: true };
+    dimacs::stream_into(std::io::BufReader::new(f), &mut check).ok()?;
+    Some(check.ok)
+}
+
+/// Prints the `v` model lines, wrapped at ≤ 78 columns as the
+/// SAT-competition output format requires.
+fn print_model(model: &Assignment, num_vars: usize) {
+    let mut line = String::from("v");
+    let push_tok = |line: &mut String, tok: &str| {
+        if line.len() + 1 + tok.len() > 78 {
+            println!("{line}");
+            line.clear();
+            line.push('v');
+        }
+        line.push(' ');
+        line.push_str(tok);
+    };
+    for i in 0..num_vars {
+        let var = Var::new(i as u32);
+        let lit = if model.value(var) == LBool::True {
+            (i as i64) + 1
+        } else {
+            -((i as i64) + 1)
+        };
+        push_tok(&mut line, &lit.to_string());
+    }
+    push_tok(&mut line, "0");
+    println!("{line}");
 }
 
 struct BmcOptions {
@@ -168,7 +259,7 @@ fn parse_bmc_args(argv: &[String]) -> BmcOptions {
                         .unwrap_or_else(|| usage()),
                 );
             }
-            "--config" => {
+            "--engine" | "--config" => {
                 let name = args.next().unwrap_or_else(|| usage());
                 opts.config = config_by_name(name);
             }
@@ -196,8 +287,9 @@ fn parse_bmc_args(argv: &[String]) -> BmcOptions {
 
 /// The `bmc` subcommand: sweep an enabled-counter netlist for the first
 /// depth at which the all-ones state is reachable — incrementally (one
-/// growing encoding, one warm solver, per-depth activation literals) or,
-/// with `--scratch`, by re-unrolling and re-solving every depth.
+/// growing encoding, one warm `dyn SatEngine`, per-depth activation
+/// literals) or, with `--scratch`, by re-unrolling and re-solving every
+/// depth.
 fn run_bmc(argv: &[String]) -> ExitCode {
     let opts = parse_bmc_args(argv);
     let bits = opts.bits;
@@ -246,10 +338,13 @@ fn run_bmc(argv: &[String]) -> ExitCode {
             }
         }
     } else {
-        let mut driver = BmcDriver::new(netlist, opts.config.clone());
+        // The incremental sweep runs entirely behind the trait object: the
+        // `--engine` preset only decides what the builder assembles.
+        let engine = SolverBuilder::with_config(opts.config.clone()).build_engine();
+        let mut driver = BmcDriver::with_engine(netlist, engine);
         for t in 0..=max_depth {
             let status = driver.check_outputs_at(t, &pattern);
-            total_conflicts = driver.solver().stats().conflicts;
+            total_conflicts = driver.engine().stats().conflicts;
             if !opts.quiet {
                 println!(
                     "c depth {t}: {} (conflicts so far {total_conflicts})",
@@ -269,13 +364,11 @@ fn run_bmc(argv: &[String]) -> ExitCode {
                 }
             }
         }
-        let s = driver.solver().stats();
+        let s = driver.engine().stats();
         if !opts.quiet {
             println!(
-                "c warm solver: {} solve calls, {} learnt clauses live, {} learnt total",
-                s.solve_calls,
-                driver.solver().num_learnt_clauses(),
-                s.learnt_total
+                "c warm engine: {} solve calls, {} learnt total, {} deleted",
+                s.solve_calls, s.learnt_total, s.deleted_clauses
             );
         }
     }
@@ -314,28 +407,41 @@ fn main() -> ExitCode {
         return run_bmc(&argv[1..]);
     }
     let opts = parse_args();
-    let cnf = read_input(&opts);
+
+    // Assemble the engine: the proof sink attaches at construction time,
+    // shared through an Rc so the recorded proof can be read back after
+    // solving.
+    let want_proof = opts.proof_path.is_some() || opts.check_proof;
+    let proof = Rc::new(RefCell::new(DratProof::new()));
+    let mut builder = SolverBuilder::with_config(opts.config.clone());
+    if want_proof {
+        builder = builder.proof(Rc::clone(&proof));
+    }
+    let mut engine = builder.build_engine();
+
+    // Stream the input straight into the engine. A mirror Cnf is retained
+    // only for --check-proof, whose RUP checker needs the original formula.
+    let mut mirror = opts.check_proof.then(Cnf::new);
+    let summary = {
+        let mut ingest = Ingest {
+            engine: &mut engine,
+            mirror: mirror.as_mut(),
+        };
+        stream_input(&opts.file, &mut ingest)
+    };
     if !opts.quiet {
         println!(
             "c berkmin-cli: {} variables, {} clauses",
-            cnf.num_vars(),
-            cnf.num_clauses()
+            summary.num_vars, summary.num_clauses
         );
     }
 
-    let want_proof = opts.proof_path.is_some() || opts.check_proof;
-    let mut solver = Solver::new(&cnf, opts.config.clone());
-    let mut proof = DratProof::new();
     let start = std::time::Instant::now();
-    let status = if want_proof {
-        solver.solve_with_proof(&mut proof)
-    } else {
-        solver.solve()
-    };
+    let status = engine.solve();
     let elapsed = start.elapsed();
 
     if !opts.quiet {
-        let s = solver.stats();
+        let s = engine.stats();
         println!(
             "c decisions {} conflicts {} propagations {} restarts {} learnt {}",
             s.decisions, s.conflicts, s.propagations, s.restarts, s.learnt_total
@@ -356,24 +462,9 @@ fn main() -> ExitCode {
         SolveStatus::Sat(model) => {
             println!("s SATISFIABLE");
             if opts.print_model {
-                let mut line = String::from("v");
-                for i in 0..cnf.num_vars() {
-                    let var = Var::new(i as u32);
-                    let lit = if model.value(var) == LBool::True {
-                        (i as i64) + 1
-                    } else {
-                        -((i as i64) + 1)
-                    };
-                    line.push(' ');
-                    line.push_str(&lit.to_string());
-                    if line.len() > 72 {
-                        println!("{line}");
-                        line = String::from("v");
-                    }
-                }
-                println!("{line} 0");
+                print_model(&model, summary.num_vars);
             }
-            if !cnf.is_satisfied_by(&model) {
+            if verify_model(&model, &mirror, &opts.file) == Some(false) {
                 eprintln!("internal error: model verification failed");
                 return ExitCode::from(3);
             }
@@ -381,6 +472,7 @@ fn main() -> ExitCode {
         }
         SolveStatus::Unsat => {
             println!("s UNSATISFIABLE");
+            let proof = proof.borrow();
             if let Some(path) = &opts.proof_path {
                 if let Err(e) = fs::write(path, proof.to_text()) {
                     eprintln!("cannot write proof to {path}: {e}");
@@ -391,7 +483,8 @@ fn main() -> ExitCode {
                 }
             }
             if opts.check_proof {
-                match check_refutation(&cnf, &proof) {
+                let cnf = mirror.as_ref().expect("mirror kept for --check-proof");
+                match check_refutation(cnf, &proof) {
                     Ok(report) => {
                         if !opts.quiet {
                             println!(

@@ -10,6 +10,10 @@
 //!
 //! # Example
 //!
+//! The session flow: assemble an engine with the builder, then drive it —
+//! `assume()` stages per-call assumptions, `solve()` is the one entry
+//! point.
+//!
 //! ```
 //! use berkmin_suite::prelude::*;
 //!
@@ -17,7 +21,9 @@
 //! let ripple = berkmin_circuit::arith::ripple_carry_adder(6);
 //! let carry_select = berkmin_circuit::arith::carry_select_adder(6, 2);
 //! let cnf = berkmin_circuit::miter_cnf(&ripple, &carry_select);
-//! let mut solver = Solver::new(&cnf, SolverConfig::berkmin());
+//! let mut solver = SolverBuilder::with_config(SolverConfig::berkmin())
+//!     .cnf(&cnf)
+//!     .build();
 //! assert!(solver.solve().is_unsat()); // equivalent ⇒ miter unsatisfiable
 //! ```
 
@@ -30,11 +36,18 @@ pub use berkmin_cnf;
 pub use berkmin_drat;
 pub use berkmin_gens;
 
-/// The handful of names almost every user wants in scope.
+/// The handful of names almost every user wants in scope — centered on
+/// the session API: [`SolverBuilder`](berkmin::SolverBuilder) assembles an
+/// engine, [`SatEngine`](berkmin::SatEngine) is the trait drivers program
+/// against, and [`ClauseSink`](berkmin_cnf::ClauseSink) streams DIMACS
+/// straight into it.
 pub mod prelude {
-    pub use berkmin::{Budget, SolveStatus, Solver, SolverConfig, Stats, StopReason};
+    pub use berkmin::{
+        Budget, ProofSink, SatEngine, SolveStatus, Solver, SolverBuilder, SolverConfig, Stats,
+        StopReason,
+    };
     pub use berkmin_circuit::bmc::{BmcDriver, BmcEncoding, BmcOutcome};
-    pub use berkmin_cnf::{Assignment, Clause, Cnf, LBool, Lit, Var};
+    pub use berkmin_cnf::{Assignment, Clause, ClauseSink, Cnf, LBool, Lit, Var};
     pub use berkmin_drat::{check_refutation, DratProof};
     pub use berkmin_gens::BenchInstance;
 }

@@ -1,20 +1,35 @@
 //! DRAT pipeline end-to-end: solve a small UNSAT instance with proof
-//! logging on, and validate the refutation with the independent RUP
-//! checker — both the in-memory proof and its textual DRAT round-trip.
+//! logging on (attached at construction through the builder), and validate
+//! the refutation with the independent RUP checker — both the in-memory
+//! proof and its textual DRAT round-trip.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use berkmin::{DbPolicy, RestartPolicy};
 use berkmin_drat::{check_refutation, DratProof, TextDratWriter};
 use berkmin_gens::hole;
 use berkmin_suite::prelude::*;
 
+/// Builds a BerkMin solver for `cnf` under `cfg` with a shared in-memory
+/// proof attached; the returned handle reads the proof back afterwards.
+fn proof_logged_solver(cnf: &Cnf, cfg: SolverConfig) -> (Solver, Rc<RefCell<DratProof>>) {
+    let proof = Rc::new(RefCell::new(DratProof::new()));
+    let solver = SolverBuilder::with_config(cfg)
+        .proof(Rc::clone(&proof))
+        .cnf(cnf)
+        .build();
+    (solver, proof)
+}
+
 #[test]
 fn hole5_refutation_is_machine_checkable() {
     let inst = hole::pigeonhole(5); // PHP(6,5): UNSAT by construction (§9)
     assert_eq!(inst.expected, Some(false));
 
-    let mut proof = DratProof::new();
-    let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
-    assert!(solver.solve_with_proof(&mut proof).is_unsat());
+    let (mut solver, proof) = proof_logged_solver(&inst.cnf, SolverConfig::berkmin());
+    assert!(solver.solve().is_unsat());
+    let proof = proof.borrow();
     assert!(proof.ends_with_empty_clause());
 
     let report = check_refutation(&inst.cnf, &proof).expect("refutation must check");
@@ -29,11 +44,19 @@ fn streamed_text_proof_checks_after_reparsing() {
     // The same run, but streamed as textual DRAT and re-parsed — the
     // on-disk format must carry everything the checker needs.
     let inst = hole::pigeonhole(5);
-    let mut sink = TextDratWriter::new(Vec::new());
-    let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
-    assert!(solver.solve_with_proof(&mut sink).is_unsat());
+    let sink = Rc::new(RefCell::new(TextDratWriter::new(Vec::new())));
+    let mut solver = SolverBuilder::with_config(SolverConfig::berkmin())
+        .proof(Rc::clone(&sink))
+        .cnf(&inst.cnf)
+        .build();
+    assert!(solver.solve().is_unsat());
 
-    let bytes = sink.into_inner().expect("in-memory writer cannot fail");
+    drop(solver); // release the solver's handle on the shared sink
+    let sink = Rc::try_unwrap(sink).unwrap_or_else(|_| panic!("sole owner after drop"));
+    let bytes = sink
+        .into_inner()
+        .into_inner()
+        .expect("in-memory writer cannot fail");
     let text = String::from_utf8(bytes).expect("DRAT text is ASCII");
     let proof = DratProof::parse(&text).expect("emitted DRAT must re-parse");
     assert!(proof.ends_with_empty_clause());
@@ -51,9 +74,9 @@ fn deletion_heavy_hole5_proof_carries_d_lines_and_still_checks() {
     cfg.restart = RestartPolicy::FixedInterval(25);
     cfg.db_policy = DbPolicy::LengthBounded { max_len: 3 };
 
-    let mut proof = DratProof::new();
-    let mut solver = Solver::new(&inst.cnf, cfg);
-    assert!(solver.solve_with_proof(&mut proof).is_unsat());
+    let (mut solver, proof) = proof_logged_solver(&inst.cnf, cfg);
+    assert!(solver.solve().is_unsat());
+    let proof = proof.borrow();
 
     let stats = solver.stats();
     assert!(stats.deleted_clauses > 0, "reduction must delete clauses");
@@ -77,11 +100,10 @@ fn deletion_heavy_hole5_proof_carries_d_lines_and_still_checks() {
 fn budget_aborted_runs_leave_no_empty_clause_in_the_proof() {
     // An Unknown verdict must not smuggle a refutation into the sink.
     let inst = hole::pigeonhole(7); // hard enough to exhaust a tiny budget
-    let mut proof = DratProof::new();
     let cfg = SolverConfig::berkmin().with_budget(Budget::conflicts(5));
-    let mut solver = Solver::new(&inst.cnf, cfg);
-    match solver.solve_with_proof(&mut proof) {
-        SolveStatus::Unknown(_) => assert!(!proof.ends_with_empty_clause()),
+    let (mut solver, proof) = proof_logged_solver(&inst.cnf, cfg);
+    match solver.solve() {
+        SolveStatus::Unknown(_) => assert!(!proof.borrow().ends_with_empty_clause()),
         other => panic!("expected a budget abort, got {other:?}"),
     }
 }

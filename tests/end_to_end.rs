@@ -69,13 +69,13 @@ fn unsat_families_produce_checkable_refutations() {
         if inst.expected != Some(false) {
             continue;
         }
-        let mut proof = DratProof::new();
-        let mut solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
-        assert!(
-            solver.solve_with_proof(&mut proof).is_unsat(),
-            "{}: expected UNSAT",
-            inst.name
-        );
+        let proof = std::rc::Rc::new(std::cell::RefCell::new(DratProof::new()));
+        let mut solver = SolverBuilder::with_config(SolverConfig::berkmin())
+            .proof(std::rc::Rc::clone(&proof))
+            .cnf(&inst.cnf)
+            .build();
+        assert!(solver.solve().is_unsat(), "{}: expected UNSAT", inst.name);
+        let proof = proof.borrow();
         assert!(
             proof.ends_with_empty_clause(),
             "{}: no empty clause",

@@ -1,10 +1,27 @@
 //! Cross-configuration agreement: every named configuration of the paper
 //! must reach the same verdict on the same formula — they differ only in
 //! heuristics, never in soundness.
+//!
+//! Every solver here is assembled by `SolverBuilder` and driven through
+//! `dyn SatEngine`, so this suite doubles as the proof that the whole
+//! comparison harness needs nothing beyond the object-safe session API.
 
 use berkmin::{RestartPolicy, SolverConfig, TopClausePolarity};
 use berkmin_gens::*;
 use berkmin_suite::prelude::*;
+
+/// Builds the configured engine pre-loaded with `cnf`, as a trait object.
+fn engine_for(cnf: &Cnf, cfg: SolverConfig) -> Box<dyn SatEngine> {
+    SolverBuilder::with_config(cfg).cnf(cnf).build_engine()
+}
+
+/// Stages `assumptions` and runs one solve call on any engine.
+fn solve_under(engine: &mut dyn SatEngine, assumptions: &[Lit]) -> SolveStatus {
+    for &a in assumptions {
+        engine.assume(a);
+    }
+    engine.solve()
+}
 
 fn paper_configs() -> Vec<(&'static str, SolverConfig)> {
     vec![
@@ -41,7 +58,7 @@ fn check_pool(pool: &[BenchInstance]) {
     for inst in pool {
         let mut verdicts: Vec<(&str, bool)> = Vec::new();
         for (name, cfg) in paper_configs() {
-            let mut solver = Solver::new(&inst.cnf, cfg);
+            let mut solver = engine_for(&inst.cnf, cfg);
             match solver.solve() {
                 SolveStatus::Sat(m) => {
                     assert!(inst.cnf.is_satisfied_by(&m), "{name} on {}", inst.name);
@@ -110,7 +127,7 @@ fn berkmin_and_chaff_agree_on_fifty_random_3sat_instances() {
         let verdicts: Vec<bool> = [SolverConfig::berkmin(), SolverConfig::chaff_like()]
             .into_iter()
             .map(|cfg| {
-                let mut solver = Solver::new(&inst.cnf, cfg);
+                let mut solver = engine_for(&inst.cnf, cfg);
                 match solver.solve() {
                     SolveStatus::Sat(model) => {
                         assert!(
@@ -156,8 +173,8 @@ fn berkmin_and_chaff_agree_under_random_assumption_sets() {
         let n = 20;
         let m = 70 + (seed as usize % 5) * 7; // straddle the transition
         let inst = ksat::random_ksat(n, m, 3, seed);
-        let mut berkmin_solver = Solver::new(&inst.cnf, SolverConfig::berkmin());
-        let mut chaff_solver = Solver::new(&inst.cnf, SolverConfig::chaff_like());
+        let mut berkmin_solver = engine_for(&inst.cnf, SolverConfig::berkmin());
+        let mut chaff_solver = engine_for(&inst.cnf, SolverConfig::chaff_like());
         for round in 0..4u64 {
             // Deterministic pseudo-random assumption set, 1..=3 literals.
             let mut x = seed
@@ -182,7 +199,7 @@ fn berkmin_and_chaff_agree_under_random_assumption_sets() {
             ]
             .into_iter()
             .map(
-                |(solver, name)| match solver.solve_with_assumptions(&assumptions) {
+                |(solver, name)| match solve_under(solver.as_mut(), &assumptions) {
                     SolveStatus::Sat(model) => {
                         assert!(inst.cnf.is_satisfied_by(&model), "{name} bad model");
                         for &a in &assumptions {
@@ -199,7 +216,7 @@ fn berkmin_and_chaff_agree_under_random_assumption_sets() {
                         }
                         let core = solver.failed_assumptions().to_vec();
                         assert!(
-                            solver.solve_with_assumptions(&core).is_unsat(),
+                            solve_under(solver.as_mut(), &core).is_unsat(),
                             "{name} core is not UNSAT-forcing"
                         );
                         false
@@ -239,7 +256,7 @@ fn restart_policies_never_change_verdicts() {
         ] {
             let mut cfg = SolverConfig::berkmin();
             cfg.restart = restart;
-            let mut solver = Solver::new(&inst.cnf, cfg);
+            let mut solver = engine_for(&inst.cnf, cfg);
             verdicts.push(solver.solve().is_sat());
         }
         assert!(verdicts.windows(2).all(|w| w[0] == w[1]), "{}", inst.name);
@@ -254,8 +271,8 @@ fn minimization_extension_preserves_verdicts_and_shortens_clauses() {
     let mut min_cfg = plain_cfg.clone();
     min_cfg.minimize_learnt = true;
 
-    let mut plain = Solver::new(&inst.cnf, plain_cfg);
-    let mut minimized = Solver::new(&inst.cnf, min_cfg);
+    let mut plain = engine_for(&inst.cnf, plain_cfg);
+    let mut minimized = engine_for(&inst.cnf, min_cfg);
     assert!(plain.solve().is_unsat());
     assert!(minimized.solve().is_unsat());
     // Minimization must not lengthen the average learnt clause.

@@ -36,6 +36,25 @@ fn ci_tests_the_whole_workspace() {
 }
 
 #[test]
+fn ci_keeps_the_rustdoc_step() {
+    // The builder/engine/sink redesign leans on intra-doc links between
+    // crates; this step turns a broken link into a CI failure instead of a
+    // silently rotting docs surface.
+    let ci = ci_config();
+    for required in [
+        r#"RUSTDOCFLAGS="-D warnings""#,
+        "cargo doc --no-deps --workspace",
+    ] {
+        assert!(
+            ci.contains(required),
+            "CI workflow dropped `{required}` — without the rustdoc step, \
+             broken intra-doc links on the builder/engine API surface would \
+             accrue silently"
+        );
+    }
+}
+
+#[test]
 fn ci_keeps_the_bench_smoke_step() {
     let ci = ci_config();
     assert!(
