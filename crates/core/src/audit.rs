@@ -1,0 +1,467 @@
+//! Runtime self-auditing: one deep consistency check over every piece of
+//! solver state the search trusts implicitly.
+//!
+//! [`Solver::audit_invariants`] validates, in one pass:
+//!
+//! * **Arena integrity** — every record header is walkable, filler pads are
+//!   marked garbage, live clauses store ≥ 2 literals, and the running
+//!   garbage/live counters match a full walk ([`ClauseDb::audit`]).
+//! * **Watch structure** — every live clause is watched exactly twice, long
+//!   clauses at their first two literals, binary clauses inline with the
+//!   correct partner literal, blockers inside their clause, and no watcher
+//!   dangles into garbage.
+//! * **Watch semantics** — once the propagation queue is drained
+//!   (`qhead == trail.len()`) every live clause is satisfied or has both
+//!   watched literals unfalsified (the two-watched-literal contract).
+//! * **Trail/reason consistency** — trail literals are true, levels match
+//!   the decision markers, reason clauses are live, contain the implied
+//!   literal and have every other literal falsified at or below its level.
+//! * **Decision-heap membership** — under [`ActivityIndex::Heap`], every
+//!   unassigned variable is in the heap and the heap/pos tables are mutual
+//!   inverses satisfying the max-heap property (lazy deletion means
+//!   *assigned* variables may legitimately linger).
+//!
+//! The check is `O(arena + watches + vars)` — far too slow for production
+//! BCP but cheap enough to run at every quiescent point of a fuzzed solve.
+//! That is exactly what [`SolverConfig::paranoid`](crate::SolverConfig)
+//! does, and what the `debug_assert!` hooks at the mutation sites do in
+//! debug builds.
+
+use std::collections::{HashMap, HashSet};
+
+use berkmin_cnf::{LBool, Lit, Var};
+
+use crate::clause_db::ClauseRef;
+use crate::config::ActivityIndex;
+use crate::solver::Solver;
+
+/// Every invariant violation found by one [`Solver::audit_invariants`]
+/// call, in discovery order.
+///
+/// The report is the `Err` payload; its [`std::fmt::Display`] output is a
+/// bullet list suitable for a panic message or a fuzzing log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Human-readable violation descriptions.
+    pub violations: Vec<String>,
+}
+
+impl std::fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} solver invariant violation(s):",
+            self.violations.len()
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for AuditReport {}
+
+impl Solver {
+    /// Deep-checks every structural invariant of the solver — watch lists,
+    /// trail/reason consistency, decision-heap membership and clause-arena
+    /// header integrity — returning an [`AuditReport`] describing each
+    /// violation found.
+    ///
+    /// Valid at any *quiescent* point: after [`Solver::solve`] returns,
+    /// between incremental calls, or — internally — after propagation,
+    /// conflict handling, backtracking and garbage collection. The
+    /// watch-semantics check arms itself only when the propagation queue is
+    /// drained and the solver is still consistent, so calling this on a
+    /// partially propagated trail is safe, merely less thorough.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use berkmin::{Solver, SolverConfig};
+    /// use berkmin_cnf::Lit;
+    ///
+    /// let mut s = Solver::with_config(SolverConfig::berkmin());
+    /// s.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+    /// assert!(s.solve().is_sat());
+    /// s.audit_invariants().expect("solver state is consistent");
+    /// ```
+    pub fn audit_invariants(&self) -> Result<(), AuditReport> {
+        let mut out = Vec::new();
+        self.db.audit(&mut out);
+        self.audit_tables(&mut out);
+        if out.iter().any(|v| v.starts_with("tables:")) {
+            // Mis-sized per-variable tables make the deeper checks index out
+            // of bounds; report what is known rather than panic inside the
+            // auditor.
+            return Err(AuditReport { violations: out });
+        }
+        let live: HashSet<ClauseRef> = self.db.iter_live().collect();
+        self.audit_stack(&live, &mut out);
+        self.audit_watches(&live, &mut out);
+        self.audit_trail(&live, &mut out);
+        if self.config.activity_index == ActivityIndex::Heap {
+            self.audit_heap(&mut out);
+        }
+        if out.is_empty() {
+            Ok(())
+        } else {
+            Err(AuditReport { violations: out })
+        }
+    }
+
+    /// Panics with the full report if the audit finds a violation; returns
+    /// `true` otherwise so it can sit inside a `debug_assert!`.
+    pub(crate) fn assert_invariants(&self, site: &str) -> bool {
+        if let Err(report) = self.audit_invariants() {
+            panic!("solver invariant audit failed ({site}): {report}");
+        }
+        true
+    }
+
+    /// The [`SolverConfig::paranoid`](crate::SolverConfig) hook: a full
+    /// audit at a quiescent point of the search, fatal on violation.
+    #[inline]
+    pub(crate) fn paranoid_audit(&self, site: &str) {
+        if self.config.paranoid {
+            self.assert_invariants(site);
+        }
+    }
+
+    /// Per-variable table sizes and trail bookkeeping.
+    fn audit_tables(&self, out: &mut Vec<String>) {
+        let n = self.num_vars;
+        for (name, len) in [
+            ("assigns", self.assigns.len()),
+            ("level", self.level.len()),
+            ("reason", self.reason.len()),
+            ("seen", self.seen.len()),
+            ("var_activity", self.var_activity.len()),
+        ] {
+            if len != n {
+                out.push(format!("tables: {name} covers {len} vars, expected {n}"));
+            }
+        }
+        for (name, len) in [
+            ("watches", self.watches.len()),
+            ("bin_watches", self.bin_watches.len()),
+            ("lit_activity", self.lit_activity.len()),
+        ] {
+            if len != 2 * n {
+                out.push(format!(
+                    "tables: {name} covers {len} literal codes, expected {}",
+                    2 * n
+                ));
+            }
+        }
+        if self.qhead > self.trail.len() {
+            out.push(format!(
+                "trail: qhead {} beyond trail length {}",
+                self.qhead,
+                self.trail.len()
+            ));
+        }
+        let mut prev = 0usize;
+        for (i, &lim) in self.trail_lim.iter().enumerate() {
+            if lim > self.trail.len() || lim < prev {
+                out.push(format!(
+                    "trail: decision marker {i} at {lim} is out of order \
+                     (prev {prev}, trail length {})",
+                    self.trail.len()
+                ));
+            }
+            prev = lim;
+        }
+        if self.seen.iter().any(|&s| s) {
+            out.push("analysis: seen[] scratch left marked outside analysis".into());
+        }
+    }
+
+    /// The conflict-clause stack: live, learnt, chronological.
+    fn audit_stack(&self, live: &HashSet<ClauseRef>, out: &mut Vec<String>) {
+        let mut prev: Option<ClauseRef> = None;
+        for &cref in &self.db.stack {
+            if !live.contains(&cref) {
+                out.push(format!("stack: entry {cref:?} is not a live clause"));
+                continue;
+            }
+            if !self.db.is_learnt(cref) {
+                out.push(format!("stack: entry {cref:?} is an original clause"));
+            }
+            if let Some(p) = prev {
+                if cref <= p {
+                    out.push(format!(
+                        "stack: entry {cref:?} breaks chronological arena order \
+                         (follows {p:?})"
+                    ));
+                }
+            }
+            prev = Some(cref);
+        }
+    }
+
+    /// Watch-list structure, plus the semantic two-watched-literal contract
+    /// when the propagation queue is drained.
+    fn audit_watches(&self, live: &HashSet<ClauseRef>, out: &mut Vec<String>) {
+        let mut watch_count: HashMap<ClauseRef, usize> = HashMap::new();
+        for code in 0..self.watches.len().min(self.bin_watches.len()) {
+            // `watches[l]` is visited when `l` becomes true, i.e. it holds
+            // the clauses containing `¬l` — `watched` is the clause literal.
+            let watched = !Lit::from_code(code as u32);
+            for w in &self.watches[code] {
+                if !live.contains(&w.cref) {
+                    out.push(format!(
+                        "watches[{code}]: dangling long watcher {:?}",
+                        w.cref
+                    ));
+                    continue;
+                }
+                let lits = self.db.lits(w.cref);
+                if lits.len() < 3 {
+                    out.push(format!(
+                        "watches[{code}]: binary clause {:?} in the long lists",
+                        w.cref
+                    ));
+                }
+                if lits[0] != watched && lits[1] != watched {
+                    out.push(format!(
+                        "watches[{code}]: clause {:?} is not watched at its \
+                         first two literals",
+                        w.cref
+                    ));
+                }
+                if !lits.contains(&w.blocker) {
+                    out.push(format!(
+                        "watches[{code}]: blocker of {:?} is outside the clause",
+                        w.cref
+                    ));
+                }
+                *watch_count.entry(w.cref).or_insert(0) += 1;
+            }
+            for w in &self.bin_watches[code] {
+                if !live.contains(&w.cref) {
+                    out.push(format!(
+                        "bin_watches[{code}]: dangling binary watcher {:?}",
+                        w.cref
+                    ));
+                    continue;
+                }
+                let lits = self.db.lits(w.cref);
+                if lits.len() != 2 {
+                    out.push(format!(
+                        "bin_watches[{code}]: long clause {:?} in the binary lists",
+                        w.cref
+                    ));
+                } else if !(lits.contains(&watched) && lits.contains(&w.other)) {
+                    out.push(format!(
+                        "bin_watches[{code}]: inline watcher does not encode \
+                         clause {:?}",
+                        w.cref
+                    ));
+                }
+                *watch_count.entry(w.cref).or_insert(0) += 1;
+            }
+        }
+        for &cref in live {
+            let n = watch_count.get(&cref).copied().unwrap_or(0);
+            if n != 2 {
+                out.push(format!(
+                    "watches: live clause {cref:?} is watched {n} time(s), \
+                     expected exactly 2"
+                ));
+            }
+        }
+        // The semantic contract only holds once BCP has drained the queue;
+        // a refuted solver keeps a falsified clause by design.
+        if self.ok && self.qhead == self.trail.len() {
+            for &cref in live {
+                let lits = self.db.lits(cref);
+                let satisfied = lits.iter().any(|&l| self.lit_value(l) == LBool::True);
+                let watches_ok = self.lit_value(lits[0]) != LBool::False
+                    && self.lit_value(lits[1]) != LBool::False;
+                if !satisfied && !watches_ok {
+                    out.push(format!(
+                        "watch semantics: clause {cref:?} {lits:?} has a \
+                         falsified watched literal but no satisfying literal \
+                         on a fully propagated trail"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Trail/assignment/level/reason cross-consistency.
+    fn audit_trail(&self, live: &HashSet<ClauseRef>, out: &mut Vec<String>) {
+        let mut on_trail = vec![false; self.num_vars];
+        let mut next_lim = 0usize;
+        let mut level_here = 0u32;
+        for (i, &l) in self.trail.iter().enumerate() {
+            while next_lim < self.trail_lim.len() && self.trail_lim[next_lim] <= i {
+                next_lim += 1;
+                level_here = next_lim as u32;
+            }
+            let v = l.var().index();
+            if v >= self.num_vars {
+                out.push(format!("trail[{i}]: unknown var {v}"));
+                continue;
+            }
+            if on_trail[v] {
+                out.push(format!("trail[{i}]: var {v} appears twice"));
+            }
+            on_trail[v] = true;
+            if self.lit_value(l) != LBool::True {
+                out.push(format!("trail[{i}]: literal {l:?} is not assigned true"));
+            }
+            if self.level[v] != level_here {
+                out.push(format!(
+                    "trail[{i}]: var {v} records level {}, decision markers \
+                     say {level_here}",
+                    self.level[v]
+                ));
+            }
+        }
+        for (v, &trailed) in on_trail.iter().enumerate().take(self.num_vars) {
+            let assigned = !self.assigns[v].is_undef();
+            if assigned != trailed {
+                out.push(format!(
+                    "assigns: var {v} is {} but {} the trail",
+                    if assigned { "assigned" } else { "unassigned" },
+                    if trailed { "on" } else { "off" }
+                ));
+            }
+            if !assigned && self.reason[v].is_some() {
+                out.push(format!("reason: unassigned var {v} keeps a reason"));
+            }
+        }
+        for &l in self.trail.iter() {
+            let v = l.var().index();
+            let Some(cref) = self.reason.get(v).copied().flatten() else {
+                continue;
+            };
+            if !live.contains(&cref) {
+                out.push(format!("reason: var {v} points at dead clause {cref:?}"));
+                continue;
+            }
+            let lits = self.db.lits(cref);
+            if !lits.contains(&l) {
+                out.push(format!(
+                    "reason: clause {cref:?} of var {v} does not contain its \
+                     implied literal {l:?}"
+                ));
+                continue;
+            }
+            for &other in lits.iter().filter(|&&o| o != l) {
+                if self.lit_value(other) != LBool::False {
+                    out.push(format!(
+                        "reason: clause {cref:?} of var {v} has unfalsified \
+                         side literal {other:?}"
+                    ));
+                } else if self.level[other.var().index()] > self.level[v] {
+                    out.push(format!(
+                        "reason: clause {cref:?} of var {v} (level {}) leans on \
+                         {other:?} assigned above it (level {})",
+                        self.level[v],
+                        self.level[other.var().index()]
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Decision-heap membership and structure ([`ActivityIndex::Heap`]).
+    fn audit_heap(&self, out: &mut Vec<String>) {
+        self.heap.audit(&self.var_activity, out);
+        for v in 0..self.num_vars {
+            if self.assigns[v].is_undef() && !self.heap.contains(Var::new(v as u32)) {
+                out.push(format!(
+                    "heap: unassigned var {v} has fallen out of the decision heap"
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::solver::Watcher;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    fn solved_solver() -> Solver {
+        let mut s = Solver::with_config(SolverConfig::berkmin());
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(3)]);
+        assert!(s.solve().is_sat());
+        s
+    }
+
+    #[test]
+    fn clean_solver_passes() {
+        let s = solved_solver();
+        s.audit_invariants()
+            .expect("fresh solve leaves clean state");
+    }
+
+    #[test]
+    fn cleared_watch_list_is_caught() {
+        let mut s = solved_solver();
+        let victim = (0..s.watches.len())
+            .find(|&c| !s.watches[c].is_empty())
+            .expect("a ternary clause is watched somewhere");
+        s.watches[victim].clear();
+        let report = s.audit_invariants().expect_err("audit must trip");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("watched 1 time(s)")),
+            "missing-watch violation not reported: {report}"
+        );
+    }
+
+    #[test]
+    fn dangling_watcher_is_caught() {
+        let mut s = solved_solver();
+        let bogus = ClauseRef(u32::MAX - 8);
+        s.watches[0].push(Watcher {
+            cref: bogus,
+            blocker: lit(1),
+        });
+        let report = s.audit_invariants().expect_err("audit must trip");
+        assert!(
+            report.violations.iter().any(|v| v.contains("dangling")),
+            "dangling watcher not reported: {report}"
+        );
+    }
+
+    #[test]
+    fn corrupted_assignment_is_caught() {
+        let mut s = solved_solver();
+        // Flip the first trail literal's assignment out from under the trail.
+        let v = s.trail[0].var().index();
+        s.assigns[v] = !s.assigns[v];
+        let report = s.audit_invariants().expect_err("audit must trip");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("not assigned true")),
+            "trail/assignment mismatch not reported: {report}"
+        );
+    }
+
+    #[test]
+    fn report_display_lists_every_violation() {
+        let report = AuditReport {
+            violations: vec!["first".into(), "second".into()],
+        };
+        let text = report.to_string();
+        assert!(text.contains("2 solver invariant violation(s)"));
+        assert!(text.contains("- first") && text.contains("- second"));
+    }
+}

@@ -140,6 +140,10 @@ impl ClauseDb {
         debug_assert_eq!(header & (GARBAGE | FILLER), 0, "double delete of {cref:?}");
         self.set_header(cref, header | GARBAGE);
         self.garbage_words += record_words(header);
+        debug_assert!(
+            self.garbage_words <= self.arena.len(),
+            "garbage accounting exceeds the arena"
+        );
         if header & LEARNT != 0 {
             self.num_learnt_live -= 1;
         } else {
@@ -171,6 +175,12 @@ impl ClauseDb {
         let tail = cref.idx() + HEADER_WORDS + new_len;
         self.arena[tail] = Lit::from_code((pad as u32 - 1) << LEN_SHIFT | FILLER | GARBAGE);
         self.garbage_words += pad;
+        debug_assert_eq!(
+            record_words(self.arena[tail].code() as u32),
+            pad,
+            "filler pad does not cover the orphaned tail"
+        );
+        debug_assert_eq!(self.len(cref), new_len, "shrunk header does not round-trip");
     }
 
     /// Drops deleted entries from the stack, preserving chronological order.
@@ -259,6 +269,73 @@ impl ClauseDb {
             }
             None
         })
+    }
+
+    /// Structural arena audit: walks every record and cross-checks the
+    /// header encoding against the database's running counters. Violations
+    /// are appended to `out` as human-readable descriptions; an intact
+    /// arena appends nothing. Part of
+    /// [`Solver::audit_invariants`](crate::Solver::audit_invariants).
+    pub fn audit(&self, out: &mut Vec<String>) {
+        let mut off = 0usize;
+        let mut garbage = 0usize;
+        let mut original = 0usize;
+        let mut learnt = 0usize;
+        while off < self.arena.len() {
+            let header = self.arena[off].code() as u32;
+            let words = record_words(header);
+            if off + words > self.arena.len() {
+                out.push(format!(
+                    "arena: record at word {off} ({words} words) overruns the \
+                     arena end ({})",
+                    self.arena.len()
+                ));
+                return; // the walk is lost — no further record is trustworthy
+            }
+            if header & FILLER != 0 {
+                if header & GARBAGE == 0 {
+                    out.push(format!(
+                        "arena: filler record at word {off} is not marked garbage"
+                    ));
+                }
+                garbage += words;
+            } else if header & GARBAGE != 0 {
+                garbage += words;
+            } else {
+                let len = (header >> LEN_SHIFT) as usize;
+                if len < 2 {
+                    out.push(format!(
+                        "arena: live record at word {off} stores {len} literal(s); \
+                         unit/empty clauses must never reach the arena"
+                    ));
+                }
+                if header & LEARNT != 0 {
+                    learnt += 1;
+                } else {
+                    original += 1;
+                }
+            }
+            off += words;
+        }
+        if garbage != self.garbage_words {
+            out.push(format!(
+                "arena: walked garbage ({garbage} words) disagrees with the \
+                 running counter ({})",
+                self.garbage_words
+            ));
+        }
+        if original != self.num_original_live {
+            out.push(format!(
+                "arena: walked {original} live original clauses, counter says {}",
+                self.num_original_live
+            ));
+        }
+        if learnt != self.num_learnt_live {
+            out.push(format!(
+                "arena: walked {learnt} live learnt clauses, counter says {}",
+                self.num_learnt_live
+            ));
+        }
     }
 
     /// Compacting garbage collection: slides every live record to the front

@@ -270,6 +270,12 @@ pub struct SolverConfig {
     /// Record every decision variable in [`crate::Stats::decision_log`]
     /// (used by the Fig. 1 experiment; costs memory on long runs).
     pub record_decisions: bool,
+    /// Run [`Solver::audit_invariants`](crate::Solver::audit_invariants)
+    /// at every quiescent point of the search (after propagation, conflict
+    /// handling and restarts), panicking on the first violation. Expensive —
+    /// meant for fuzzing, debugging and the `--paranoid` CLI flag, not for
+    /// production runs.
+    pub paranoid: bool,
 }
 
 impl SolverConfig {
@@ -291,6 +297,7 @@ impl SolverConfig {
             seed: 0x5EED_B16B_00B5,
             budget: Budget::unlimited(),
             record_decisions: false,
+            paranoid: false,
         }
     }
 
@@ -370,6 +377,13 @@ impl SolverConfig {
     /// Sets the PRNG seed, returning the modified config (builder-style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables (or disables) paranoid self-auditing, returning the modified
+    /// config (builder-style). See [`SolverConfig::paranoid`].
+    pub fn with_paranoid(mut self, paranoid: bool) -> Self {
+        self.paranoid = paranoid;
         self
     }
 }

@@ -95,6 +95,38 @@ impl VarHeap {
         }
     }
 
+    /// Structural audit: the `heap`/`pos` tables must be mutual inverses
+    /// and the array must satisfy the max-heap property under `key`.
+    /// Violations are appended to `out`; an intact heap appends nothing.
+    pub fn audit(&self, key: &[u64], out: &mut Vec<String>) {
+        for (i, &v) in self.heap.iter().enumerate() {
+            let v = v as usize;
+            if v >= key.len() {
+                out.push(format!("heap: entry {i} names unknown var {v}"));
+                continue;
+            }
+            if self.pos.get(v).copied() != Some(i as u32) {
+                out.push(format!("heap: pos[{v}] does not point back at heap[{i}]"));
+            }
+            if i > 0 {
+                let parent = self.heap[(i - 1) / 2] as usize;
+                if key[v] > key[parent] {
+                    out.push(format!(
+                        "heap: property violated at index {i} (var {v} above \
+                         its parent var {parent})"
+                    ));
+                }
+            }
+        }
+        let present = self.pos.iter().filter(|&&p| p != ABSENT).count();
+        if present != self.heap.len() {
+            out.push(format!(
+                "heap: {present} vars claim membership, heap holds {}",
+                self.heap.len()
+            ));
+        }
+    }
+
     fn sift_up(&mut self, mut i: usize, key: &[u64]) {
         while i > 0 {
             let parent = (i - 1) / 2;

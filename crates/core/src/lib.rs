@@ -65,9 +65,9 @@
 //! # Solve events
 //!
 //! Two IPASIR-style hooks install at construction time:
-//! [`SolverBuilder::on_terminate`] (polled at solve entry and every
-//! restart boundary; aborts with [`StopReason::Callback`] without touching
-//! budgets) and [`SolverBuilder::on_learnt`] (delivers every
+//! [`SolverBuilder::on_terminate`] (polled at solve entry, every restart
+//! boundary and every 1024 conflicts; aborts with [`StopReason::Callback`]
+//! without touching budgets) and [`SolverBuilder::on_learnt`] (delivers every
 //! conflict-derived learnt clause up to a length cap — each one a
 //! consequence of the formula alone, never of the assumptions).
 //!
@@ -95,6 +95,7 @@
 #![warn(missing_docs)]
 
 mod analyze;
+mod audit;
 mod builder;
 mod clause_db;
 mod config;
@@ -110,6 +111,7 @@ mod rng;
 mod solver;
 mod stats;
 
+pub use audit::AuditReport;
 pub use builder::SolverBuilder;
 pub use config::{
     ActivityIndex, Budget, DbPolicy, DecisionStrategy, FreeVarPolarity, RestartPolicy, Sensitivity,

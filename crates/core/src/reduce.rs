@@ -37,6 +37,7 @@ impl Solver {
         // references (reasons of level-0 facts whose clause died are
         // dropped — analysis never consults level-0 reasons).
         self.collect_garbage(proof);
+        debug_assert!(self.assert_invariants("reduce_db"));
     }
 
     /// Removes clauses satisfied by retained level-0 assignments and strips

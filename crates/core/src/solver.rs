@@ -37,8 +37,9 @@ impl std::fmt::Display for StopReason {
     }
 }
 
-/// A boxed terminate callback: polled at solve entry and restart
-/// boundaries; returning `true` aborts with [`StopReason::Callback`].
+/// A boxed terminate callback: polled at solve entry, at restart
+/// boundaries, and every 1024 conflicts; returning `true` aborts with
+/// [`StopReason::Callback`].
 pub type TerminateCallback = Box<dyn FnMut() -> bool>;
 
 /// A boxed learnt-clause callback: receives each conflict-derived learnt
@@ -53,7 +54,8 @@ pub type LearntCallback = Box<dyn FnMut(&[Lit])>;
 /// the arguments passed, so they cannot perturb the search.
 #[derive(Default)]
 pub(crate) struct SolveEvents {
-    /// Polled at solve entry and at every restart boundary; returning
+    /// Polled at solve entry, at every restart boundary, and every 1024
+    /// conflicts (so a restart-free search cannot starve it); returning
     /// `true` aborts the call with [`StopReason::Callback`].
     pub(crate) terminate: Option<TerminateCallback>,
     /// Fired once per conflict-derived learnt clause of length ≤ the cap
@@ -236,6 +238,11 @@ impl std::fmt::Debug for Solver {
             .finish_non_exhaustive()
     }
 }
+
+/// Conflicts between terminate-callback polls inside a search tree. Restart
+/// boundaries also poll, but a policy like [`RestartPolicy::Never`] (or a
+/// huge fixed interval) would otherwise never hand control back.
+const TERMINATE_POLL_CONFLICTS: u64 = 1024;
 
 /// Per-solve-call baseline of the budgeted counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -799,12 +806,25 @@ impl Solver {
                 self.cancel_until(bt_level);
                 self.record_learnt(learnt);
                 self.on_conflict_maintenance();
+                self.paranoid_audit("after conflict handling");
+                // Restart boundaries alone can starve the terminate
+                // callback (RestartPolicy::Never, FixedInterval(u64::MAX),
+                // or a huge Luby leg), so it is also polled on a fixed
+                // conflict cadence. Budgets stay untouched.
+                if self.spent(self.stats.conflicts, self.budget_base.conflicts)
+                    % TERMINATE_POLL_CONFLICTS
+                    == 0
+                    && self.should_terminate()
+                {
+                    return SolveStatus::Unknown(StopReason::Callback);
+                }
                 if self.spent(self.stats.conflicts, self.budget_base.conflicts)
                     >= self.config.budget.max_conflicts
                 {
                     return SolveStatus::Unknown(StopReason::ConflictBudget);
                 }
             } else {
+                self.paranoid_audit("after propagation");
                 if self.spent(self.stats.propagations, self.budget_base.propagations)
                     >= self.config.budget.max_propagations
                 {
@@ -818,6 +838,7 @@ impl Solver {
                         return SolveStatus::Unknown(StopReason::Callback);
                     }
                     self.restart(proof);
+                    self.paranoid_audit("after restart");
                     continue;
                 }
                 // Enqueue pending assumptions as pseudo-decisions: the
@@ -840,6 +861,7 @@ impl Solver {
                             self.failed = self.analyze_final(a);
                             self.stats.assumption_conflicts += 1;
                             self.cancel_until(0);
+                            self.paranoid_audit("after failed-assumption backtrack");
                             return SolveStatus::Unsat;
                         }
                     }
@@ -853,7 +875,10 @@ impl Solver {
                     return SolveStatus::Unknown(StopReason::DecisionBudget);
                 }
                 match self.decide() {
-                    None => return SolveStatus::Sat(self.extract_model()),
+                    None => {
+                        self.paranoid_audit("at SAT");
+                        return SolveStatus::Sat(self.extract_model());
+                    }
                     Some(l) => {
                         self.stats.decisions += 1;
                         if self.config.record_decisions {
@@ -918,8 +943,9 @@ impl Solver {
         }
     }
 
-    /// Installs (or clears) the terminate callback — polled at solve entry
-    /// and at every restart boundary; returning `true` makes the current
+    /// Installs (or clears) the terminate callback — polled at solve entry,
+    /// at every restart boundary, and every 1024 conflicts (so even a
+    /// restart-free search honors it); returning `true` makes the current
     /// and any later [`Solver::solve`] call return
     /// [`SolveStatus::Unknown`]\([`StopReason::Callback`]\) until the
     /// callback is cleared or starts returning `false`. Budgets are never

@@ -1,0 +1,181 @@
+//! Failed-assumption cores under *degenerate assumption sets* — duplicate
+//! (`assume(x); assume(x)`) and contradictory (`assume(x); assume(¬x)`)
+//! staging, and duplicates of propagated assumptions. Every core must be
+//! duplicate-free, a subset of what was assumed, and UNSAT-forcing when
+//! re-solved together with the formula.
+//!
+//! Written while auditing `analyze_final` for the integrity-layer issue:
+//! the audit found the cores were already correct (each trail variable is
+//! visited once and `seen` is cleared on the way out, so no literal can
+//! enter a core twice), and these tests pin that behavior down.
+
+use berkmin::{SolveStatus, Solver, SolverConfig};
+use berkmin_cnf::Lit;
+
+fn lit(n: i32) -> Lit {
+    Lit::from_dimacs(n)
+}
+
+/// Asserts the three core invariants and returns the core.
+fn certified_core(s: &Solver, assumed: &[Lit]) -> Vec<Lit> {
+    let core = s.failed_assumptions().to_vec();
+    let mut sorted = core.clone();
+    sorted.sort_unstable_by_key(|l| l.code());
+    sorted.dedup();
+    assert_eq!(sorted.len(), core.len(), "core has duplicates: {core:?}");
+    for l in &core {
+        assert!(assumed.contains(l), "core literal {l:?} was never assumed");
+    }
+    core
+}
+
+/// Re-solves the formula built by `build` with `core` as assumptions; the
+/// result must be UNSAT (the core really forces the conflict).
+fn assert_core_forces_unsat(build: impl Fn(&mut Solver), core: &[Lit]) {
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    build(&mut s);
+    for &l in core {
+        s.assume(l);
+    }
+    assert!(
+        s.solve().is_unsat(),
+        "core {core:?} does not force UNSAT on its own"
+    );
+}
+
+#[test]
+fn duplicate_assumption_refuted_at_root_yields_a_singleton_core() {
+    // ¬x is a unit fact, x is assumed twice: the core must name x once.
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    s.add_clause([lit(-1)]);
+    s.assume(lit(1));
+    s.assume(lit(1));
+    assert!(s.solve().is_unsat());
+    let core = certified_core(&s, &[lit(1)]);
+    assert_eq!(core, vec![lit(1)]);
+    // The refutation is formula-vs-assumption, not formula-internal.
+    assert!(s.solve().is_sat(), "formula alone must stay SAT");
+}
+
+#[test]
+fn duplicate_assumptions_in_a_deeper_conflict_stay_duplicate_free() {
+    // x → y → z, assume x (twice) and ¬z (twice): the conflict is found
+    // only after propagating through both implications.
+    let build = |s: &mut Solver| {
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(3)]);
+    };
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    build(&mut s);
+    for a in [lit(1), lit(1), lit(-3), lit(-3)] {
+        s.assume(a);
+    }
+    assert!(s.solve().is_unsat());
+    let core = certified_core(&s, &[lit(1), lit(-3)]);
+    assert!(!core.is_empty());
+    assert_core_forces_unsat(build, &core);
+}
+
+#[test]
+fn contradictory_assumptions_on_a_free_variable_yield_the_pair() {
+    // No clause mentions x3; assuming x3 and ¬x3 must still answer UNSAT
+    // with a duplicate-free core that is UNSAT-forcing by itself.
+    let build = |s: &mut Solver| {
+        s.add_clause([lit(1), lit(2)]);
+    };
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    build(&mut s);
+    s.assume(lit(3));
+    s.assume(lit(-3));
+    assert!(s.solve().is_unsat());
+    let core = certified_core(&s, &[lit(3), lit(-3)]);
+    let mut sorted = core.clone();
+    sorted.sort_unstable_by_key(|l| l.code());
+    assert_eq!(sorted, vec![lit(3), lit(-3)], "core must be the pair");
+    assert_core_forces_unsat(build, &core);
+    // The session recovers: the next unconstrained call is SAT.
+    assert!(s.solve().is_sat());
+}
+
+#[test]
+fn contradiction_through_propagation_is_certified() {
+    // assume x, then assume ¬y where x → y: the second assumption is
+    // falsified by propagation from the first, not by a root fact.
+    let build = |s: &mut Solver| {
+        s.add_clause([lit(-1), lit(2)]);
+    };
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    build(&mut s);
+    s.assume(lit(1));
+    s.assume(lit(-2));
+    assert!(s.solve().is_unsat());
+    let core = certified_core(&s, &[lit(1), lit(-2)]);
+    assert_core_forces_unsat(build, &core);
+    assert!(
+        core.contains(&lit(-2)),
+        "the directly falsified assumption must be in the core: {core:?}"
+    );
+}
+
+#[test]
+fn duplicate_of_an_already_propagated_assumption_opens_a_dummy_level() {
+    // x propagates y at the first assumption level; assuming y again is a
+    // no-op (dummy level), and the later conflict must still produce a
+    // clean core — this exercises the `LBool::True` branch of assumption
+    // installation followed by final-conflict analysis.
+    let build = |s: &mut Solver| {
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(-3)]);
+    };
+    let mut s = Solver::with_config(SolverConfig::berkmin());
+    build(&mut s);
+    for a in [lit(1), lit(2), lit(3)] {
+        s.assume(a);
+    }
+    assert!(s.solve().is_unsat());
+    let core = certified_core(&s, &[lit(1), lit(2), lit(3)]);
+    assert_core_forces_unsat(build, &core);
+}
+
+#[test]
+fn mixed_duplicates_and_contradictions_across_a_warm_session() {
+    // The same warm solver is queried repeatedly with ever-nastier
+    // assumption sets; every UNSAT core must certify, every SAT model must
+    // satisfy its assumptions.
+    let mut s = Solver::with_config(SolverConfig::berkmin().with_paranoid(true));
+    s.add_clause([lit(1), lit(2), lit(3)]);
+    s.add_clause([lit(-1), lit(4)]);
+
+    let queries: &[&[Lit]] = &[
+        &[lit(1), lit(1)],
+        &[lit(4), lit(-4)],
+        &[lit(-4), lit(1)],
+        &[lit(2), lit(2), lit(-2)],
+        &[lit(-1), lit(-2), lit(-3)],
+    ];
+    for &assumed in queries {
+        for &a in assumed {
+            s.assume(a);
+        }
+        match s.solve() {
+            SolveStatus::Sat(m) => {
+                for &a in assumed {
+                    assert!(m.satisfies(a), "model violates assumption {a:?}");
+                }
+                assert!(s.failed_assumptions().is_empty());
+            }
+            SolveStatus::Unsat => {
+                let core = certified_core(&s, assumed);
+                assert_core_forces_unsat(
+                    |s| {
+                        s.add_clause([lit(1), lit(2), lit(3)]);
+                        s.add_clause([lit(-1), lit(4)]);
+                    },
+                    &core,
+                );
+            }
+            SolveStatus::Unknown(r) => panic!("aborted without budget: {r}"),
+        }
+        s.audit_invariants().expect("warm session must stay clean");
+    }
+}

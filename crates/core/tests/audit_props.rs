@@ -1,0 +1,88 @@
+//! Property tests for the self-auditing layer: random solves with
+//! `paranoid` on must never trip the in-search audits (which panic on the
+//! first violation), and the post-solve state must still pass a full
+//! [`Solver::audit_invariants`] call — across configurations, including the
+//! heap-indexed decision strategy and incremental assumption sessions.
+
+use berkmin::{ActivityIndex, RestartPolicy, Solver, SolverConfig};
+use berkmin_cnf::{Lit, Var};
+use proptest::prelude::*;
+
+/// Variable pool for generated clauses — small enough that random 3-SAT-ish
+/// formulas flip between SAT and UNSAT and conflict frequently.
+const VARS: u32 = 14;
+
+/// Derives a clause of 1–4 distinct variables from one seed.
+fn clause_from_seed(seed: u64) -> Vec<Lit> {
+    let len = 1 + (seed % 4) as usize;
+    let mut vars: Vec<u32> = Vec::with_capacity(len);
+    let mut x = seed | 1;
+    while vars.len() < len {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let v = (x >> 33) as u32 % VARS;
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    vars.iter()
+        .enumerate()
+        .map(|(i, &v)| Lit::new(Var::new(v), (seed >> i) & 1 == 1))
+        .collect()
+}
+
+fn paranoid_configs() -> Vec<SolverConfig> {
+    let mut churn = SolverConfig::berkmin();
+    churn.restart = RestartPolicy::FixedInterval(2); // reduce/GC constantly
+    let mut heap = SolverConfig::less_mobility();
+    heap.activity_index = ActivityIndex::Heap; // exercise heap membership
+    [
+        SolverConfig::berkmin(),
+        churn,
+        heap,
+        SolverConfig::chaff_like(),
+    ]
+    .into_iter()
+    .map(|c| c.with_paranoid(true))
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn paranoid_random_solves_never_trip(seeds in prop::collection::vec(any::<u64>(), 1..=40)) {
+        for cfg in paranoid_configs() {
+            let mut s = Solver::with_config(cfg);
+            for &seed in &seeds {
+                s.add_clause(clause_from_seed(seed));
+            }
+            let _ = s.solve(); // paranoid audits panic if anything trips
+            s.audit_invariants().expect("post-solve state must audit clean");
+        }
+    }
+
+    #[test]
+    fn paranoid_incremental_sessions_never_trip(
+        seeds in prop::collection::vec(any::<u64>(), 2..=30),
+    ) {
+        // Interleave clause additions, assumptions and repeated solves on
+        // one warm solver; every quiescent point is audited in-search.
+        let mut s = Solver::with_config(SolverConfig::berkmin().with_paranoid(true));
+        for (i, &seed) in seeds.iter().enumerate() {
+            s.add_clause(clause_from_seed(seed));
+            if i % 3 == 2 {
+                let a = clause_from_seed(seed.rotate_left(17));
+                s.assume(a[0]);
+                if a.len() > 1 {
+                    s.assume(!a[1]);
+                }
+                let _ = s.solve();
+                s.audit_invariants().expect("incremental state must audit clean");
+            }
+        }
+        let _ = s.solve();
+        s.audit_invariants().expect("final state must audit clean");
+    }
+}

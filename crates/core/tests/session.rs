@@ -93,6 +93,38 @@ fn terminate_callback_aborts_with_callback_reason_and_spares_budgets() {
 }
 
 #[test]
+fn terminate_callback_fires_without_any_restart() {
+    // Regression: the callback used to be polled only at solve entry and
+    // restart boundaries, so RestartPolicy::Never (or a huge fixed
+    // interval) starved it for the whole search. It must now also fire on
+    // the fixed 1024-conflict cadence. PHP(7) needs ~2600 conflicts under
+    // this config, so the solve cannot finish before the poll.
+    let mut cfg = SolverConfig::berkmin();
+    cfg.restart = RestartPolicy::Never;
+    let polls = Rc::new(Cell::new(0u32));
+    let tap = Rc::clone(&polls);
+    let mut s = SolverBuilder::with_config(cfg)
+        .on_terminate(move || {
+            tap.set(tap.get() + 1);
+            tap.get() >= 2 // first poll is solve entry; stop on the next
+        })
+        .build();
+    add_pigeonhole(&mut s, 7);
+
+    match s.solve() {
+        SolveStatus::Unknown(StopReason::Callback) => {}
+        other => panic!("expected callback stop, got {other:?}"),
+    }
+    assert_eq!(s.stats().restarts, 0, "no restart may fire in this test");
+    assert_eq!(
+        s.stats().conflicts,
+        1024,
+        "the in-search poll happens on the 1024-conflict cadence"
+    );
+    assert_eq!(polls.get(), 2, "entry poll + one cadence poll");
+}
+
+#[test]
 fn terminate_callback_polled_at_solve_entry() {
     let mut s = SolverBuilder::new()
         .on_terminate(|| true)

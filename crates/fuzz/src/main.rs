@@ -1,0 +1,156 @@
+//! Command-line front end for the differential fuzz harness.
+//!
+//! ```text
+//! berkmin-fuzz run [--cases N] [--seed S] [--out DIR]
+//!     Run N seeded cases (default 500 from seed 0). Every discrepancy is
+//!     shrunk and written to DIR (default fuzz-repros/) as a replayable
+//!     op script plus the final formula in DIMACS. Exits 1 if any case
+//!     failed or any answer went uncertified.
+//!
+//! berkmin-fuzz replay FILE
+//!     Re-run one op script (e.g. a written repro). Exits 0 if the case
+//!     passes, 1 if it still fails.
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use berkmin_fuzz::{gen_case, run_case_catching, shrink_case, Case};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: berkmin-fuzz run [--cases N] [--seed S] [--out DIR]\n\
+         \x20      berkmin-fuzz replay FILE"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run(&args[1..]),
+        Some("replay") => replay(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let mut cases = 500u64;
+    let mut seed = 0u64;
+    let mut out = PathBuf::from("fuzz-repros");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{name} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--cases" => match val("--cases").and_then(|v| v.parse().ok()) {
+                Some(n) => cases = n,
+                None => return usage(),
+            },
+            "--seed" => match val("--seed").and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            "--out" => match val("--out") {
+                Some(dir) => out = PathBuf::from(dir),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    // The paranoid audits report through panics; keep the console clean
+    // while the harness converts them into shrunken repro files.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut solves = 0usize;
+    let mut uncertified = 0usize;
+    let mut failures: Vec<(u64, String)> = Vec::new();
+    for s in seed..seed.saturating_add(cases) {
+        let case = gen_case(s);
+        match run_case_catching(&case) {
+            Ok(report) => {
+                solves += report.solves;
+                uncertified += report.uncertified;
+            }
+            Err(detail) => {
+                let minimal = shrink_case(&case);
+                // Shrinking can land on a different (smaller) failure;
+                // report the message the minimal case actually produces.
+                let detail = run_case_catching(&minimal).err().unwrap_or(detail);
+                if let Err(e) = write_repro(&out, s, &minimal, &detail) {
+                    eprintln!("seed {s}: could not write repro: {e}");
+                }
+                failures.push((s, detail));
+            }
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+
+    for (s, detail) in &failures {
+        eprintln!("seed {s}: {detail}");
+        eprintln!("  repro: {}", out.join(format!("repro-{s}.ops")).display());
+    }
+    println!(
+        "fuzz: {cases} cases from seed {seed}, {solves} solve calls, \
+         {} discrepancies, {uncertified} uncertified answers",
+        failures.len()
+    );
+    if failures.is_empty() && uncertified == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn write_repro(out: &PathBuf, seed: u64, minimal: &Case, detail: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(out)?;
+    let mut script = format!("c berkmin-fuzz repro, seed {seed}\n");
+    for line in detail.lines() {
+        script.push_str(&format!("c {line}\n"));
+    }
+    script.push_str(&minimal.to_script());
+    std::fs::write(out.join(format!("repro-{seed}.ops")), script)?;
+    std::fs::write(
+        out.join(format!("repro-{seed}.cnf")),
+        minimal.final_formula_dimacs(),
+    )
+}
+
+fn replay(args: &[String]) -> ExitCode {
+    let [file] = args else { return usage() };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let case = match Case::parse_script(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_case_catching(&case) {
+        Ok(report) => {
+            println!(
+                "replay: ok — {} solve calls, {} uncertified",
+                report.solves, report.uncertified
+            );
+            ExitCode::SUCCESS
+        }
+        Err(detail) => {
+            eprintln!("replay: still failing — {detail}");
+            ExitCode::FAILURE
+        }
+    }
+}

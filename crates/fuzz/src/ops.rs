@@ -1,0 +1,257 @@
+//! The incremental-session op model and its textual script format.
+//!
+//! A script is line-oriented; blank lines and `c ...` comment lines are
+//! skipped. The five op forms mirror the incremental solver API:
+//!
+//! ```text
+//! reserve 6         c reserve_vars(6)
+//! add 1 -2 3        c add_clause([x1, ¬x2, x3]); `add` alone is the empty clause
+//! assume -4         c stage one assumption for the next solve
+//! budget 20         c per-call conflict budget; `budget inf` removes it
+//! solve             c run the staged solve call
+//! ```
+
+use std::fmt::Write as _;
+
+use berkmin_cnf::Lit;
+
+/// One incremental solver operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// `reserve_vars(n)` on every engine.
+    Reserve(usize),
+    /// `add_clause(lits)`; an empty vector is the empty clause.
+    Add(Vec<Lit>),
+    /// Stage one assumption for the next `solve`.
+    Assume(Lit),
+    /// Install a per-call conflict budget; `None` removes any budget.
+    Budget(Option<u64>),
+    /// Run one solve call and certify its answer.
+    Solve,
+}
+
+/// A fuzz case: an ordered op sequence replayed on every engine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Case {
+    /// The operations, executed in order.
+    pub ops: Vec<Op>,
+}
+
+/// A script line that could not be parsed, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScriptError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "script line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseScriptError {}
+
+impl Case {
+    /// Serializes the case as a replayable op script.
+    pub fn to_script(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            match op {
+                Op::Reserve(n) => {
+                    let _ = writeln!(out, "reserve {n}");
+                }
+                Op::Add(lits) => {
+                    out.push_str("add");
+                    for l in lits {
+                        let _ = write!(out, " {}", l.to_dimacs());
+                    }
+                    out.push('\n');
+                }
+                Op::Assume(l) => {
+                    let _ = writeln!(out, "assume {}", l.to_dimacs());
+                }
+                Op::Budget(Some(n)) => {
+                    let _ = writeln!(out, "budget {n}");
+                }
+                Op::Budget(None) => out.push_str("budget inf\n"),
+                Op::Solve => out.push_str("solve\n"),
+            }
+        }
+        out
+    }
+
+    /// Parses a script produced by [`Case::to_script`] (or written by hand).
+    pub fn parse_script(text: &str) -> Result<Case, ParseScriptError> {
+        let err = |line: usize, message: String| ParseScriptError { line, message };
+        let mut ops = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = i + 1;
+            let s = raw.trim();
+            if s.is_empty() || s.starts_with('c') {
+                continue;
+            }
+            let mut words = s.split_ascii_whitespace();
+            let head = words.next().unwrap();
+            let op = match head {
+                "reserve" => {
+                    let n = words
+                        .next()
+                        .ok_or_else(|| err(line, "reserve needs a count".into()))?;
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| err(line, format!("bad reserve count {n:?}")))?;
+                    Op::Reserve(n)
+                }
+                "add" => {
+                    let mut lits = Vec::new();
+                    for w in words.by_ref() {
+                        let n: i32 = w
+                            .parse()
+                            .map_err(|_| err(line, format!("bad literal {w:?}")))?;
+                        if n == 0 {
+                            break; // tolerate a trailing DIMACS-style 0
+                        }
+                        lits.push(Lit::from_dimacs(n));
+                    }
+                    Op::Add(lits)
+                }
+                "assume" => {
+                    let w = words
+                        .next()
+                        .ok_or_else(|| err(line, "assume needs a literal".into()))?;
+                    let n: i32 = w
+                        .parse()
+                        .map_err(|_| err(line, format!("bad literal {w:?}")))?;
+                    if n == 0 {
+                        return Err(err(line, "assume 0 is not a literal".into()));
+                    }
+                    Op::Assume(Lit::from_dimacs(n))
+                }
+                "budget" => {
+                    let w = words
+                        .next()
+                        .ok_or_else(|| err(line, "budget needs a count or `inf`".into()))?;
+                    if w == "inf" {
+                        Op::Budget(None)
+                    } else {
+                        let n: u64 = w
+                            .parse()
+                            .map_err(|_| err(line, format!("bad budget {w:?}")))?;
+                        Op::Budget(Some(n))
+                    }
+                }
+                "solve" => Op::Solve,
+                other => return Err(err(line, format!("unknown op {other:?}"))),
+            };
+            if words.next().is_some() && !matches!(op, Op::Add(_)) {
+                return Err(err(line, "trailing tokens after op".into()));
+            }
+            ops.push(op);
+        }
+        Ok(Case { ops })
+    }
+
+    /// All clauses added over the whole case, in order.
+    pub fn clauses(&self) -> Vec<Vec<Lit>> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Add(lits) => Some(lits.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Highest variable count the case ever touches (reserves, clauses and
+    /// assumptions included).
+    pub fn num_vars(&self) -> usize {
+        let mut n = 0usize;
+        for op in &self.ops {
+            match op {
+                Op::Reserve(k) => n = n.max(*k),
+                Op::Add(lits) => {
+                    for l in lits {
+                        n = n.max(l.var().index() + 1);
+                    }
+                }
+                Op::Assume(l) => n = n.max(l.var().index() + 1),
+                _ => {}
+            }
+        }
+        n
+    }
+
+    /// The final accumulated formula in DIMACS, for repro files.
+    pub fn final_formula_dimacs(&self) -> String {
+        let clauses = self.clauses();
+        let mut out = format!("p cnf {} {}\n", self.num_vars(), clauses.len());
+        for c in &clauses {
+            for l in c {
+                let _ = write!(out, "{} ", l.to_dimacs());
+            }
+            out.push_str("0\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    #[test]
+    fn script_roundtrips() {
+        let case = Case {
+            ops: vec![
+                Op::Reserve(6),
+                Op::Add(vec![lit(1), lit(-2), lit(3)]),
+                Op::Add(vec![]),
+                Op::Assume(lit(-4)),
+                Op::Budget(Some(20)),
+                Op::Solve,
+                Op::Budget(None),
+                Op::Solve,
+            ],
+        };
+        let text = case.to_script();
+        assert_eq!(Case::parse_script(&text).unwrap(), case);
+    }
+
+    #[test]
+    fn comments_blanks_and_trailing_zero_are_tolerated() {
+        let text = "c a comment\n\nadd 1 -2 0\nsolve\n";
+        let case = Case::parse_script(text).unwrap();
+        assert_eq!(case.ops, vec![Op::Add(vec![lit(1), lit(-2)]), Op::Solve]);
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_with_line_numbers() {
+        for (text, line) in [
+            ("frobnicate\n", 1),
+            ("add 1\nassume 0\n", 2),
+            ("reserve\n", 1),
+            ("solve extra\n", 1),
+            ("budget -3\n", 1),
+        ] {
+            let err = Case::parse_script(text).unwrap_err();
+            assert_eq!(err.line, line, "for {text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn num_vars_spans_reserves_clauses_and_assumptions() {
+        let case = Case {
+            ops: vec![Op::Reserve(3), Op::Add(vec![lit(5)]), Op::Assume(lit(-9))],
+        };
+        assert_eq!(case.num_vars(), 9);
+        let dimacs = case.final_formula_dimacs();
+        assert!(dimacs.starts_with("p cnf 9 1\n"), "{dimacs}");
+    }
+}

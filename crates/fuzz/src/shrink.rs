@@ -1,0 +1,123 @@
+//! ddmin-lite shrinking of failing cases.
+//!
+//! Given a case on which some predicate holds (by default: "the
+//! differential run fails"), greedily remove whole ops, then individual
+//! literals from `add` ops, re-testing after every candidate edit, until a
+//! fixed point. The result is the minimal op script that still reproduces
+//! the discrepancy — small enough to read, replay and turn into a
+//! regression test.
+
+use crate::exec::run_case_catching;
+use crate::ops::{Case, Op};
+
+/// Shrinks `case` while `still_fails` keeps returning `true`.
+///
+/// Returns `case` unchanged if the predicate does not hold on it (nothing
+/// to shrink). The predicate must be deterministic; it is re-invoked
+/// O(ops² + literals²) times in the worst case, which is fine at fuzz
+/// scale (tens of ops).
+pub fn shrink_with(case: &Case, still_fails: &mut dyn FnMut(&Case) -> bool) -> Case {
+    let mut cur = case.clone();
+    if !still_fails(&cur) {
+        return cur;
+    }
+    loop {
+        let mut progressed = false;
+
+        // Pass 1: drop whole ops, front to back.
+        let mut i = 0;
+        while i < cur.ops.len() {
+            let mut cand = cur.clone();
+            cand.ops.remove(i);
+            if still_fails(&cand) {
+                cur = cand;
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 2: drop single literals from add ops.
+        let mut i = 0;
+        while i < cur.ops.len() {
+            let mut j = 0;
+            while let Op::Add(lits) = &cur.ops[i] {
+                if j >= lits.len() {
+                    break;
+                }
+                let mut cand = cur.clone();
+                let Op::Add(lits) = &mut cand.ops[i] else {
+                    unreachable!()
+                };
+                lits.remove(j);
+                if still_fails(&cand) {
+                    cur = cand;
+                    progressed = true;
+                } else {
+                    j += 1;
+                }
+            }
+            i += 1;
+        }
+
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// Shrinks a case that fails the differential run to a minimal failing one.
+pub fn shrink_case(case: &Case) -> Case {
+    shrink_with(case, &mut |c| run_case_catching(c).is_err())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use berkmin_cnf::Lit;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    #[test]
+    fn passing_cases_are_returned_unchanged() {
+        let case = Case::parse_script("add 1 2\nsolve\n").unwrap();
+        assert_eq!(shrink_case(&case), case);
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_witness_of_a_predicate() {
+        // Predicate: "some add op mentions literal 5". The minimum is a
+        // single one-literal add.
+        let case =
+            Case::parse_script("reserve 9\nadd 1 2\nassume 3\nadd 4 5 -6\nsolve\nadd 5 7\nsolve\n")
+                .unwrap();
+        let mut pred = |c: &Case| {
+            c.ops
+                .iter()
+                .any(|op| matches!(op, Op::Add(l) if l.contains(&lit(5))))
+        };
+        let small = shrink_with(&case, &mut pred);
+        assert_eq!(small.ops, vec![Op::Add(vec![lit(5)])]);
+    }
+
+    #[test]
+    fn shrinking_respects_op_order_dependencies() {
+        // Predicate: "a solve comes after an empty-clause add" — shrinking
+        // must keep both ops and their relative order.
+        let case = Case::parse_script("add 1\nadd\nassume 2\nsolve\nsolve\n").unwrap();
+        let mut pred = |c: &Case| {
+            let empty_at = c
+                .ops
+                .iter()
+                .position(|op| matches!(op, Op::Add(l) if l.is_empty()));
+            match empty_at {
+                Some(i) => c.ops[i..].iter().any(|op| matches!(op, Op::Solve)),
+                None => false,
+            }
+        };
+        let small = shrink_with(&case, &mut pred);
+        assert_eq!(small.ops, vec![Op::Add(vec![]), Op::Solve]);
+    }
+}

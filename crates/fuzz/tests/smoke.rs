@@ -1,0 +1,47 @@
+//! Bounded fixed-seed smoke run of the differential harness, as a plain
+//! test: several hundred generated cases across every generation mode must
+//! execute with zero discrepancies and zero uncertified answers. CI runs a
+//! larger sweep through the `berkmin-fuzz` binary; this test keeps the
+//! harness itself honest under `cargo test`.
+
+use berkmin_fuzz::{gen_case, run_case_catching, Case};
+
+#[test]
+fn fixed_seed_sweep_is_clean() {
+    let mut solves = 0usize;
+    for seed in 0..400u64 {
+        let case = gen_case(seed);
+        match run_case_catching(&case) {
+            Ok(report) => {
+                solves += report.solves;
+                assert_eq!(
+                    report.uncertified,
+                    0,
+                    "seed {seed}: uncertified answers\n{}",
+                    case.to_script()
+                );
+            }
+            Err(detail) => panic!("seed {seed}: {detail}\n{}", case.to_script()),
+        }
+    }
+    assert!(
+        solves >= 400,
+        "every case solves at least once, got {solves}"
+    );
+}
+
+#[test]
+fn written_repro_scripts_replay() {
+    // What the binary writes on a discrepancy must parse and re-run — the
+    // repro format itself is part of the debugging contract.
+    for seed in [0u64, 1, 2, 3, 4, 8, 16, 40] {
+        let case = gen_case(seed);
+        let script = format!("c repro header comment\n{}", case.to_script());
+        let parsed = Case::parse_script(&script).expect("repro must parse");
+        assert_eq!(
+            parsed, case,
+            "seed {seed}: script round-trip changed the case"
+        );
+        run_case_catching(&parsed).expect("repro of a clean case stays clean");
+    }
+}

@@ -24,6 +24,8 @@
 //!   --seed N               heuristic PRNG seed
 //!   --proof FILE           write a DRAT refutation to FILE on UNSAT
 //!   --check-proof          verify the proof with the built-in RUP checker
+//!   --paranoid             audit solver invariants at every quiescent
+//!                          point of the search (slow; panics on violation)
 //!   --no-model             suppress the 'v' model lines
 //!   --quiet                suppress statistics
 //!
@@ -58,9 +60,9 @@ fn die(msg: impl std::fmt::Display) -> ! {
 fn usage() -> ! {
     die(
         "usage: berkmin-cli [--engine NAME] [--max-conflicts N] [--seed N] \
-         [--proof FILE] [--check-proof] [--no-model] [--quiet] [FILE]\n\
+         [--proof FILE] [--check-proof] [--paranoid] [--no-model] [--quiet] [FILE]\n\
          \x20      berkmin-cli bmc [--bits N] [--max-depth D] [--engine NAME] \
-         [--max-conflicts N] [--seed N] [--scratch] [--quiet]",
+         [--max-conflicts N] [--seed N] [--scratch] [--paranoid] [--quiet]",
     );
 }
 
@@ -120,6 +122,7 @@ fn parse_args() -> Options {
             }
             "--proof" => opts.proof_path = Some(args.next().unwrap_or_else(|| usage())),
             "--check-proof" => opts.check_proof = true,
+            "--paranoid" => opts.config.paranoid = true,
             "--no-model" => opts.print_model = false,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
@@ -278,6 +281,7 @@ fn parse_bmc_args(argv: &[String]) -> BmcOptions {
                 opts.config.seed = n;
             }
             "--scratch" => opts.scratch = true,
+            "--paranoid" => opts.config.paranoid = true,
             "--quiet" => opts.quiet = true,
             _ => usage(),
         }

@@ -133,3 +133,73 @@ fn bmc_subcommand_budget_abort_reports_unknown() {
     assert!(stdout.contains("s UNKNOWN"), "{stdout}");
     assert!(stdout.contains("conflict budget exhausted"), "{stdout}");
 }
+
+#[test]
+fn empty_formula_p_cnf_0_0_is_sat_with_empty_model_line() {
+    // The degenerate "p cnf 0 0" input: SAT, a bare "v 0" model line, and
+    // the SAT-competition exit code — consistent with the library answer.
+    let (stdout, code) = run_with_stdin(&[], "p cnf 0 0\n");
+    assert_eq!(code, 10, "{stdout}");
+    assert!(stdout.contains("s SATISFIABLE"), "{stdout}");
+    assert!(
+        stdout.contains("v 0"),
+        "empty model line expected: {stdout}"
+    );
+}
+
+#[test]
+fn explicit_empty_clause_is_unsat_with_checkable_proof() {
+    // A bare "0" clause line is the empty clause: immediately UNSAT, and
+    // both the written proof and the self-check must handle it.
+    let dir = std::env::temp_dir().join(format!("berkmin_cli_empty_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let proof_path = dir.join("empty.drat");
+    let dimacs = "p cnf 2 2\n1 2 0\n0\n";
+    let (stdout, code) = run_with_stdin(
+        &["--check-proof", "--proof", proof_path.to_str().unwrap()],
+        dimacs,
+    );
+    assert_eq!(code, 20, "{stdout}");
+    assert!(stdout.contains("s UNSATISFIABLE"), "{stdout}");
+    let text = std::fs::read_to_string(&proof_path).expect("proof written");
+    let proof = berkmin_drat::DratProof::parse(&text).expect("proof parses");
+    assert!(proof.ends_with_empty_clause(), "proof: {text:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn header_reserved_vars_without_clauses_get_a_full_model() {
+    // "p cnf 4 0": no constraints, but the model must still assign all
+    // four header-reserved variables.
+    let (stdout, code) = run_with_stdin(&[], "p cnf 4 0\n");
+    assert_eq!(code, 10, "{stdout}");
+    let model_line = stdout
+        .lines()
+        .find(|l| l.starts_with("v "))
+        .expect("model line");
+    let vals: Vec<i32> = model_line[2..]
+        .split_whitespace()
+        .map(|t| t.parse().unwrap())
+        .collect();
+    assert_eq!(vals.len(), 5, "4 vars + terminator: {model_line}");
+    assert_eq!(*vals.last().unwrap(), 0);
+    for v in 1..=4i32 {
+        assert!(
+            vals.contains(&v) || vals.contains(&-v),
+            "variable {v} missing from model: {model_line}"
+        );
+    }
+}
+
+#[test]
+fn paranoid_flag_is_accepted_and_solves_normally() {
+    let (stdout, code) = run_with_stdin(&["--paranoid"], "p cnf 2 2\n1 -2 0\n2 0\n");
+    assert_eq!(code, 10, "{stdout}");
+    assert!(stdout.contains("s SATISFIABLE"), "{stdout}");
+    let (stdout, code) = run_with_stdin(
+        &["--paranoid", "--check-proof", "--no-model"],
+        "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n",
+    );
+    assert_eq!(code, 20, "{stdout}");
+    assert!(stdout.contains("proof checked"), "{stdout}");
+}

@@ -107,3 +107,36 @@ fn budget_aborted_runs_leave_no_empty_clause_in_the_proof() {
         other => panic!("expected a budget abort, got {other:?}"),
     }
 }
+
+#[test]
+fn explicit_empty_clause_proof_checks_and_does_not_regrow() {
+    // Degenerate input: the formula itself contains the empty clause. The
+    // emitted refutation must still check, and re-solving the refuted
+    // session must not re-emit proof steps.
+    let mut cnf = Cnf::new();
+    cnf.add_clause(Clause::from_lits([
+        Lit::from_dimacs(1),
+        Lit::from_dimacs(2),
+    ]));
+    cnf.add_clause(Clause::from_lits([]));
+    let (mut solver, proof) = proof_logged_solver(&cnf, SolverConfig::berkmin());
+    assert!(solver.solve().is_unsat());
+    assert!(solver.failed_assumptions().is_empty());
+    assert!(proof.borrow().ends_with_empty_clause());
+    check_refutation(&cnf, &proof.borrow()).expect("empty-clause refutation must check");
+    let before = proof.borrow().len();
+    assert!(solver.solve().is_unsat());
+    assert_eq!(proof.borrow().len(), before, "re-solve must not re-emit");
+}
+
+#[test]
+fn level0_contradiction_proof_checks() {
+    // Two contradictory units refute the formula during level-0
+    // propagation — before any search — and the proof must still check.
+    let mut cnf = Cnf::new();
+    cnf.add_clause(Clause::from_lits([Lit::from_dimacs(1)]));
+    cnf.add_clause(Clause::from_lits([Lit::from_dimacs(-1)]));
+    let (mut solver, proof) = proof_logged_solver(&cnf, SolverConfig::berkmin());
+    assert!(solver.solve().is_unsat());
+    check_refutation(&cnf, &proof.borrow()).expect("unit-contradiction proof must check");
+}

@@ -73,3 +73,16 @@ fn ci_keeps_the_bench_smoke_step() {
         "CI workflow lost its marker comment linking back to tests/workspace_guard.rs"
     );
 }
+
+#[test]
+fn ci_keeps_the_fuzz_smoke_step() {
+    // The differential fuzz harness is the integrity layer's teeth: a
+    // bounded fixed-seed sweep in which every SAT model, UNSAT core and
+    // refutation proof is independently certified. CI must keep running it.
+    let ci = ci_config();
+    assert!(
+        ci.contains("cargo run --release -p berkmin-fuzz -- run --cases"),
+        "CI workflow dropped the differential fuzz smoke step; solver \
+         answers would no longer be cross-certified on every push"
+    );
+}
