@@ -15,13 +15,18 @@ use crate::config::Sensitivity;
 use crate::solver::Solver;
 
 impl Solver {
-    /// Analyzes `confl` and returns `(learnt_clause, backtrack_level)`.
+    /// Analyzes `confl` and returns `(learnt_clause, backtrack_level, lbd)`.
     ///
     /// The learnt clause is in asserting form: `learnt[0]` is the 1-UIP
     /// literal (unassigned after backtracking to the returned level) and,
     /// when the clause has length ≥ 2, `learnt[1]` is a literal from the
     /// backtrack level, making positions 0 and 1 valid watches.
-    pub(crate) fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, usize) {
+    ///
+    /// `lbd` is the clause's literal block distance ("glue"): the number of
+    /// distinct decision levels among its literals at deduction time. It is
+    /// the quality signal portfolio workers use to decide which clauses are
+    /// worth exporting (low glue ⇒ likely useful to other search trees).
+    pub(crate) fn analyze(&mut self, confl: ClauseRef) -> (Vec<Lit>, usize, u32) {
         let current_level = self.decision_level();
         debug_assert!(
             current_level > 0,
@@ -125,7 +130,22 @@ impl Solver {
             self.seen[v as usize] = false;
         }
 
-        (learnt, bt_level)
+        // LBD ("glue"): count distinct decision levels across the learnt
+        // literals with a generation-stamped scratch array — bumping the
+        // generation invalidates every stamp at once, no clearing pass.
+        self.lbd_stamp_gen += 1;
+        let mut lbd = 0u32;
+        for &l in &learnt {
+            let lvl = self.level[l.var().index()] as usize;
+            if self.lbd_stamp[lvl] != self.lbd_stamp_gen {
+                self.lbd_stamp[lvl] = self.lbd_stamp_gen;
+                lbd += 1;
+            }
+        }
+        self.stats.lbd_sum += lbd as u64;
+        self.stats.lbd_max = self.stats.lbd_max.max(lbd);
+
+        (learnt, bt_level, lbd)
     }
 
     /// Final-conflict analysis for assumption-based solving: called when the
@@ -248,7 +268,12 @@ mod tests {
         assert!(s.propagate().is_none());
         s.push_decision(lit(-1));
         let confl = s.propagate().expect("a=0 must conflict (paper §2)");
-        let (learnt, bt) = s.analyze(confl);
+        let (learnt, bt, lbd) = s.analyze(confl);
+        // The conflict sits entirely inside level 1, and level-0 literals
+        // never enter the learnt clause, so the glue is exactly 1.
+        assert_eq!(lbd, 1);
+        assert_eq!(s.stats.lbd_sum, 1);
+        assert_eq!(s.stats.lbd_max, 1);
         // The conflict is confined to level 1, so we backtrack to 0 and the
         // learnt clause is the unit ¬(a=0) consequence chain: it must force
         // progress, i.e. assert c (and possibly a).
@@ -278,7 +303,7 @@ mod tests {
             assert!(s.propagate().is_none());
             s.push_decision(lit(-1));
             let confl = s.propagate().unwrap();
-            let (learnt, bt) = s.analyze(confl);
+            let (learnt, bt, _lbd) = s.analyze(confl);
             s.cancel_until(bt);
             s.record_learnt(learnt);
             s.var_activity.clone()
@@ -301,7 +326,7 @@ mod tests {
         let confl = s.propagate().unwrap();
         let before: u32 = s.db.iter_live().map(|c| s.db.activity(c)).sum();
         assert_eq!(before, 0);
-        let (learnt, bt) = s.analyze(confl);
+        let (learnt, bt, _lbd) = s.analyze(confl);
         let after: u32 = s.db.iter_live().map(|c| s.db.activity(c)).sum();
         assert!(
             after >= 2,

@@ -13,7 +13,7 @@ use berkmin_cnf::{ClauseSink, Cnf, Lit};
 use crate::config::SolverConfig;
 use crate::engine::SatEngine;
 use crate::proof::ProofSink;
-use crate::solver::{LearntCallback, Solver, TerminateCallback};
+use crate::solver::{ExportCallback, ImportCallback, LearntCallback, Solver, TerminateCallback};
 
 /// Builder for a [`Solver`] session.
 ///
@@ -62,6 +62,8 @@ pub struct SolverBuilder {
     clauses: Vec<Vec<Lit>>,
     terminate: Option<TerminateCallback>,
     on_learnt: Option<(usize, LearntCallback)>,
+    export: Option<(u32, ExportCallback)>,
+    import: Option<ImportCallback>,
 }
 
 impl Default for SolverBuilder {
@@ -86,6 +88,8 @@ impl SolverBuilder {
             clauses: Vec::new(),
             terminate: None,
             on_learnt: None,
+            export: None,
+            import: None,
         }
     }
 
@@ -148,14 +152,59 @@ impl SolverBuilder {
         self
     }
 
+    /// Installs the share-export callback: fired once per conflict-derived
+    /// learnt clause that passes the portfolio sharing filter — length ≤ 2,
+    /// or LBD ("glue") ≤ `max_lbd` — with the clause's literals and glue.
+    /// Exported clauses are logical consequences of the formula alone, so
+    /// sibling solvers on the same formula may add them soundly.
+    pub fn share_export(
+        mut self,
+        max_lbd: u32,
+        callback: impl FnMut(&[Lit], u32) + 'static,
+    ) -> Self {
+        self.export = Some((max_lbd, Box::new(callback)));
+        self
+    }
+
+    /// Installs the share-import source: polled at solve entry and at every
+    /// restart boundary with a scratch buffer to fill with foreign clauses,
+    /// which the solver attaches as learnt clauses. Every supplied clause **must** be implied
+    /// by the original formula.
+    ///
+    /// # Panics (in [`SolverBuilder::build`])
+    ///
+    /// Combining an import source with a [`proof`](SolverBuilder::proof)
+    /// sink is a configuration error: imported clauses are not derivable
+    /// from the solver's own resolutions, so any DRAT log containing search
+    /// steps that depend on them would be unsound. `build()` panics rather
+    /// than silently emitting an uncheckable proof.
+    pub fn share_import(mut self, source: impl FnMut(&mut Vec<Vec<Lit>>) + 'static) -> Self {
+        self.import = Some(Box::new(source));
+        self
+    }
+
     /// Builds the concrete [`Solver`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if both a proof sink and a share-import source were attached —
+    /// see [`SolverBuilder::share_import`] for why that combination cannot
+    /// produce a sound proof.
     pub fn build(self) -> Solver {
+        assert!(
+            self.proof.is_none() || self.import.is_none(),
+            "configuration error: a proof sink cannot be combined with a \
+             share-import source (imported clauses are not RUP-derivable in \
+             this solver's DRAT log; disable clause sharing to keep proofs)"
+        );
         let mut solver = Solver::with_config(self.config);
         if let Some(sink) = self.proof {
             solver.replace_proof_sink(sink);
         }
         solver.set_terminate(self.terminate);
         solver.set_learnt_callback(self.on_learnt);
+        solver.set_export_callback(self.export);
+        solver.set_import_source(self.import);
         solver.reserve_vars(self.reserve_vars);
         for clause in self.clauses {
             solver.add_clause(clause);

@@ -368,6 +368,44 @@ impl SolverConfig {
         }
     }
 
+    /// The diversified configuration for portfolio worker `index` — the
+    /// schedule the [`PortfolioEngine`](crate::PortfolioEngine) assigns its
+    /// worker threads. The first four slots cover the qualitatively
+    /// different search behaviors the repo already has presets for
+    /// (BerkMin, zChaff-like VSIDS, limmat-like Luby, BerkMin with opposite
+    /// default polarity); further slots recycle those with varied restart
+    /// intervals. Every slot gets a distinct PRNG seed derived from `index`
+    /// so even same-preset workers explore different trees.
+    pub fn portfolio_worker(index: usize) -> Self {
+        let seed = 0x9E37_79B9_7F4A_7C15u64
+            .wrapping_mul(index as u64 + 1)
+            .wrapping_add(0x5EED);
+        let mut cfg = match index % 4 {
+            0 => SolverConfig::berkmin(),
+            1 => SolverConfig::chaff_like(),
+            2 => SolverConfig::limmat_like(),
+            _ => {
+                let mut c = SolverConfig::with_top_polarity(TopClausePolarity::Take1);
+                c.free_polarity = FreeVarPolarity::Take1;
+                c.minimize_learnt = true;
+                c
+            }
+        };
+        // Later rounds re-tune the restart cadence so repeats of a preset
+        // still cut the search into differently sized trees.
+        let round = (index / 4) as u64;
+        if round > 0 {
+            cfg.restart = match cfg.restart {
+                RestartPolicy::FixedInterval(n) => {
+                    RestartPolicy::FixedInterval((n / (round + 1)).max(64))
+                }
+                RestartPolicy::Luby(b) => RestartPolicy::Luby((b * (round + 1)).min(1024)),
+                RestartPolicy::Never => RestartPolicy::FixedInterval(550),
+            };
+        }
+        cfg.with_seed(seed)
+    }
+
     /// Sets the conflict budget, returning the modified config (builder-style).
     pub fn with_budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
@@ -444,6 +482,24 @@ mod tests {
         assert_eq!(b.max_conflicts, 100);
         assert_eq!(b.max_decisions, u64::MAX);
         assert_eq!(Budget::default(), Budget::unlimited());
+    }
+
+    #[test]
+    fn portfolio_workers_are_diversified() {
+        let cfgs: Vec<SolverConfig> = (0..8).map(SolverConfig::portfolio_worker).collect();
+        // Distinct seeds everywhere.
+        let mut seeds: Vec<u64> = cfgs.iter().map(|c| c.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8);
+        // Worker 0 is plain BerkMin modulo the seed.
+        assert_eq!(
+            cfgs[0].clone().with_seed(SolverConfig::berkmin().seed),
+            SolverConfig::berkmin()
+        );
+        // Round 2 repeats a preset family but with a different restart cadence.
+        assert_ne!(cfgs[4].restart, cfgs[0].restart);
+        assert_eq!(cfgs[4].decision, cfgs[0].decision);
     }
 
     #[test]

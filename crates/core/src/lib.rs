@@ -105,6 +105,7 @@ mod engine;
 mod gc_props;
 mod heap;
 mod polarity;
+mod portfolio;
 mod proof;
 mod reduce;
 mod rng;
@@ -118,8 +119,12 @@ pub use config::{
     SolverConfig, TopClausePolarity,
 };
 pub use engine::SatEngine;
+pub use portfolio::{PortfolioConfig, PortfolioEngine, WorkerOutcome, WorkerReport};
 pub use proof::{NoProof, ProofSink};
-pub use solver::{LearntCallback, SolveStatus, Solver, StopReason, TerminateCallback};
+pub use solver::{
+    ExportCallback, ImportCallback, LearntCallback, SolveStatus, Solver, StopReason,
+    TerminateCallback,
+};
 pub use stats::Stats;
 
 // Re-export the vocabulary crate (and the clause-stream trait most

@@ -1,0 +1,750 @@
+//! Parallel portfolio solving with learnt-clause sharing.
+//!
+//! A [`PortfolioEngine`] races N diversified solver configurations
+//! ([`SolverConfig::portfolio_worker`]) on the same formula; the first
+//! definitive answer (SAT or UNSAT) wins and the losers are cancelled
+//! cooperatively through the solvers' terminate hook (polled every ~1024
+//! conflicts and at restart boundaries). Optionally the workers exchange
+//! short / low-LBD learnt clauses through a bounded [`share::ClausePool`]:
+//! clauses passing the export filter (`len ≤ 2 || lbd ≤ cap`) are published
+//! after each conflict and imported by the other workers at their solve
+//! entries and restart boundaries.
+//!
+//! Two execution modes:
+//!
+//! * **Threaded** (default): one `std::thread` per worker, real wall-clock
+//!   racing. Non-deterministic — the winner depends on scheduling.
+//! * **Deterministic** ([`PortfolioConfig::deterministic`]): the workers
+//!   run round-robin on the calling thread in fixed conflict-budget slices
+//!   ([`PortfolioConfig::slice_conflicts`]); the first definitive answer in
+//!   worker order wins. Same code paths (including sharing), reproducible
+//!   verdicts, winner and statistics — what the test suite and the fuzz
+//!   harness drive.
+//!
+//! # Proofs
+//!
+//! With sharing **off**, a proof sink attached via
+//! [`PortfolioEngine::set_proof`] receives the winning worker's complete
+//! DRAT stream (each worker logs privately into a buffer; only the winner's
+//! is replayed). With sharing **on**, imported clauses are not
+//! RUP-derivable in the importer's own proof, so attaching a proof sink is
+//! a configuration error and `set_proof` panics — the engine never emits an
+//! unsound proof silently.
+
+mod share;
+mod worker;
+
+pub(crate) use share::ClausePool;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use berkmin_cnf::{Assignment, LBool, Lit, Var};
+
+use crate::config::{Budget, SolverConfig};
+use crate::engine::SatEngine;
+use crate::proof::ProofSink;
+use crate::solver::{SolveStatus, StopReason};
+use crate::stats::Stats;
+
+use worker::{ProofOp, WorkerResult};
+
+/// Maximum clauses the share pool retains; older entries are evicted
+/// (sharing is best-effort — dropping a clause never costs soundness).
+const POOL_CAPACITY: usize = 4096;
+
+/// Configuration of a [`PortfolioEngine`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioConfig {
+    /// Number of worker solvers to race (≥ 1; diversified per
+    /// [`SolverConfig::portfolio_worker`]).
+    pub threads: usize,
+    /// Learnt-clause sharing: `Some(cap)` exports clauses with
+    /// `len ≤ 2 || lbd ≤ cap` to the other workers; `None` disables
+    /// sharing (required for proof logging).
+    pub share_lbd: Option<u32>,
+    /// Run the workers round-robin on the calling thread in fixed
+    /// conflict slices instead of spawning threads — reproducible verdict,
+    /// winner and statistics (used by tests and the fuzz harness).
+    pub deterministic: bool,
+    /// Conflict-budget slice per worker per round in deterministic mode.
+    pub slice_conflicts: u64,
+    /// Per-worker resource budget for each solve call. In deterministic
+    /// mode only the conflict component is honored (the schedule slices by
+    /// conflicts).
+    pub budget: Budget,
+    /// Run every worker with paranoid in-search self-audits (expensive;
+    /// meant for the fuzz harness and debugging).
+    pub paranoid: bool,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            threads: 4,
+            share_lbd: Some(4),
+            deterministic: false,
+            slice_conflicts: 512,
+            budget: Budget::unlimited(),
+            paranoid: false,
+        }
+    }
+}
+
+impl PortfolioConfig {
+    /// A default-sharing portfolio of `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        PortfolioConfig {
+            threads: threads.max(1),
+            ..PortfolioConfig::default()
+        }
+    }
+
+    /// Sets the sharing policy (builder-style): `Some(cap)` shares clauses
+    /// with `len ≤ 2 || lbd ≤ cap`, `None` disables sharing.
+    pub fn with_share_lbd(mut self, share_lbd: Option<u32>) -> Self {
+        self.share_lbd = share_lbd;
+        self
+    }
+
+    /// Selects the deterministic fixed-schedule mode (builder-style).
+    pub fn with_deterministic(mut self, deterministic: bool) -> Self {
+        self.deterministic = deterministic;
+        self
+    }
+
+    /// Sets the per-worker budget (builder-style).
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enables paranoid worker self-audits (builder-style).
+    pub fn with_paranoid(mut self, paranoid: bool) -> Self {
+        self.paranoid = paranoid;
+        self
+    }
+}
+
+/// How one worker's last run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerOutcome {
+    /// Found a model.
+    Sat,
+    /// Proved unsatisfiability (absolutely or under the assumptions).
+    Unsat,
+    /// Stopped without an answer: cancelled after another worker won
+    /// ([`StopReason::Callback`]), ran out of budget, or — in deterministic
+    /// mode — was still mid-schedule when the race ended.
+    Stopped(StopReason),
+}
+
+/// Per-worker summary of the last [`PortfolioEngine::solve`] call — what
+/// the CLI's `c workers` line prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker index (also its slot in [`SolverConfig::portfolio_worker`]).
+    pub id: usize,
+    /// How the worker's run ended.
+    pub outcome: WorkerOutcome,
+    /// Whether this worker's answer was the one the portfolio returned.
+    pub winner: bool,
+    /// Conflicts the worker spent this call.
+    pub conflicts: u64,
+    /// Decisions the worker spent this call.
+    pub decisions: u64,
+    /// Clauses the worker exported to the share pool.
+    pub exported: u64,
+    /// Foreign clauses the worker integrated from the share pool.
+    pub imported: u64,
+}
+
+/// A parallel portfolio of diversified CDCL solvers behind the ordinary
+/// [`SatEngine`] interface.
+///
+/// Clauses and assumptions accumulate exactly as on a single
+/// [`Solver`](crate::Solver);
+/// each [`solve`](SatEngine::solve) call builds a fresh set of diversified
+/// workers over the accumulated formula and races them (threaded or
+/// deterministic per [`PortfolioConfig`]). Learnt state is **not** carried
+/// between calls — the portfolio trades the single engine's warm-start for
+/// diversification, which is the better deal on the one-shot and
+/// few-call workloads it targets.
+///
+/// # Examples
+///
+/// ```
+/// use berkmin::{PortfolioConfig, PortfolioEngine, SatEngine};
+/// use berkmin_cnf::Lit;
+///
+/// let mut engine = PortfolioEngine::new(
+///     PortfolioConfig::new(2).with_deterministic(true),
+/// );
+/// engine.add_clause(&[Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+/// engine.add_clause(&[Lit::from_dimacs(-1)]);
+/// assert!(engine.solve().is_sat());
+/// assert!(engine.reports().iter().any(|r| r.winner));
+/// ```
+pub struct PortfolioEngine {
+    config: PortfolioConfig,
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    /// `false` once an empty clause was added (trivial unsatisfiability).
+    ok: bool,
+    pending: Vec<Lit>,
+    calls: u64,
+    stats: Stats,
+    model: Option<Assignment>,
+    failed: Vec<Lit>,
+    reports: Vec<WorkerReport>,
+    winner: Option<usize>,
+    proof: Option<Box<dyn ProofSink>>,
+}
+
+impl std::fmt::Debug for PortfolioEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PortfolioEngine")
+            .field("config", &self.config)
+            .field("num_vars", &self.num_vars)
+            .field("clauses", &self.clauses.len())
+            .field("winner", &self.winner)
+            .field("proof", &self.proof.is_some())
+            .finish()
+    }
+}
+
+impl PortfolioEngine {
+    /// Creates an empty portfolio engine.
+    pub fn new(config: PortfolioConfig) -> Self {
+        PortfolioEngine {
+            config: PortfolioConfig {
+                threads: config.threads.max(1),
+                slice_conflicts: config.slice_conflicts.max(1),
+                ..config
+            },
+            num_vars: 0,
+            clauses: Vec::new(),
+            ok: true,
+            pending: Vec::new(),
+            calls: 0,
+            stats: Stats::new(),
+            model: None,
+            failed: Vec::new(),
+            reports: Vec::new(),
+            winner: None,
+            proof: None,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &PortfolioConfig {
+        &self.config
+    }
+
+    /// Attaches a proof sink that will receive the **winning worker's**
+    /// complete DRAT stream after every solve call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when clause sharing is enabled
+    /// ([`PortfolioConfig::share_lbd`] is `Some`): imported clauses are not
+    /// RUP-derivable in the importing worker's proof, so no sound DRAT log
+    /// exists. Disable sharing to log proofs.
+    pub fn set_proof(&mut self, sink: Box<dyn ProofSink>) {
+        assert!(
+            self.config.share_lbd.is_none(),
+            "configuration error: portfolio proof logging requires clause \
+             sharing to be off (--share-lbd would make the winner's DRAT \
+             stream unsound)"
+        );
+        self.proof = Some(sink);
+    }
+
+    /// Per-worker reports from the last solve call (empty before the first
+    /// call).
+    pub fn reports(&self) -> &[WorkerReport] {
+        &self.reports
+    }
+
+    /// Index of the worker whose answer the last solve call returned
+    /// (`None` before the first call or when every worker stopped
+    /// without an answer).
+    pub fn winner(&self) -> Option<usize> {
+        self.winner
+    }
+
+    /// Replaces the per-worker budget for subsequent solve calls.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.config.budget = budget;
+    }
+
+    /// The diversified configuration worker `id` will run with.
+    fn worker_config(&self, id: usize) -> SolverConfig {
+        let budget = if self.config.deterministic {
+            // Deterministic mode slices budgets per round itself.
+            Budget::unlimited()
+        } else {
+            self.config.budget
+        };
+        SolverConfig::portfolio_worker(id)
+            .with_budget(budget)
+            .with_paranoid(self.config.paranoid)
+    }
+
+    /// Threaded race: one scoped thread per worker, first definitive
+    /// answer claims the win and raises the shared cancel flag.
+    fn run_threaded(&self, assumptions: &[Lit]) -> (Option<usize>, Vec<WorkerResult>) {
+        let n = self.config.threads;
+        let cancel = Arc::new(AtomicBool::new(false));
+        let pool = self
+            .config
+            .share_lbd
+            .map(|_| Arc::new(ClausePool::new(POOL_CAPACITY)));
+        let record_proof = self.proof.is_some();
+        let winner_slot: Mutex<Option<usize>> = Mutex::new(None);
+        let clauses = &self.clauses;
+        let num_vars = self.num_vars;
+
+        let results: Vec<WorkerResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|id| {
+                    let config = self.worker_config(id);
+                    let cancel = Arc::clone(&cancel);
+                    let sharing = self.config.share_lbd.zip(pool.as_ref().map(Arc::clone));
+                    let winner_slot = &winner_slot;
+                    s.spawn(move || {
+                        let result = worker::run_worker(
+                            id,
+                            num_vars,
+                            clauses,
+                            assumptions,
+                            config,
+                            sharing,
+                            Arc::clone(&cancel),
+                            record_proof,
+                        );
+                        if !result.status.is_unknown() {
+                            let mut slot = winner_slot.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(id);
+                                cancel.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        result
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let winner = *winner_slot.lock().unwrap();
+        (winner, results)
+    }
+
+    /// Deterministic race: round-robin conflict slices on the calling
+    /// thread; the first definitive answer in worker order wins. A worker
+    /// retires once its cumulative conflicts reach the per-worker budget.
+    fn run_deterministic(&self, assumptions: &[Lit]) -> (Option<usize>, Vec<WorkerResult>) {
+        let n = self.config.threads;
+        let pool = self
+            .config
+            .share_lbd
+            .map(|_| Arc::new(ClausePool::new(POOL_CAPACITY)));
+        let record_proof = self.proof.is_some();
+        let slice = self.config.slice_conflicts;
+        let cap = self.config.budget.max_conflicts;
+
+        let mut workers: Vec<_> = (0..n)
+            .map(|id| {
+                let sharing = self.config.share_lbd.zip(pool.as_ref().map(Arc::clone));
+                worker::build_worker(
+                    id,
+                    self.num_vars,
+                    &self.clauses,
+                    self.worker_config(id),
+                    sharing,
+                    None,
+                    record_proof,
+                )
+            })
+            .collect();
+
+        let mut last: Vec<Option<SolveStatus>> = (0..n).map(|_| None).collect();
+        let mut retired = vec![false; n];
+        let mut winner = None;
+        'race: loop {
+            let mut live = false;
+            for (id, (solver, _)) in workers.iter_mut().enumerate() {
+                if retired[id] {
+                    continue;
+                }
+                let spent = solver.stats().conflicts;
+                let allowance = if cap == u64::MAX {
+                    slice
+                } else {
+                    slice.min(cap.saturating_sub(spent))
+                };
+                if allowance == 0 {
+                    retired[id] = true;
+                    last[id] = Some(SolveStatus::Unknown(StopReason::ConflictBudget));
+                    continue;
+                }
+                live = true;
+                solver.set_budget(Budget::conflicts(allowance));
+                for &a in assumptions {
+                    solver.assume(a);
+                }
+                let status = solver.solve();
+                let definitive = !status.is_unknown();
+                last[id] = Some(status);
+                if definitive {
+                    winner = Some(id);
+                    break 'race;
+                }
+            }
+            if !live {
+                break;
+            }
+        }
+
+        let results = workers
+            .into_iter()
+            .zip(last)
+            .map(|((solver, tap), status)| {
+                // Workers the schedule never reached before the race ended
+                // report the cooperative-stop reason, like threaded losers.
+                let status = status.unwrap_or(SolveStatus::Unknown(StopReason::Callback));
+                let failed = solver.failed_assumptions().to_vec();
+                let stats = solver.stats().clone();
+                drop(solver);
+                let proof_ops = tap
+                    .and_then(|t| std::rc::Rc::try_unwrap(t).ok())
+                    .map(|cell| cell.into_inner().ops)
+                    .unwrap_or_default();
+                WorkerResult {
+                    status,
+                    failed,
+                    stats,
+                    proof_ops,
+                }
+            })
+            .collect();
+        (winner, results)
+    }
+}
+
+impl SatEngine for PortfolioEngine {
+    fn reserve_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        for l in lits {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        if lits.is_empty() {
+            self.ok = false;
+        }
+        self.clauses.push(lits.to_vec());
+        self.ok
+    }
+
+    fn assume(&mut self, lit: Lit) {
+        self.num_vars = self.num_vars.max(lit.var().index() + 1);
+        self.pending.push(lit);
+    }
+
+    fn solve(&mut self) -> SolveStatus {
+        let assumptions = std::mem::take(&mut self.pending);
+        self.calls += 1;
+        self.reports.clear();
+        self.winner = None;
+        self.model = None;
+        self.failed.clear();
+
+        let (winner, results) = if self.config.deterministic {
+            self.run_deterministic(&assumptions)
+        } else {
+            self.run_threaded(&assumptions)
+        };
+        self.winner = winner;
+
+        for (id, result) in results.iter().enumerate() {
+            let outcome = match &result.status {
+                SolveStatus::Sat(_) => WorkerOutcome::Sat,
+                SolveStatus::Unsat => WorkerOutcome::Unsat,
+                SolveStatus::Unknown(reason) => WorkerOutcome::Stopped(*reason),
+            };
+            self.reports.push(WorkerReport {
+                id,
+                outcome,
+                winner: winner == Some(id),
+                conflicts: result.stats.conflicts,
+                decisions: result.stats.decisions,
+                exported: result.stats.clauses_exported,
+                imported: result.stats.clauses_imported,
+            });
+            self.stats.merge(&result.stats);
+        }
+        // Merging summed the per-worker copies of the formula-level
+        // numbers; restore the portfolio-level view.
+        self.stats.initial_clauses = self.clauses.len() as u64;
+        self.stats.solve_calls = self.calls;
+
+        let Some(w) = winner else {
+            // Every worker stopped without answering: surface the first
+            // worker's stop reason (budget exhaustion in practice).
+            return results
+                .first()
+                .map(|r| r.status.clone())
+                .unwrap_or(SolveStatus::Unknown(StopReason::ConflictBudget));
+        };
+
+        if let Some(sink) = &mut self.proof {
+            for op in &results[w].proof_ops {
+                match op {
+                    ProofOp::Add(lits) => sink.add_clause(lits),
+                    ProofOp::Delete(lits) => sink.delete_clause(lits),
+                }
+            }
+        }
+
+        match &results[w].status {
+            SolveStatus::Sat(model) => {
+                self.model = Some(model.clone());
+            }
+            SolveStatus::Unsat => {
+                self.failed = results[w].failed.clone();
+            }
+            SolveStatus::Unknown(_) => unreachable!("winner is definitive"),
+        }
+        results[w].status.clone()
+    }
+
+    fn value(&self, var: Var) -> LBool {
+        self.model
+            .as_ref()
+            .map(|m| m.value(var))
+            .unwrap_or(LBool::Undef)
+    }
+
+    fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed
+    }
+
+    fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    fn deterministic(threads: usize, share: Option<u32>) -> PortfolioEngine {
+        PortfolioEngine::new(
+            PortfolioConfig::new(threads)
+                .with_deterministic(true)
+                .with_share_lbd(share),
+        )
+    }
+
+    /// hole(n) clauses: n+1 pigeons, n holes (UNSAT).
+    fn pigeonhole(n: usize) -> Vec<Vec<Lit>> {
+        let lit = |p: usize, h: usize| Lit::from_dimacs((p * n + h + 1) as i32);
+        let mut clauses = Vec::new();
+        for p in 0..=n {
+            clauses.push((0..n).map(|h| lit(p, h)).collect());
+        }
+        for h in 0..n {
+            for p1 in 0..=n {
+                for p2 in (p1 + 1)..=n {
+                    clauses.push(vec![!lit(p1, h), !lit(p2, h)]);
+                }
+            }
+        }
+        clauses
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat_through_the_trait() {
+        let mut engine = deterministic(2, Some(4));
+        assert!(engine.add_clause(&[lit(1), lit(2)]));
+        assert!(engine.add_clause(&[lit(-1)]));
+        assert!(engine.solve().is_sat());
+        assert_eq!(engine.value(Var::new(0)), LBool::False);
+        assert_eq!(engine.value(Var::new(1)), LBool::True);
+        assert!(engine.winner().is_some());
+
+        assert!(engine.add_clause(&[lit(2)]));
+        assert!(engine.add_clause(&[lit(-2)]));
+        assert!(engine.solve().is_unsat());
+        assert!(engine.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn empty_clause_makes_add_clause_report_false() {
+        let mut engine = deterministic(2, None);
+        assert!(!engine.add_clause(&[]));
+        assert!(engine.solve().is_unsat());
+    }
+
+    #[test]
+    fn assumptions_yield_cores_like_a_single_solver() {
+        let mut engine = deterministic(2, Some(4));
+        engine.add_clause(&[lit(-1), lit(2)]);
+        engine.add_clause(&[lit(-2), lit(3)]);
+        engine.assume(lit(1));
+        engine.assume(lit(-3));
+        assert!(engine.solve().is_unsat());
+        let core = engine.failed_assumptions();
+        assert!(!core.is_empty());
+        assert!(core.iter().all(|l| [lit(1), lit(-3)].contains(l)));
+        // Assumptions were consumed: a plain re-solve is SAT.
+        assert!(engine.solve().is_sat());
+    }
+
+    #[test]
+    fn unsat_race_has_one_winner_and_stopped_losers() {
+        let mut engine = deterministic(3, Some(4));
+        for c in pigeonhole(5) {
+            engine.add_clause(&c);
+        }
+        assert!(engine.solve().is_unsat());
+        let winners: Vec<_> = engine.reports().iter().filter(|r| r.winner).collect();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(winners[0].outcome, WorkerOutcome::Unsat);
+        for r in engine.reports() {
+            if !r.winner {
+                assert!(
+                    matches!(r.outcome, WorkerOutcome::Stopped(_)),
+                    "loser {} must have stopped, got {:?}",
+                    r.id,
+                    r.outcome
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_moves_clauses_between_workers() {
+        // Small slices force many solve-entry import polls; hole(6) makes
+        // every worker learn plenty of short clauses.
+        let mut engine = PortfolioEngine::new(
+            PortfolioConfig::new(2)
+                .with_deterministic(true)
+                .with_share_lbd(Some(8)),
+        );
+        for c in pigeonhole(6) {
+            engine.add_clause(&c);
+        }
+        assert!(engine.solve().is_unsat());
+        let exported: u64 = engine.reports().iter().map(|r| r.exported).sum();
+        let imported: u64 = engine.reports().iter().map(|r| r.imported).sum();
+        assert!(exported > 0, "workers must export on hole(6)");
+        assert!(imported > 0, "workers must import at slice boundaries");
+        assert_eq!(engine.stats().clauses_imported, imported);
+    }
+
+    #[test]
+    fn budgeted_portfolio_reports_unknown() {
+        let mut engine = PortfolioEngine::new(
+            PortfolioConfig::new(2)
+                .with_deterministic(true)
+                .with_share_lbd(None)
+                .with_budget(Budget::conflicts(3)),
+        );
+        for c in pigeonhole(7) {
+            engine.add_clause(&c);
+        }
+        let status = engine.solve();
+        assert!(status.is_unknown(), "3 conflicts cannot settle hole(7)");
+        assert!(engine.winner().is_none());
+        assert!(engine
+            .reports()
+            .iter()
+            .all(|r| matches!(r.outcome, WorkerOutcome::Stopped(_))));
+    }
+
+    #[test]
+    fn threaded_mode_agrees_on_small_instances() {
+        let mut engine = PortfolioEngine::new(PortfolioConfig::new(2).with_share_lbd(Some(4)));
+        for c in pigeonhole(4) {
+            engine.add_clause(&c);
+        }
+        assert!(engine.solve().is_unsat());
+        assert_eq!(engine.reports().iter().filter(|r| r.winner).count(), 1);
+
+        let mut sat = PortfolioEngine::new(PortfolioConfig::new(2));
+        sat.add_clause(&[lit(1), lit(2)]);
+        sat.add_clause(&[lit(-2)]);
+        let status = sat.solve();
+        let model = status.model().expect("satisfiable");
+        assert!(model.satisfies(lit(1)));
+    }
+
+    #[test]
+    fn winner_proof_replays_into_the_sink() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Counting {
+            adds: usize,
+            empty: bool,
+        }
+        impl ProofSink for Counting {
+            fn add_clause(&mut self, lits: &[Lit]) {
+                self.adds += 1;
+                if lits.is_empty() {
+                    self.empty = true;
+                }
+            }
+            fn delete_clause(&mut self, _lits: &[Lit]) {}
+        }
+
+        let sink = Rc::new(RefCell::new(Counting::default()));
+        let mut engine = deterministic(2, None);
+        engine.set_proof(Box::new(Rc::clone(&sink)));
+        for c in pigeonhole(4) {
+            engine.add_clause(&c);
+        }
+        assert!(engine.solve().is_unsat());
+        assert!(sink.borrow().empty, "winner's refutation ends in []");
+        assert!(sink.borrow().adds > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "configuration error")]
+    fn proof_with_sharing_is_rejected() {
+        let mut engine = deterministic(2, Some(4));
+        engine.set_proof(Box::new(crate::proof::NoProof));
+    }
+
+    #[test]
+    fn deterministic_runs_are_reproducible() {
+        let run = || {
+            let mut engine = deterministic(3, Some(4));
+            for c in pigeonhole(6) {
+                engine.add_clause(&c);
+            }
+            let status = engine.solve();
+            (
+                status.is_unsat(),
+                engine.winner(),
+                engine.stats().conflicts,
+                engine.reports().to_vec(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

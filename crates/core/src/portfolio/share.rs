@@ -1,0 +1,157 @@
+//! The bounded learnt-clause exchange between portfolio workers.
+//!
+//! Workers publish clauses that pass the export filter (length ≤ 2 or LBD
+//! within the cap) and poll for foreign clauses at their restart
+//! boundaries. The pool is a bounded FIFO guarded by one mutex: publishing
+//! appends (evicting the oldest entries past capacity), polling walks the
+//! suffix the consumer has not seen yet, identified by a per-consumer
+//! sequence cursor. Nothing here blocks for long — both operations touch
+//! the queue for O(new entries) under the lock.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use berkmin_cnf::Lit;
+
+/// One published clause with its provenance and quality.
+#[derive(Debug, Clone)]
+struct Entry {
+    /// Monotone publication number — consumers filter by this.
+    seq: u64,
+    /// Worker index that learnt the clause (consumers skip their own).
+    source: usize,
+    /// The clause's LBD at deduction time (importers may refine the cap).
+    lbd: u32,
+    lits: Vec<Lit>,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    /// Next sequence number to assign.
+    next_seq: u64,
+    entries: VecDeque<Entry>,
+}
+
+/// Bounded multi-producer multi-consumer clause exchange.
+///
+/// Capacity-bounded: when full, the *oldest* clauses are dropped — sharing
+/// is best-effort (losing a shared clause costs performance, never
+/// soundness, since every worker can re-derive it).
+#[derive(Debug)]
+pub(crate) struct ClausePool {
+    inner: Mutex<PoolInner>,
+    capacity: usize,
+}
+
+impl ClausePool {
+    /// A pool retaining at most `capacity` clauses.
+    pub(crate) fn new(capacity: usize) -> Self {
+        ClausePool {
+            inner: Mutex::new(PoolInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Publishes a clause learnt by worker `source`.
+    pub(crate) fn publish(&self, source: usize, lits: &[Lit], lbd: u32) {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.push_back(Entry {
+            seq,
+            source,
+            lbd,
+            lits: lits.to_vec(),
+        });
+        while inner.entries.len() > self.capacity {
+            inner.entries.pop_front();
+        }
+    }
+
+    /// Appends to `out` every clause published since `cursor` that worker
+    /// `consumer` has not produced itself and whose LBD is ≤ `max_lbd`
+    /// (length-≤-2 clauses always pass — they are the cheapest, most
+    /// reusable lemmas). Advances `cursor` past everything currently
+    /// published, seen or filtered alike.
+    pub(crate) fn collect(
+        &self,
+        consumer: usize,
+        max_lbd: u32,
+        cursor: &mut u64,
+        out: &mut Vec<Vec<Lit>>,
+    ) {
+        let inner = self.inner.lock().unwrap();
+        for e in &inner.entries {
+            if e.seq < *cursor || e.source == consumer {
+                continue;
+            }
+            if e.lits.len() <= 2 || e.lbd <= max_lbd {
+                out.push(e.lits.clone());
+            }
+        }
+        *cursor = inner.next_seq;
+    }
+
+    /// Total clauses ever published (for reporting; includes evicted ones).
+    #[cfg(test)]
+    pub(crate) fn published(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    #[test]
+    fn consumers_skip_own_clauses_and_track_cursors() {
+        let pool = ClausePool::new(16);
+        pool.publish(0, &[lit(1), lit(2)], 2);
+        pool.publish(1, &[lit(-3)], 1);
+
+        let mut cursor = 0;
+        let mut got = Vec::new();
+        pool.collect(0, 8, &mut cursor, &mut got);
+        assert_eq!(got, vec![vec![lit(-3)]], "worker 0 sees only worker 1's");
+
+        // Cursor advanced: a second poll with nothing new is empty.
+        got.clear();
+        pool.collect(0, 8, &mut cursor, &mut got);
+        assert!(got.is_empty());
+
+        pool.publish(1, &[lit(4), lit(5), lit(6)], 3);
+        got.clear();
+        pool.collect(0, 8, &mut cursor, &mut got);
+        assert_eq!(got.len(), 1);
+        assert_eq!(pool.published(), 3);
+    }
+
+    #[test]
+    fn importer_lbd_filter_spares_short_clauses() {
+        let pool = ClausePool::new(16);
+        pool.publish(0, &[lit(1), lit(2), lit(3)], 9); // long, high glue
+        pool.publish(0, &[lit(4), lit(5)], 9); // binary, high glue
+        let mut cursor = 0;
+        let mut got = Vec::new();
+        pool.collect(1, 2, &mut cursor, &mut got);
+        assert_eq!(got, vec![vec![lit(4), lit(5)]]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let pool = ClausePool::new(2);
+        pool.publish(0, &[lit(1)], 1);
+        pool.publish(0, &[lit(2)], 1);
+        pool.publish(0, &[lit(3)], 1);
+        let mut cursor = 0;
+        let mut got = Vec::new();
+        pool.collect(1, 8, &mut cursor, &mut got);
+        assert_eq!(got, vec![vec![lit(2)], vec![lit(3)]]);
+        // The cursor still covers the evicted clause's sequence number.
+        assert_eq!(cursor, 3);
+    }
+}

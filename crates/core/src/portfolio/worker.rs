@@ -1,0 +1,226 @@
+//! Construction and execution of one portfolio worker.
+//!
+//! A worker is an ordinary [`Solver`] assembled from the portfolio's
+//! accumulated formula with a diversified configuration
+//! ([`SolverConfig::portfolio_worker`]), a cancellation flag wired through
+//! the `on_terminate` hook, and — when sharing is on — the export/import
+//! hooks connected to the shared [`ClausePool`]. Workers are built *inside*
+//! their threads ([`Solver`] is deliberately `!Send`: it carries boxed
+//! callbacks); only plain data crosses thread boundaries.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use berkmin_cnf::Lit;
+
+use crate::builder::SolverBuilder;
+use crate::config::SolverConfig;
+use crate::proof::ProofSink;
+use crate::solver::{SolveStatus, Solver};
+use crate::stats::Stats;
+
+use super::share::ClausePool;
+
+/// One buffered proof operation — the `Send`-able form of a worker's DRAT
+/// stream, replayed into the portfolio's real sink if that worker wins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ProofOp {
+    /// A deduced clause (empty on refutation).
+    Add(Vec<Lit>),
+    /// A database deletion.
+    Delete(Vec<Lit>),
+}
+
+/// A [`ProofSink`] that records operations instead of writing them — each
+/// worker logs privately; only the winner's log is published.
+#[derive(Debug, Default)]
+pub(crate) struct ProofBuffer {
+    pub(crate) ops: Vec<ProofOp>,
+}
+
+impl ProofSink for ProofBuffer {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.ops.push(ProofOp::Add(lits.to_vec()));
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) {
+        self.ops.push(ProofOp::Delete(lits.to_vec()));
+    }
+}
+
+/// Everything a finished worker hands back across the thread boundary.
+#[derive(Debug)]
+pub(crate) struct WorkerResult {
+    pub(crate) status: SolveStatus,
+    pub(crate) failed: Vec<Lit>,
+    pub(crate) stats: Stats,
+    pub(crate) proof_ops: Vec<ProofOp>,
+}
+
+/// Assembles a worker solver over the shared formula.
+///
+/// `config` is the fully diversified per-worker configuration; `sharing`
+/// carries the LBD export cap and the pool; `cancel` (when given) is polled
+/// through the solver's `on_terminate` hook, so a raised flag stops the
+/// worker within one terminate-poll interval (~1024 conflicts);
+/// `record_proof` attaches a private [`ProofBuffer`] whose handle is
+/// returned alongside.
+pub(crate) fn build_worker(
+    id: usize,
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    config: SolverConfig,
+    sharing: Option<(u32, Arc<ClausePool>)>,
+    cancel: Option<Arc<AtomicBool>>,
+    record_proof: bool,
+) -> (Solver, Option<Rc<RefCell<ProofBuffer>>>) {
+    debug_assert!(
+        !(record_proof && sharing.is_some()),
+        "proof recording with sharing on would be unsound"
+    );
+    let mut builder = SolverBuilder::with_config(config).reserve_vars(num_vars);
+    for clause in clauses {
+        builder = builder.clause(clause.iter().copied());
+    }
+    if let Some(flag) = cancel {
+        builder = builder.on_terminate(move || flag.load(Ordering::Relaxed));
+    }
+    if let Some((max_lbd, pool)) = sharing {
+        let export_pool = Arc::clone(&pool);
+        builder = builder.share_export(max_lbd, move |lits, lbd| {
+            export_pool.publish(id, lits, lbd);
+        });
+        let mut cursor = 0u64;
+        builder = builder.share_import(move |buf| {
+            pool.collect(id, max_lbd, &mut cursor, buf);
+        });
+    }
+    let mut tap = None;
+    if record_proof {
+        let buffer = Rc::new(RefCell::new(ProofBuffer::default()));
+        builder = builder.proof(Rc::clone(&buffer));
+        tap = Some(buffer);
+    }
+    (builder.build(), tap)
+}
+
+/// Runs one worker to completion (or cancellation) on its own thread:
+/// build, stage the assumptions, solve once under `budget`, and package the
+/// outcome as plain `Send` data.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_worker(
+    id: usize,
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    assumptions: &[Lit],
+    config: SolverConfig,
+    sharing: Option<(u32, Arc<ClausePool>)>,
+    cancel: Arc<AtomicBool>,
+    record_proof: bool,
+) -> WorkerResult {
+    let (mut solver, tap) = build_worker(
+        id,
+        num_vars,
+        clauses,
+        config,
+        sharing,
+        Some(cancel),
+        record_proof,
+    );
+    for &a in assumptions {
+        solver.assume(a);
+    }
+    let status = solver.solve();
+    let failed = solver.failed_assumptions().to_vec();
+    let stats = solver.stats().clone();
+    drop(solver); // releases the solver's clone of the proof tap
+    let proof_ops = tap
+        .and_then(|t| Rc::try_unwrap(t).ok())
+        .map(|cell| cell.into_inner().ops)
+        .unwrap_or_default();
+    WorkerResult {
+        status,
+        failed,
+        stats,
+        proof_ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Budget;
+    use crate::solver::StopReason;
+
+    /// hole(n): n+1 pigeons in n holes — small but exponentially hard, so a
+    /// worker is reliably mid-search when the flag rises.
+    fn pigeonhole(n: usize) -> Vec<Vec<Lit>> {
+        let lit = |pigeon: usize, hole: usize| Lit::from_dimacs((pigeon * n + hole + 1) as i32);
+        let mut clauses = Vec::new();
+        for p in 0..=n {
+            clauses.push((0..n).map(|h| lit(p, h)).collect());
+        }
+        for h in 0..n {
+            for p1 in 0..=n {
+                for p2 in (p1 + 1)..=n {
+                    clauses.push(vec![!lit(p1, h), !lit(p2, h)]);
+                }
+            }
+        }
+        clauses
+    }
+
+    #[test]
+    fn pre_raised_cancel_flag_stops_at_solve_entry() {
+        let clauses = pigeonhole(8);
+        let cancel = Arc::new(AtomicBool::new(true));
+        let result = run_worker(
+            0,
+            9 * 8,
+            &clauses,
+            &[],
+            SolverConfig::portfolio_worker(0).with_budget(Budget::unlimited()),
+            None,
+            cancel,
+            false,
+        );
+        assert_eq!(
+            result.status,
+            SolveStatus::Unknown(StopReason::Callback),
+            "the entry poll must observe an already-raised flag"
+        );
+        assert_eq!(result.stats.conflicts, 0);
+    }
+
+    #[test]
+    fn raising_the_flag_mid_search_cancels_the_worker() {
+        // hole(10) takes far longer than the flag-raising thread's delay;
+        // the terminate poll fires at restart boundaries and every 1024
+        // conflicts, so the worker stops soon after the flag rises.
+        let clauses = pigeonhole(10);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&cancel);
+        let raiser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            flag.store(true, Ordering::SeqCst);
+        });
+        let result = run_worker(
+            0,
+            11 * 10,
+            &clauses,
+            &[],
+            SolverConfig::portfolio_worker(0).with_budget(Budget::unlimited()),
+            None,
+            cancel,
+            false,
+        );
+        raiser.join().unwrap();
+        assert_eq!(
+            result.status,
+            SolveStatus::Unknown(StopReason::Callback),
+            "a loser must observe termination instead of searching on"
+        );
+    }
+}

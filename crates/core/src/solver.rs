@@ -47,6 +47,19 @@ pub type TerminateCallback = Box<dyn FnMut() -> bool>;
 /// registered with.
 pub type LearntCallback = Box<dyn FnMut(&[Lit])>;
 
+/// A boxed share-export callback: receives each conflict-derived learnt
+/// clause that passes the export filter (length ≤ 2, or LBD within the
+/// registered cap), together with its LBD — the portfolio's outbound half
+/// of learnt-clause sharing.
+pub type ExportCallback = Box<dyn FnMut(&[Lit], u32)>;
+
+/// A boxed share-import source: polled at solve entry and at every restart
+/// boundary, it pushes candidate clauses into the supplied buffer; the solver integrates them
+/// at decision level 0 (level-0-simplified, attached as learnt clauses).
+/// Every pushed clause **must** be implied by the original formula — the
+/// portfolio's inbound half of learnt-clause sharing.
+pub type ImportCallback = Box<dyn FnMut(&mut Vec<Vec<Lit>>)>;
+
 /// The solve-event hooks a solver carries (installed at construction time
 /// through [`SolverBuilder`](crate::SolverBuilder), replaceable later via
 /// [`Solver::set_terminate`] / [`Solver::set_learnt_callback`]). Callbacks
@@ -62,6 +75,13 @@ pub(crate) struct SolveEvents {
     /// (asserting literal first), right after the clause is reported to the
     /// proof sink and before search resumes.
     pub(crate) on_learnt: Option<(usize, LearntCallback)>,
+    /// Share-export hook: fired (after `on_learnt`) for every learnt clause
+    /// with `len ≤ 2 || lbd ≤ cap`, carrying the clause and its LBD.
+    pub(crate) export: Option<(u32, ExportCallback)>,
+    /// Share-import source: polled at solve entry and at every restart
+    /// boundary (after §8 database reduction); fetched clauses are
+    /// integrated at level 0.
+    pub(crate) import: Option<ImportCallback>,
 }
 
 impl std::fmt::Debug for SolveEvents {
@@ -69,6 +89,8 @@ impl std::fmt::Debug for SolveEvents {
         f.debug_struct("SolveEvents")
             .field("terminate", &self.terminate.is_some())
             .field("on_learnt", &self.on_learnt.as_ref().map(|(cap, _)| *cap))
+            .field("export", &self.export.as_ref().map(|(cap, _)| *cap))
+            .field("import", &self.import.is_some())
             .finish()
     }
 }
@@ -189,6 +211,15 @@ pub struct Solver {
     pub(crate) vsids: Vec<u64>,
     pub(crate) heap: VarHeap,
     pub(crate) seen: Vec<bool>,
+    /// LBD computation scratch: `lbd_stamp[level] == lbd_stamp_gen` marks a
+    /// decision level as already counted for the clause under measurement
+    /// (the Glucose stamping trick — no clearing pass needed).
+    pub(crate) lbd_stamp: Vec<u64>,
+    /// Generation counter for [`Solver::lbd_stamp`].
+    pub(crate) lbd_stamp_gen: u64,
+    /// Scratch buffer the share-import source fills at restart boundaries
+    /// (kept on the solver to avoid a per-restart allocation).
+    import_buf: Vec<Vec<Lit>>,
     pub(crate) rng: XorShift64,
     pub(crate) stats: Stats,
     pub(crate) ok: bool,
@@ -287,6 +318,9 @@ impl Solver {
             vsids: Vec::new(),
             heap: VarHeap::new(),
             seen: Vec::new(),
+            lbd_stamp: vec![0],
+            lbd_stamp_gen: 0,
+            import_buf: Vec::new(),
             rng,
             stats: Stats::new(),
             ok: true,
@@ -403,6 +437,8 @@ impl Solver {
         self.lit_activity.resize(2 * n, 0);
         self.vsids.resize(2 * n, 0);
         self.seen.resize(n, false);
+        // Decision levels range over 0..=n, one stamp slot per level.
+        self.lbd_stamp.resize(n + 1, 0);
         self.heap.grow(n);
         if self.config.activity_index == ActivityIndex::Heap {
             for i in self.num_vars..n {
@@ -788,6 +824,14 @@ impl Solver {
             self.ok = false;
             return self.conclude_unsat(proof);
         }
+        // Import shared clauses at solve entry as well as at restart
+        // boundaries: a budget-sliced driver (the deterministic portfolio
+        // schedule) may never search long enough to restart, and entry is
+        // an equally valid level-0 "between search trees" point.
+        self.import_shared_clauses();
+        if !self.ok {
+            return self.conclude_unsat(proof);
+        }
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
@@ -796,11 +840,20 @@ impl Solver {
                     self.ok = false;
                     return self.conclude_unsat(proof);
                 }
-                let (learnt, bt_level) = self.analyze(confl);
+                let (learnt, bt_level, lbd) = self.analyze(confl);
                 proof.add_clause(&learnt);
                 if let Some((cap, callback)) = &mut self.events.on_learnt {
                     if learnt.len() <= *cap {
                         callback(&learnt);
+                    }
+                }
+                // Share export: short clauses are always worth the wire,
+                // longer ones only when their glue is low (paper-era
+                // portfolio practice; the LBD cap is the one knob).
+                if let Some((max_lbd, callback)) = &mut self.events.export {
+                    if learnt.len() <= 2 || lbd <= *max_lbd {
+                        self.stats.clauses_exported += 1;
+                        callback(&learnt, lbd);
                     }
                 }
                 self.cancel_until(bt_level);
@@ -838,6 +891,11 @@ impl Solver {
                         return SolveStatus::Unknown(StopReason::Callback);
                     }
                     self.restart(proof);
+                    if !self.ok {
+                        // An imported clause collapsed to the empty clause
+                        // under the level-0 assignment: absolute refutation.
+                        return self.conclude_unsat(proof);
+                    }
                     self.paranoid_audit("after restart");
                     continue;
                 }
@@ -966,6 +1024,31 @@ impl Solver {
         self.events.on_learnt = callback;
     }
 
+    /// Installs (or clears) the share-export callback: fired once per
+    /// conflict-derived learnt clause that passes the sharing filter
+    /// (length ≤ 2, or LBD ≤ `max_lbd`), with the clause's literals and its
+    /// glue. Every exported clause is a logical consequence of the original
+    /// formula, so it is sound for any solver working on the same formula
+    /// to add it. Usually installed at construction time via
+    /// [`SolverBuilder::share_export`](crate::SolverBuilder::share_export).
+    pub fn set_export_callback(&mut self, callback: Option<(u32, ExportCallback)>) {
+        self.events.export = callback;
+    }
+
+    /// Installs (or clears) the share-import source: polled at solve entry
+    /// and at every restart boundary (trail at level 0) with a scratch
+    /// buffer the source fills with foreign clauses. **Every supplied clause must be implied by the
+    /// original formula** — the solver attaches them without re-deriving
+    /// them, so an unsound import corrupts verdicts. For the same reason an
+    /// import source cannot be combined with a proof sink (the imports are
+    /// not RUP-derivable in this solver's proof);
+    /// [`SolverBuilder::build`](crate::SolverBuilder::build) enforces this.
+    /// Usually installed at construction time via
+    /// [`SolverBuilder::share_import`](crate::SolverBuilder::share_import).
+    pub fn set_import_source(&mut self, source: Option<ImportCallback>) {
+        self.events.import = source;
+    }
+
     /// Replaces the construction-time proof sink, returning the previous
     /// one — how a caller that attached a shared sink reclaims sole
     /// ownership (e.g. to `Rc::try_unwrap` it) without dropping the solver.
@@ -1040,12 +1123,73 @@ impl Solver {
         }
     }
 
-    /// Abandons the current search tree and runs database management (§8).
+    /// Abandons the current search tree and runs database management (§8),
+    /// then integrates any clauses offered by the share-import source —
+    /// the "between search trees" point where foreign clauses can be
+    /// attached with the trail at level 0.
     fn restart(&mut self, mut proof: &mut dyn ProofSink) {
         self.stats.restarts += 1;
         self.conflicts_since_restart = 0;
         self.cancel_until(0);
         self.reduce_db(&mut proof);
+        self.import_shared_clauses();
+    }
+
+    /// Drains the share-import source and installs its clauses at decision
+    /// level 0. Each clause is simplified against the level-0 assignment
+    /// (satisfied ⇒ skipped, false literals stripped), then attached as a
+    /// *learnt* clause — imports compete under the §8 retention policy like
+    /// any other conflict clause instead of bloating the original formula.
+    /// A clause degenerating to a unit becomes a level-0 fact (propagated
+    /// by the main loop); degenerating to the empty clause refutes the
+    /// formula (`ok = false` — legal because import sources only supply
+    /// formula-implied clauses).
+    ///
+    /// Imported clauses are **not** reported to the proof sink: they are
+    /// not RUP-derivable from this solver's own deductions, so a DRAT log
+    /// would become unsound. [`SolverBuilder`](crate::SolverBuilder)
+    /// therefore rejects attaching both a proof sink and an import source.
+    fn import_shared_clauses(&mut self) {
+        if self.events.import.is_none() {
+            return;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut buf = std::mem::take(&mut self.import_buf);
+        buf.clear();
+        if let Some(source) = &mut self.events.import {
+            source(&mut buf);
+        }
+        'clauses: for lits in &mut buf {
+            lits.sort_unstable();
+            lits.dedup();
+            if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
+                continue; // tautology (defensive; learnt clauses never are)
+            }
+            if lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
+                continue 'clauses; // already satisfied at level 0
+            }
+            lits.retain(|&l| self.lit_value(l) != LBool::False);
+            match lits.len() {
+                0 => {
+                    self.ok = false;
+                    self.stats.clauses_imported += 1;
+                    break;
+                }
+                1 => {
+                    self.stats.clauses_imported += 1;
+                    self.unchecked_enqueue(lits[0], None);
+                }
+                _ => {
+                    self.stats.clauses_imported += 1;
+                    let cref = self.db.add_learnt(lits);
+                    self.attach(cref);
+                    let live = self.db.num_live() as u64;
+                    self.stats.max_live_clauses = self.stats.max_live_clauses.max(live);
+                }
+            }
+        }
+        buf.clear();
+        self.import_buf = buf;
     }
 
     /// Bumps `var_activity(v)` by 1 (paper §4) and fixes up the heap index.

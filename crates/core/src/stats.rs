@@ -59,6 +59,21 @@ pub struct Stats {
     /// Number of solve calls answered UNSAT by final-conflict analysis of a
     /// falsified assumption (the formula itself was not refuted).
     pub assumption_conflicts: u64,
+    /// Sum of the LBD (literal block distance, "glue") of every deduced
+    /// conflict clause: the number of distinct decision levels among its
+    /// literals at deduction time. Low-LBD clauses are the ones worth
+    /// sharing between portfolio workers; `lbd_sum / learnt_total` is the
+    /// average glue ([`Stats::avg_lbd`]).
+    pub lbd_sum: u64,
+    /// Largest LBD ever observed on a deduced conflict clause.
+    pub lbd_max: u32,
+    /// Clauses handed to the share-export callback (portfolio sharing:
+    /// length ≤ 2 or LBD within the export cap).
+    pub clauses_exported: u64,
+    /// Clauses integrated from the share-import source at restart
+    /// boundaries (after the per-importer filter and level-0 simplification
+    /// dropped the rest).
+    pub clauses_imported: u64,
 }
 
 impl Stats {
@@ -107,6 +122,60 @@ impl Stats {
         }
         self.learnt_lits_total as f64 / self.learnt_total as f64
     }
+
+    /// Average LBD ("glue") of deduced conflict clauses.
+    pub fn avg_lbd(&self) -> f64 {
+        if self.learnt_total == 0 {
+            return 0.0;
+        }
+        self.lbd_sum as f64 / self.learnt_total as f64
+    }
+
+    /// Folds another statistics block into this one — how the portfolio
+    /// engine aggregates its per-worker counters into one view.
+    ///
+    /// Additive counters are summed, peak counters (`max_live_clauses`,
+    /// `lbd_max`) take the maximum, the skin-effect histogram is merged
+    /// element-wise, and `other`'s decision log is appended. Note that
+    /// summed counters like `initial_clauses` and `solve_calls` then count
+    /// *per-worker* events; an aggregator that wants formula-level numbers
+    /// overwrites them after merging (the portfolio engine does).
+    pub fn merge(&mut self, other: &Stats) {
+        self.decisions += other.decisions;
+        self.conflicts += other.conflicts;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.reductions += other.reductions;
+        self.learnt_total += other.learnt_total;
+        self.learnt_units += other.learnt_units;
+        self.learnt_lits_total += other.learnt_lits_total;
+        self.deleted_clauses += other.deleted_clauses;
+        self.gc_runs += other.gc_runs;
+        self.gc_words_reclaimed += other.gc_words_reclaimed;
+        self.max_live_clauses = self.max_live_clauses.max(other.max_live_clauses);
+        self.initial_clauses += other.initial_clauses;
+        self.decisions_from_top_clause += other.decisions_from_top_clause;
+        self.decisions_from_free_var += other.decisions_from_free_var;
+        if self.top_distance_hist.len() < other.top_distance_hist.len() {
+            self.top_distance_hist
+                .resize(other.top_distance_hist.len(), 0);
+        }
+        for (slot, &count) in self
+            .top_distance_hist
+            .iter_mut()
+            .zip(&other.top_distance_hist)
+        {
+            *slot += count;
+        }
+        self.decision_log.extend_from_slice(&other.decision_log);
+        self.responsible_clauses += other.responsible_clauses;
+        self.solve_calls += other.solve_calls;
+        self.assumption_conflicts += other.assumption_conflicts;
+        self.lbd_sum += other.lbd_sum;
+        self.lbd_max = self.lbd_max.max(other.lbd_max);
+        self.clauses_exported += other.clauses_exported;
+        self.clauses_imported += other.clauses_imported;
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +201,40 @@ mod tests {
         assert_eq!(s.database_growth_ratio(), 0.0);
         assert_eq!(s.peak_memory_ratio(), 0.0);
         assert_eq!(s.avg_learnt_len(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_peaks() {
+        let mut a = Stats {
+            conflicts: 10,
+            learnt_total: 4,
+            lbd_sum: 8,
+            lbd_max: 3,
+            max_live_clauses: 100,
+            clauses_exported: 2,
+            top_distance_hist: vec![1, 2],
+            ..Stats::new()
+        };
+        let b = Stats {
+            conflicts: 5,
+            learnt_total: 1,
+            lbd_sum: 7,
+            lbd_max: 7,
+            max_live_clauses: 60,
+            clauses_imported: 3,
+            top_distance_hist: vec![1, 0, 4],
+            ..Stats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.conflicts, 15);
+        assert_eq!(a.learnt_total, 5);
+        assert_eq!(a.lbd_sum, 15);
+        assert_eq!(a.lbd_max, 7);
+        assert_eq!(a.max_live_clauses, 100);
+        assert_eq!(a.clauses_exported, 2);
+        assert_eq!(a.clauses_imported, 3);
+        assert_eq!(a.top_distance_hist, vec![2, 2, 4]);
+        assert!((a.avg_lbd() - 3.0).abs() < 1e-9);
     }
 
     #[test]

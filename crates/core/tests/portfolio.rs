@@ -1,0 +1,161 @@
+//! Clause-sharing soundness, certified from outside the crate: every
+//! clause a solver exports — and every clause another solver imports — must
+//! be a consequence of the formula alone. Each captured clause C is
+//! re-certified by solving F ∧ ¬C: if F ⊨ C that conjunction is UNSAT.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use berkmin::{PortfolioConfig, PortfolioEngine, SatEngine, Solver, SolverBuilder, SolverConfig};
+use berkmin_cnf::Lit;
+
+fn lit(n: i32) -> Lit {
+    Lit::from_dimacs(n)
+}
+
+/// The pigeonhole clauses PHP(holes+1 → holes) as plain literal vectors.
+fn pigeonhole(holes: usize) -> Vec<Vec<Lit>> {
+    let l = |p: usize, h: usize| lit((p * holes + h + 1) as i32);
+    let mut clauses = Vec::new();
+    for p in 0..=holes {
+        clauses.push((0..holes).map(|h| l(p, h)).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..=holes {
+            for p2 in (p1 + 1)..=holes {
+                clauses.push(vec![!l(p1, h), !l(p2, h)]);
+            }
+        }
+    }
+    clauses
+}
+
+/// Certifies that each clause in `clauses` is implied by `formula`: a fresh
+/// checker solves the formula with the clause's negation assumed and must
+/// come back UNSAT.
+fn certify_implied(clauses: &[Vec<Lit>], formula: &[Vec<Lit>], what: &str) {
+    for clause in clauses {
+        let mut checker = Solver::with_config(SolverConfig::berkmin());
+        for c in formula {
+            checker.add_clause(c.iter().copied());
+        }
+        for &l in clause {
+            checker.assume(!l);
+        }
+        assert!(
+            checker.solve().is_unsat(),
+            "{what} clause {clause:?} is not implied by the formula"
+        );
+    }
+}
+
+#[test]
+fn exported_clauses_pass_the_filter_and_are_formula_implied() {
+    let formula = pigeonhole(5);
+    let cap = 3u32;
+    type ExportLog = Rc<RefCell<Vec<(Vec<Lit>, u32)>>>;
+    let exported: ExportLog = Rc::new(RefCell::new(Vec::new()));
+    let tap = Rc::clone(&exported);
+    let mut builder =
+        SolverBuilder::with_config(SolverConfig::berkmin()).share_export(cap, move |lits, lbd| {
+            tap.borrow_mut().push((lits.to_vec(), lbd));
+        });
+    for c in &formula {
+        builder = builder.clause(c.iter().copied());
+    }
+    let mut solver = builder.build();
+    assert!(solver.solve().is_unsat());
+
+    let exported = exported.borrow();
+    assert!(
+        !exported.is_empty(),
+        "PHP(5) must export some learnt clauses"
+    );
+    for (clause, lbd) in exported.iter() {
+        assert!(
+            clause.len() <= 2 || *lbd <= cap,
+            "exported clause {clause:?} (lbd {lbd}) violates the filter"
+        );
+    }
+    let clauses: Vec<Vec<Lit>> = exported.iter().map(|(c, _)| c.clone()).collect();
+    certify_implied(&clauses, &formula, "exported");
+}
+
+#[test]
+fn imported_clauses_are_formula_implied_and_preserve_the_verdict() {
+    // Sequential two-solver sharing: solver A solves PHP(5) and exports its
+    // good learnt clauses; solver B then solves the same formula with those
+    // clauses fed through its import source. B's import must not change the
+    // verdict, and every clause B actually ingested must be a consequence
+    // of the formula alone — checked by negation-assumption re-solving.
+    let formula = pigeonhole(5);
+
+    let pool: Rc<RefCell<Vec<Vec<Lit>>>> = Rc::new(RefCell::new(Vec::new()));
+    let tap = Rc::clone(&pool);
+    let mut builder = SolverBuilder::with_config(SolverConfig::berkmin())
+        .share_export(3, move |lits, _| tap.borrow_mut().push(lits.to_vec()));
+    for c in &formula {
+        builder = builder.clause(c.iter().copied());
+    }
+    let mut exporter = builder.build();
+    assert!(exporter.solve().is_unsat());
+    assert!(!pool.borrow().is_empty(), "exporter published nothing");
+
+    let imported: Rc<RefCell<Vec<Vec<Lit>>>> = Rc::new(RefCell::new(Vec::new()));
+    let log = Rc::clone(&imported);
+    let source = Rc::clone(&pool);
+    let mut cursor = 0usize;
+    let mut builder =
+        SolverBuilder::with_config(SolverConfig::chaff_like()).share_import(move |buf| {
+            let pool = source.borrow();
+            for clause in &pool[cursor..] {
+                buf.push(clause.clone());
+                log.borrow_mut().push(clause.clone());
+            }
+            cursor = pool.len();
+        });
+    for c in &formula {
+        builder = builder.clause(c.iter().copied());
+    }
+    let mut importer = builder.build();
+    assert!(
+        importer.solve().is_unsat(),
+        "importing sound clauses must not change the verdict"
+    );
+    assert!(
+        importer.stats().clauses_imported > 0,
+        "the import source was never drained"
+    );
+    certify_implied(&imported.borrow(), &formula, "imported");
+}
+
+#[test]
+fn sharing_portfolio_agrees_with_a_lone_reference_solver() {
+    // End-to-end: the deterministic sharing portfolio and a lone BerkMin
+    // must agree on PHP (UNSAT) and on PHP with one pigeon removed (SAT).
+    let unsat = pigeonhole(5);
+    let sat: Vec<Vec<Lit>> = pigeonhole(5)
+        .into_iter()
+        .filter(|c| !c.contains(&lit(1)) || c.len() == 2)
+        .collect();
+    for (formula, expect_sat) in [(&unsat, false), (&sat, true)] {
+        let mut reference = Solver::with_config(SolverConfig::berkmin());
+        for c in formula.iter() {
+            reference.add_clause(c.iter().copied());
+        }
+        assert_eq!(reference.solve().is_sat(), expect_sat);
+
+        let config = PortfolioConfig::new(2)
+            .with_share_lbd(Some(4))
+            .with_deterministic(true);
+        let mut portfolio = PortfolioEngine::new(config);
+        for c in formula.iter() {
+            portfolio.add_clause(c);
+        }
+        assert_eq!(
+            portfolio.solve().is_sat(),
+            expect_sat,
+            "portfolio disagrees with the reference solver"
+        );
+    }
+}

@@ -5,7 +5,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use berkmin::{
-    ActivityIndex, Budget, RestartPolicy, SolveStatus, Solver, SolverBuilder, SolverConfig,
+    ActivityIndex, Budget, PortfolioConfig, PortfolioEngine, RestartPolicy, SatEngine, SolveStatus,
+    Solver, SolverBuilder, SolverConfig,
 };
 use berkmin_cnf::{Cnf, Lit};
 use berkmin_drat::{check_refutation, DratProof};
@@ -78,6 +79,15 @@ pub fn run_case(case: &Case) -> Result<CaseReport, String> {
         Arm::new("chaff", SolverConfig::chaff_like().with_seed(7)),
         Arm::new("churn", churn_cfg),
     ];
+    // The fourth arm: a deterministic two-worker sharing portfolio. Clause
+    // import makes its DRAT stream unsound, so its absolute refutations are
+    // certified through the independent DPLL reference instead of a proof.
+    let mut portfolio = PortfolioEngine::new(
+        PortfolioConfig::new(2)
+            .with_share_lbd(Some(4))
+            .with_deterministic(true)
+            .with_paranoid(true),
+    );
 
     let mut formula: Vec<Vec<Lit>> = Vec::new();
     let mut staged: Vec<Lit> = Vec::new();
@@ -94,6 +104,7 @@ pub fn run_case(case: &Case) -> Result<CaseReport, String> {
                 for arm in &mut arms {
                     arm.solver.reserve_vars(*n);
                 }
+                portfolio.reserve_vars(*n);
             }
             Op::Add(lits) => {
                 for l in lits {
@@ -103,6 +114,7 @@ pub fn run_case(case: &Case) -> Result<CaseReport, String> {
                 for arm in &mut arms {
                     arm.solver.add_clause(lits.iter().copied());
                 }
+                portfolio.add_clause(lits);
             }
             Op::Assume(l) => {
                 num_vars = num_vars.max(l.var().index() + 1);
@@ -110,6 +122,7 @@ pub fn run_case(case: &Case) -> Result<CaseReport, String> {
                 for arm in &mut arms {
                     arm.solver.assume(*l);
                 }
+                portfolio.assume(*l);
             }
             Op::Budget(b) => {
                 budget = *b;
@@ -120,16 +133,18 @@ pub fn run_case(case: &Case) -> Result<CaseReport, String> {
                 for arm in &mut arms {
                     arm.solver.set_budget(budget);
                 }
+                portfolio.set_budget(budget);
             }
             Op::Solve => {
                 report.solves += 1;
                 let assumptions = std::mem::take(&mut staged);
-                let mut verdicts = Vec::with_capacity(arms.len());
+                let mut verdicts = Vec::with_capacity(arms.len() + 1);
                 for arm in &mut arms {
                     let status = arm.solver.solve();
                     let core = arm.solver.failed_assumptions().to_vec();
                     certify(
-                        arm,
+                        arm.name,
+                        Some(&arm.proof),
                         at,
                         &status,
                         &core,
@@ -144,6 +159,21 @@ pub fn run_case(case: &Case) -> Result<CaseReport, String> {
                     })?;
                     verdicts.push(verdict(&status));
                 }
+                let status = portfolio.solve();
+                let core = portfolio.failed_assumptions().to_vec();
+                certify(
+                    "portfolio",
+                    None,
+                    at,
+                    &status,
+                    &core,
+                    &formula,
+                    &assumptions,
+                    num_vars,
+                    budget,
+                    &mut report,
+                )?;
+                verdicts.push(verdict(&status));
                 cross_check(at, &verdicts, &formula, &assumptions, num_vars, &mut report)?;
             }
         }
@@ -152,9 +182,14 @@ pub fn run_case(case: &Case) -> Result<CaseReport, String> {
 }
 
 /// Certifies a single engine answer against ground truth.
+///
+/// `proof` is the engine's accumulated DRAT stream when it keeps a sound
+/// one; engines without a proof (the clause-sharing portfolio) have their
+/// absolute refutations certified by the DPLL reference instead.
 #[allow(clippy::too_many_arguments)]
 fn certify(
-    arm: &Arm,
+    name: &'static str,
+    proof: Option<&Rc<RefCell<DratProof>>>,
     at: usize,
     status: &SolveStatus,
     core: &[Lit],
@@ -164,7 +199,6 @@ fn certify(
     budget: Option<u64>,
     report: &mut CaseReport,
 ) -> Result<(), String> {
-    let name = arm.name;
     let fail = |msg: String| Err(format!("[{name} op {at}] {msg}"));
     match status {
         SolveStatus::Sat(model) => {
@@ -203,14 +237,29 @@ fn certify(
                 ));
             }
             if core.is_empty() {
-                // Absolute refutation: the accumulated DRAT proof of the
-                // whole session must check against the accumulated formula.
-                let mut cnf = Cnf::with_vars(num_vars);
-                for clause in formula {
-                    cnf.add_clause(berkmin_cnf::Clause::from_lits(clause.iter().copied()));
-                }
-                if let Err(e) = check_refutation(&cnf, &arm.proof.borrow()) {
-                    return fail(format!("DRAT check of the refutation failed: {e}"));
+                if let Some(proof) = proof {
+                    // Absolute refutation: the accumulated DRAT proof of the
+                    // whole session must check against the accumulated
+                    // formula.
+                    let mut cnf = Cnf::with_vars(num_vars);
+                    for clause in formula {
+                        cnf.add_clause(berkmin_cnf::Clause::from_lits(clause.iter().copied()));
+                    }
+                    if let Err(e) = check_refutation(&cnf, &proof.borrow()) {
+                        return fail(format!("DRAT check of the refutation failed: {e}"));
+                    }
+                } else {
+                    // No sound proof exists (clause sharing): the formula
+                    // itself must be UNSAT per the independent reference.
+                    match reference::dpll(num_vars, formula, &[]) {
+                        Some(false) => {}
+                        Some(true) => {
+                            return fail(
+                                "absolute refutation contradicts the reference (SAT)".to_string(),
+                            )
+                        }
+                        None => report.uncertified += 1,
+                    }
                 }
             } else {
                 // Assumption conflict: formula ∧ core must be UNSAT per the

@@ -18,10 +18,19 @@
 //!
 //!   FILE                   DIMACS CNF file ('-' or absent = stdin)
 //!   --engine NAME          berkmin | chaff | limmat | less-sensitivity |
-//!                          less-mobility | limited-keeping   (default: berkmin)
+//!                          less-mobility | limited-keeping | portfolio
+//!                          (default: berkmin)
 //!   --config NAME          alias of --engine (kept for compatibility)
+//!   --threads N            portfolio worker count (default 4)
+//!   --share-lbd K          portfolio: share learnt clauses with
+//!                          len ≤ 2 or LBD ≤ K (default 4)
+//!   --no-share             portfolio: disable clause sharing (required
+//!                          for --proof/--check-proof)
+//!   --deterministic        portfolio: fixed round-robin schedule on one
+//!                          thread (reproducible winner and statistics)
 //!   --max-conflicts N      abort after N conflicts
-//!   --seed N               heuristic PRNG seed
+//!   --seed N               heuristic PRNG seed (single engines; portfolio
+//!                          workers derive their own diversified seeds)
 //!   --proof FILE           write a DRAT refutation to FILE on UNSAT
 //!   --check-proof          verify the proof with the built-in RUP checker
 //!   --paranoid             audit solver invariants at every quiescent
@@ -44,7 +53,10 @@ use std::fs;
 use std::process::ExitCode;
 use std::rc::Rc;
 
-use berkmin::{Budget, SatEngine, SolveStatus, SolverBuilder, SolverConfig};
+use berkmin::{
+    Budget, PortfolioConfig, PortfolioEngine, SatEngine, SolveStatus, SolverBuilder, SolverConfig,
+    WorkerOutcome,
+};
 use berkmin_circuit::arith::enabled_counter;
 use berkmin_circuit::bmc::{scratch_first_reaching_depth, BmcDriver, BmcOutcome};
 use berkmin_cnf::{dimacs, Assignment, ClauseSink, Cnf, LBool, Lit, Var};
@@ -59,7 +71,8 @@ fn die(msg: impl std::fmt::Display) -> ! {
 
 fn usage() -> ! {
     die(
-        "usage: berkmin-cli [--engine NAME] [--max-conflicts N] [--seed N] \
+        "usage: berkmin-cli [--engine NAME] [--threads N] [--share-lbd K] [--no-share] \
+         [--deterministic] [--max-conflicts N] [--seed N] \
          [--proof FILE] [--check-proof] [--paranoid] [--no-model] [--quiet] [FILE]\n\
          \x20      berkmin-cli bmc [--bits N] [--max-depth D] [--engine NAME] \
          [--max-conflicts N] [--seed N] [--scratch] [--paranoid] [--quiet]",
@@ -77,6 +90,10 @@ fn config_by_name(name: &str) -> SolverConfig {
         "less-sensitivity" => SolverConfig::less_sensitivity(),
         "less-mobility" => SolverConfig::less_mobility(),
         "limited-keeping" => SolverConfig::limited_keeping(),
+        "portfolio" => die(
+            "the portfolio engine drives plain solving only; bmc needs one \
+             warm incremental engine — pick a single-solver preset",
+        ),
         other => die(format!("unknown engine {other:?}")),
     }
 }
@@ -88,6 +105,12 @@ struct Options {
     check_proof: bool,
     print_model: bool,
     quiet: bool,
+    /// `--engine portfolio`: race diversified workers instead of one solver.
+    portfolio: bool,
+    threads: usize,
+    share_lbd: u32,
+    no_share: bool,
+    deterministic: bool,
 }
 
 fn parse_args() -> Options {
@@ -98,14 +121,40 @@ fn parse_args() -> Options {
         check_proof: false,
         print_model: true,
         quiet: false,
+        portfolio: false,
+        threads: 4,
+        share_lbd: 4,
+        no_share: false,
+        deterministic: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--engine" | "--config" => {
                 let name = args.next().unwrap_or_else(|| usage());
-                opts.config = config_by_name(&name);
+                if name == "portfolio" {
+                    opts.portfolio = true;
+                } else {
+                    opts.portfolio = false;
+                    opts.config = config_by_name(&name);
+                }
             }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| (1..=64).contains(&n))
+                    .unwrap_or_else(|| usage());
+            }
+            "--share-lbd" => {
+                opts.share_lbd = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.no_share = false;
+            }
+            "--no-share" => opts.no_share = true,
+            "--deterministic" => opts.deterministic = true,
             "--max-conflicts" => {
                 let n = args
                     .next()
@@ -138,7 +187,7 @@ fn parse_args() -> Options {
 /// only when the RUP checker will need the original formula afterwards is
 /// a mirror `Cnf` kept alongside.
 struct Ingest<'a> {
-    engine: &'a mut Box<dyn SatEngine>,
+    engine: &'a mut dyn SatEngine,
     mirror: Option<&'a mut Cnf>,
 }
 
@@ -151,11 +200,57 @@ impl ClauseSink for Ingest<'_> {
     }
 
     fn clause(&mut self, lits: &[Lit]) {
-        SatEngine::add_clause(self.engine, lits);
+        self.engine.add_clause(lits);
         if let Some(cnf) = &mut self.mirror {
             cnf.clause(lits);
         }
     }
+}
+
+/// The solving backend behind the plain-solve path: either one configured
+/// solver behind the trait object, or the concrete portfolio engine (kept
+/// concrete so the `c workers` summary can read its per-worker reports).
+enum EngineHolder {
+    Single(Box<dyn SatEngine>),
+    Portfolio(Box<PortfolioEngine>),
+}
+
+impl EngineHolder {
+    fn as_engine(&mut self) -> &mut dyn SatEngine {
+        match self {
+            EngineHolder::Single(e) => &mut **e,
+            EngineHolder::Portfolio(p) => &mut **p,
+        }
+    }
+
+    fn stats(&self) -> &berkmin::Stats {
+        match self {
+            EngineHolder::Single(e) => e.stats(),
+            EngineHolder::Portfolio(p) => p.stats(),
+        }
+    }
+}
+
+/// Formats the per-worker portfolio summary: winner id, then each worker's
+/// outcome, conflict spend and sharing traffic.
+fn workers_line(portfolio: &PortfolioEngine) -> String {
+    let mut line = format!("c workers {}", portfolio.reports().len());
+    match portfolio.winner() {
+        Some(w) => line.push_str(&format!(" winner {w}")),
+        None => line.push_str(" winner none"),
+    }
+    for r in portfolio.reports() {
+        let outcome = match r.outcome {
+            WorkerOutcome::Sat => "sat",
+            WorkerOutcome::Unsat => "unsat",
+            WorkerOutcome::Stopped(_) => "stopped",
+        };
+        line.push_str(&format!(
+            "  w{} {outcome} conflicts {} exported {} imported {}",
+            r.id, r.conflicts, r.exported, r.imported
+        ));
+    }
+    line
 }
 
 /// Streams the DIMACS input (file or stdin) into `sink` without buffering
@@ -417,18 +512,39 @@ fn main() -> ExitCode {
     // solving.
     let want_proof = opts.proof_path.is_some() || opts.check_proof;
     let proof = Rc::new(RefCell::new(DratProof::new()));
-    let mut builder = SolverBuilder::with_config(opts.config.clone());
-    if want_proof {
-        builder = builder.proof(Rc::clone(&proof));
-    }
-    let mut engine = builder.build_engine();
+    let mut holder = if opts.portfolio {
+        let share = (!opts.no_share).then_some(opts.share_lbd);
+        if want_proof && share.is_some() {
+            die("configuration error: --proof/--check-proof with clause \
+                 sharing on would emit an unsound DRAT proof (imported \
+                 clauses are not derivable in the winner's log); add \
+                 --no-share to keep proofs");
+        }
+        let mut engine = PortfolioEngine::new(
+            PortfolioConfig::new(opts.threads)
+                .with_share_lbd(share)
+                .with_deterministic(opts.deterministic)
+                .with_budget(opts.config.budget)
+                .with_paranoid(opts.config.paranoid),
+        );
+        if want_proof {
+            engine.set_proof(Box::new(Rc::clone(&proof)));
+        }
+        EngineHolder::Portfolio(Box::new(engine))
+    } else {
+        let mut builder = SolverBuilder::with_config(opts.config.clone());
+        if want_proof {
+            builder = builder.proof(Rc::clone(&proof));
+        }
+        EngineHolder::Single(builder.build_engine())
+    };
 
     // Stream the input straight into the engine. A mirror Cnf is retained
     // only for --check-proof, whose RUP checker needs the original formula.
     let mut mirror = opts.check_proof.then(Cnf::new);
     let summary = {
         let mut ingest = Ingest {
-            engine: &mut engine,
+            engine: holder.as_engine(),
             mirror: mirror.as_mut(),
         };
         stream_input(&opts.file, &mut ingest)
@@ -441,25 +557,32 @@ fn main() -> ExitCode {
     }
 
     let start = std::time::Instant::now();
-    let status = engine.solve();
+    let status = holder.as_engine().solve();
     let elapsed = start.elapsed();
 
     if !opts.quiet {
-        let s = engine.stats();
+        let s = holder.stats();
         println!(
             "c decisions {} conflicts {} propagations {} restarts {} learnt {}",
             s.decisions, s.conflicts, s.propagations, s.restarts, s.learnt_total
         );
         // Propagation throughput: the arena/BCP speedups show up here
-        // without needing the criterion benches.
+        // without needing the criterion benches. Average glue (LBD) of the
+        // learnt clauses rides along — low glue means reusable lemmas.
         let secs = elapsed.as_secs_f64().max(1e-9);
         println!(
-            "c time {:.3} s  propagation rate {:.0} lits/sec  gc {} ({} words reclaimed)",
+            "c time {:.3} s  propagation rate {:.0} lits/sec  gc {} ({} words reclaimed)  \
+             avg lbd {:.2} (max {})",
             elapsed.as_secs_f64(),
             s.propagations as f64 / secs,
             s.gc_runs,
-            s.gc_words_reclaimed
+            s.gc_words_reclaimed,
+            s.avg_lbd(),
+            s.lbd_max
         );
+        if let EngineHolder::Portfolio(p) = &holder {
+            println!("{}", workers_line(p));
+        }
     }
 
     match status {

@@ -43,8 +43,8 @@ pub use berkmin_gens;
 /// straight into it.
 pub mod prelude {
     pub use berkmin::{
-        Budget, ProofSink, SatEngine, SolveStatus, Solver, SolverBuilder, SolverConfig, Stats,
-        StopReason,
+        Budget, PortfolioConfig, PortfolioEngine, ProofSink, SatEngine, SolveStatus, Solver,
+        SolverBuilder, SolverConfig, Stats, StopReason, WorkerOutcome, WorkerReport,
     };
     pub use berkmin_circuit::bmc::{BmcDriver, BmcEncoding, BmcOutcome};
     pub use berkmin_cnf::{Assignment, Clause, ClauseSink, Cnf, LBool, Lit, Var};

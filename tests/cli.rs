@@ -192,6 +192,86 @@ fn header_reserved_vars_without_clauses_get_a_full_model() {
 }
 
 #[test]
+fn portfolio_engine_solves_sat_and_unsat_with_worker_summary() {
+    // Deterministic two-worker portfolio: verdicts match the single-threaded
+    // answer and the worker summary line names the winner.
+    let unsat = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n";
+    let (stdout, code) = run_with_stdin(
+        &["--engine", "portfolio", "--threads", "2", "--deterministic"],
+        unsat,
+    );
+    assert_eq!(code, 20, "{stdout}");
+    assert!(stdout.contains("s UNSATISFIABLE"), "{stdout}");
+    let workers = stdout
+        .lines()
+        .find(|l| l.starts_with("c workers"))
+        .expect("worker summary line");
+    assert!(workers.contains("winner"), "{workers}");
+    assert!(workers.contains("exported"), "{workers}");
+
+    let (stdout, code) = run_with_stdin(
+        &["--engine", "portfolio", "--threads", "2", "--deterministic"],
+        "p cnf 2 2\n1 -2 0\n2 0\n",
+    );
+    assert_eq!(code, 10, "{stdout}");
+    assert!(stdout.contains("v 1 2 0"), "{stdout}");
+}
+
+#[test]
+fn portfolio_rejects_proof_logging_while_sharing_is_on() {
+    // A DRAT proof of a sharing portfolio would be unsound (imported clauses
+    // are not RUP-derivable in the importer's log) — the CLI must refuse the
+    // combination up front instead of emitting a bogus proof.
+    let mut child = cli()
+        .args(["--engine", "portfolio", "--check-proof"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn berkmin-cli");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"p cnf 1 2\n1 0\n-1 0\n")
+        .unwrap();
+    let out = child.wait_with_output().expect("cli runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("configuration error"), "{stderr}");
+}
+
+#[test]
+fn portfolio_without_sharing_emits_a_checkable_winner_proof() {
+    let dimacs = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n";
+    let (stdout, code) = run_with_stdin(
+        &[
+            "--engine",
+            "portfolio",
+            "--no-share",
+            "--deterministic",
+            "--check-proof",
+        ],
+        dimacs,
+    );
+    assert_eq!(code, 20, "{stdout}");
+    assert!(stdout.contains("proof checked"), "{stdout}");
+}
+
+#[test]
+fn time_line_reports_average_and_max_lbd() {
+    let dimacs = "p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n";
+    let (stdout, code) = run_with_stdin(&["--no-model"], dimacs);
+    assert_eq!(code, 20, "{stdout}");
+    let time_line = stdout
+        .lines()
+        .find(|l| l.starts_with("c time"))
+        .expect("time line");
+    assert!(time_line.contains("avg lbd"), "{time_line}");
+    assert!(time_line.contains("max"), "{time_line}");
+}
+
+#[test]
 fn paranoid_flag_is_accepted_and_solves_normally() {
     let (stdout, code) = run_with_stdin(&["--paranoid"], "p cnf 2 2\n1 -2 0\n2 0\n");
     assert_eq!(code, 10, "{stdout}");

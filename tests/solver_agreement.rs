@@ -243,6 +243,120 @@ fn berkmin_and_chaff_agree_under_random_assumption_sets() {
     assert!(unsat_seen > 0, "sweep never produced an UNSAT query");
 }
 
+/// Builds a deterministic two-worker portfolio engine pre-loaded with `cnf`.
+///
+/// Deterministic mode runs the workers as round-robin conflict slices on the
+/// calling thread, so the sweep is reproducible and cheap enough to run over
+/// the whole instance pool — with sharing on and off.
+fn portfolio_for(cnf: &Cnf, share_lbd: Option<u32>) -> PortfolioEngine {
+    let config = PortfolioConfig::new(2)
+        .with_share_lbd(share_lbd)
+        .with_deterministic(true);
+    let mut engine = PortfolioEngine::new(config);
+    engine.reserve_vars(cnf.num_vars());
+    for clause in cnf.iter() {
+        engine.add_clause(clause.lits());
+    }
+    engine
+}
+
+#[test]
+fn portfolio_agrees_with_single_threaded_berkmin_on_the_instance_pool() {
+    // The portfolio must reach exactly the verdict single-threaded BerkMin
+    // reaches, on every pooled instance, whether clause sharing is on or
+    // off — sharing may only move work around, never change answers.
+    let pool = [
+        miters::equivalent_miter(60, 20, 3),
+        miters::buggy_miter(60, 20, 3),
+        hole::pigeonhole(5),
+        parity::parity_unsat(9, 2),
+        ksat::planted_ksat(30, 126, 3, 2),
+        ksat::xor_unsat(12, 14, 2),
+        hanoi::hanoi(3),
+        blocksworld::blocksworld(4, 4, 9),
+        bmc_gen::bmc_counter_enable(3),
+        bmc_gen::bmc_counter_enable_unsat(3),
+    ];
+    for inst in &pool {
+        let reference = engine_for(&inst.cnf, SolverConfig::berkmin())
+            .solve()
+            .is_sat();
+        for share in [Some(4u32), None] {
+            let mut portfolio = portfolio_for(&inst.cnf, share);
+            match portfolio.solve() {
+                SolveStatus::Sat(model) => {
+                    assert!(
+                        inst.cnf.is_satisfied_by(&model),
+                        "portfolio model wrong on {} (share {share:?})",
+                        inst.name
+                    );
+                    assert!(
+                        reference,
+                        "portfolio SAT but berkmin UNSAT on {} (share {share:?})",
+                        inst.name
+                    );
+                }
+                SolveStatus::Unsat => assert!(
+                    !reference,
+                    "portfolio UNSAT but berkmin SAT on {} (share {share:?})",
+                    inst.name
+                ),
+                SolveStatus::Unknown(r) => {
+                    panic!("portfolio aborted without budget on {}: {r}", inst.name)
+                }
+            }
+            if let Some(expected) = inst.expected {
+                assert_eq!(reference, expected, "reference wrong on {}?!", inst.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn portfolio_agrees_on_random_3sat_with_and_without_sharing() {
+    // Random 3-SAT across the phase transition: single-threaded BerkMin vs
+    // the deterministic two-worker portfolio, sharing on and off. Both
+    // verdicts must occur over the sweep for it to mean anything.
+    let (mut sat_seen, mut unsat_seen) = (0u32, 0u32);
+    for seed in 0..20u64 {
+        let n = 22;
+        let m = 77 + (seed as usize % 5) * 8; // straddle the transition
+        let inst = ksat::random_ksat(n, m, 3, seed);
+        let reference = engine_for(&inst.cnf, SolverConfig::berkmin())
+            .solve()
+            .is_sat();
+        for share in [Some(4u32), None] {
+            let mut portfolio = portfolio_for(&inst.cnf, share);
+            let verdict = match portfolio.solve() {
+                SolveStatus::Sat(model) => {
+                    assert!(
+                        inst.cnf.is_satisfied_by(&model),
+                        "bad portfolio model on {} (seed {seed})",
+                        inst.name
+                    );
+                    true
+                }
+                SolveStatus::Unsat => false,
+                SolveStatus::Unknown(r) => {
+                    panic!("{} (seed {seed}): aborted without budget: {r}", inst.name)
+                }
+            };
+            assert_eq!(
+                verdict, reference,
+                "portfolio disagrees on {} (seed {seed}, share {share:?})",
+                inst.name
+            );
+        }
+        if reference {
+            sat_seen += 1;
+        } else {
+            unsat_seen += 1;
+        }
+    }
+    assert!(sat_seen > 0, "sweep never produced a SAT instance");
+    assert!(unsat_seen > 0, "sweep never produced an UNSAT instance");
+}
+
 #[test]
 fn restart_policies_never_change_verdicts() {
     let instances = [hole::pigeonhole(5), parity::parity_learning(10, 14, 7)];

@@ -75,6 +75,25 @@ fn ci_keeps_the_bench_smoke_step() {
 }
 
 #[test]
+fn ci_keeps_the_portfolio_steps() {
+    // The portfolio's correctness claim rests on the agreement sweep
+    // (deterministic two-worker portfolio vs single-threaded BerkMin,
+    // sharing on and off); its perf claim rests on the bench smoke that
+    // writes BENCH_portfolio.json. Both must keep running on every push.
+    let ci = ci_config();
+    assert!(
+        ci.contains("cargo test -q --release --test solver_agreement portfolio"),
+        "CI workflow dropped the portfolio agreement sweep; portfolio \
+         verdicts would no longer be checked against the lone solver"
+    );
+    assert!(
+        ci.contains("--bin portfolio_bench -- --smoke --threads 2"),
+        "CI workflow dropped the portfolio bench smoke step; the 1-vs-N \
+         thread comparison (BENCH_portfolio.json) would rot silently"
+    );
+}
+
+#[test]
 fn ci_keeps_the_fuzz_smoke_step() {
     // The differential fuzz harness is the integrity layer's teeth: a
     // bounded fixed-seed sweep in which every SAT model, UNSAT core and
