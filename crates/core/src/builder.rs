@@ -14,6 +14,7 @@ use crate::config::SolverConfig;
 use crate::engine::SatEngine;
 use crate::proof::ProofSink;
 use crate::solver::{ExportCallback, ImportCallback, LearntCallback, Solver, TerminateCallback};
+use crate::telemetry::SolveObserver;
 
 /// Builder for a [`Solver`] session.
 ///
@@ -64,6 +65,7 @@ pub struct SolverBuilder {
     on_learnt: Option<(usize, LearntCallback)>,
     export: Option<(u32, ExportCallback)>,
     import: Option<ImportCallback>,
+    observer: Option<Box<dyn SolveObserver>>,
 }
 
 impl Default for SolverBuilder {
@@ -90,6 +92,7 @@ impl SolverBuilder {
             on_learnt: None,
             export: None,
             import: None,
+            observer: None,
         }
     }
 
@@ -183,6 +186,17 @@ impl SolverBuilder {
         self
     }
 
+    /// Installs the structured telemetry observer: receives every
+    /// [`SolveEvent`](crate::SolveEvent) the solver emits (solve-call
+    /// brackets, restarts, reductions, progress ticks, sharing traffic).
+    /// Any `FnMut(&SolveEvent)` closure qualifies; see [`crate::telemetry`]
+    /// for the vocabulary. Without an observer the solver skips event
+    /// construction entirely — each emission site is one `Option` check.
+    pub fn on_event(mut self, observer: impl SolveObserver + 'static) -> Self {
+        self.observer = Some(Box::new(observer));
+        self
+    }
+
     /// Builds the concrete [`Solver`].
     ///
     /// # Panics
@@ -205,6 +219,7 @@ impl SolverBuilder {
         solver.set_learnt_callback(self.on_learnt);
         solver.set_export_callback(self.export);
         solver.set_import_source(self.import);
+        solver.set_observer(self.observer);
         solver.reserve_vars(self.reserve_vars);
         for clause in self.clauses {
             solver.add_clause(clause);

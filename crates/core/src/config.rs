@@ -270,6 +270,10 @@ pub struct SolverConfig {
     /// Record every decision variable in [`crate::Stats::decision_log`]
     /// (used by the Fig. 1 experiment; costs memory on long runs).
     pub record_decisions: bool,
+    /// Conflicts between [`SolveEvent::Progress`](crate::SolveEvent::Progress)
+    /// ticks within one solve call (0 disables ticks). Only consulted when
+    /// an observer is attached — without one the search never looks at it.
+    pub progress_every: u64,
     /// Run [`Solver::audit_invariants`](crate::Solver::audit_invariants)
     /// at every quiescent point of the search (after propagation, conflict
     /// handling and restarts), panicking on the first violation. Expensive —
@@ -297,6 +301,7 @@ impl SolverConfig {
             seed: 0x5EED_B16B_00B5,
             budget: Budget::unlimited(),
             record_decisions: false,
+            progress_every: 1024,
             paranoid: false,
         }
     }
@@ -422,6 +427,14 @@ impl SolverConfig {
     /// config (builder-style). See [`SolverConfig::paranoid`].
     pub fn with_paranoid(mut self, paranoid: bool) -> Self {
         self.paranoid = paranoid;
+        self
+    }
+
+    /// Sets the conflict interval between progress-tick events, returning
+    /// the modified config (builder-style). See
+    /// [`SolverConfig::progress_every`].
+    pub fn with_progress_every(mut self, conflicts: u64) -> Self {
+        self.progress_every = conflicts;
         self
     }
 }

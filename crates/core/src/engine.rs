@@ -12,6 +12,7 @@ use berkmin_cnf::{ClauseSink, LBool, Lit, Var};
 
 use crate::solver::{SolveStatus, Solver};
 use crate::stats::Stats;
+use crate::telemetry::SolveObserver;
 
 /// An incremental SAT engine: add clauses, stage assumptions, solve,
 /// inspect — repeat. Object-safe by design, so heterogeneous drivers can
@@ -66,6 +67,13 @@ pub trait SatEngine {
 
     /// Search statistics accumulated so far.
     fn stats(&self) -> &Stats;
+
+    /// Attaches (or clears) a structured telemetry observer (see
+    /// [`crate::telemetry`]). The observer must be `Send` because the
+    /// portfolio engine forwards its workers' events across threads; a
+    /// single-threaded [`Solver`] also accepts non-`Send` observers
+    /// through [`Solver::set_observer`] directly.
+    fn set_observer(&mut self, observer: Option<Box<dyn SolveObserver + Send>>);
 }
 
 impl SatEngine for Solver {
@@ -95,6 +103,18 @@ impl SatEngine for Solver {
 
     fn stats(&self) -> &Stats {
         Solver::stats(self)
+    }
+
+    fn set_observer(&mut self, observer: Option<Box<dyn SolveObserver + Send>>) {
+        // Coerce away the `Send` bound the trait imposes for the
+        // portfolio's benefit — a plain solver never moves its observer.
+        Solver::set_observer(
+            self,
+            observer.map(|b| {
+                let b: Box<dyn SolveObserver> = b;
+                b
+            }),
+        );
     }
 }
 
@@ -126,6 +146,10 @@ impl<E: SatEngine + ?Sized> SatEngine for Box<E> {
     fn stats(&self) -> &Stats {
         (**self).stats()
     }
+
+    fn set_observer(&mut self, observer: Option<Box<dyn SolveObserver + Send>>) {
+        (**self).set_observer(observer);
+    }
 }
 
 impl<E: SatEngine + ?Sized> SatEngine for &mut E {
@@ -155,6 +179,10 @@ impl<E: SatEngine + ?Sized> SatEngine for &mut E {
 
     fn stats(&self) -> &Stats {
         (**self).stats()
+    }
+
+    fn set_observer(&mut self, observer: Option<Box<dyn SolveObserver + Send>>) {
+        (**self).set_observer(observer);
     }
 }
 

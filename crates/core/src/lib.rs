@@ -71,6 +71,17 @@
 //! conflict-derived learnt clause up to a length cap — each one a
 //! consequence of the formula alone, never of the assumptions).
 //!
+//! # Telemetry
+//!
+//! A structured observer installs via [`SolverBuilder::on_event`] (or
+//! [`SatEngine::set_observer`] on any engine, including the portfolio):
+//! every [`SolveEvent`] the search emits — solve-call brackets, restarts,
+//! reductions, periodic progress ticks, sharing traffic, worker-tagged
+//! portfolio events — flows to the [`SolveObserver`]. Without an observer
+//! the solver constructs no events at all. [`StatsSnapshot`] renders (and
+//! parses back) a [`Stats`] block as JSON for machine consumption; see
+//! [`telemetry`] for the full vocabulary.
+//!
 //! # Proof logging
 //!
 //! A [`ProofSink`] attached via [`SolverBuilder::proof`] receives every
@@ -111,6 +122,7 @@ mod reduce;
 mod rng;
 mod solver;
 mod stats;
+pub mod telemetry;
 
 pub use audit::AuditReport;
 pub use builder::SolverBuilder;
@@ -126,6 +138,7 @@ pub use solver::{
     TerminateCallback,
 };
 pub use stats::Stats;
+pub use telemetry::{SolveEvent, SolveObserver, SolveVerdict, StatsSnapshot};
 
 // Re-export the vocabulary crate (and the clause-stream trait most
 // engine users want in scope) so downstream users need only one import.

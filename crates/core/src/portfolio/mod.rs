@@ -46,8 +46,10 @@ use crate::engine::SatEngine;
 use crate::proof::ProofSink;
 use crate::solver::{SolveStatus, StopReason};
 use crate::stats::Stats;
+use crate::telemetry::{SolveEvent, SolveObserver, SolveVerdict};
 
-use worker::{ProofOp, WorkerResult};
+use share::PoolSummary;
+use worker::{emit_shared, ProofOp, SharedObserver, WorkerResult};
 
 /// Maximum clauses the share pool retains; older entries are evicted
 /// (sharing is best-effort — dropping a clause never costs soundness).
@@ -157,6 +159,11 @@ pub struct WorkerReport {
     pub exported: u64,
     /// Foreign clauses the worker integrated from the share pool.
     pub imported: u64,
+    /// Pool entries evicted before this worker's import polls reached
+    /// them — shared clauses the worker never got to see (an upper bound:
+    /// it includes the worker's own publications and clauses its LBD
+    /// filter would have rejected).
+    pub missed: u64,
 }
 
 /// A parallel portfolio of diversified CDCL solvers behind the ordinary
@@ -199,6 +206,7 @@ pub struct PortfolioEngine {
     reports: Vec<WorkerReport>,
     winner: Option<usize>,
     proof: Option<Box<dyn ProofSink>>,
+    observer: Option<Box<dyn SolveObserver + Send>>,
 }
 
 impl std::fmt::Debug for PortfolioEngine {
@@ -209,6 +217,7 @@ impl std::fmt::Debug for PortfolioEngine {
             .field("clauses", &self.clauses.len())
             .field("winner", &self.winner)
             .field("proof", &self.proof.is_some())
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -233,6 +242,7 @@ impl PortfolioEngine {
             reports: Vec::new(),
             winner: None,
             proof: None,
+            observer: None,
         }
     }
 
@@ -292,14 +302,20 @@ impl PortfolioEngine {
     }
 
     /// Threaded race: one scoped thread per worker, first definitive
-    /// answer claims the win and raises the shared cancel flag.
-    fn run_threaded(&self, assumptions: &[Lit]) -> (Option<usize>, Vec<WorkerResult>) {
+    /// answer claims the win and raises the shared cancel flag. Worker
+    /// events (when observing) arrive in scheduling order, serialized by
+    /// the observer mutex.
+    fn run_threaded(
+        &self,
+        assumptions: &[Lit],
+        observer: Option<SharedObserver>,
+    ) -> (Option<usize>, Vec<WorkerResult>, Option<PoolSummary>) {
         let n = self.config.threads;
         let cancel = Arc::new(AtomicBool::new(false));
         let pool = self
             .config
             .share_lbd
-            .map(|_| Arc::new(ClausePool::new(POOL_CAPACITY)));
+            .map(|_| Arc::new(ClausePool::new(POOL_CAPACITY, n)));
         let record_proof = self.proof.is_some();
         let winner_slot: Mutex<Option<usize>> = Mutex::new(None);
         let clauses = &self.clauses;
@@ -311,6 +327,7 @@ impl PortfolioEngine {
                     let config = self.worker_config(id);
                     let cancel = Arc::clone(&cancel);
                     let sharing = self.config.share_lbd.zip(pool.as_ref().map(Arc::clone));
+                    let observer = observer.clone();
                     let winner_slot = &winner_slot;
                     s.spawn(move || {
                         let result = worker::run_worker(
@@ -321,6 +338,7 @@ impl PortfolioEngine {
                             config,
                             sharing,
                             Arc::clone(&cancel),
+                            observer,
                             record_proof,
                         );
                         if !result.status.is_unknown() {
@@ -343,18 +361,26 @@ impl PortfolioEngine {
                 .collect()
         });
         let winner = *winner_slot.lock().unwrap();
-        (winner, results)
+        let summary = pool.map(|p| p.summary());
+        (winner, results, summary)
     }
 
     /// Deterministic race: round-robin conflict slices on the calling
     /// thread; the first definitive answer in worker order wins. A worker
     /// retires once its cumulative conflicts reach the per-worker budget.
-    fn run_deterministic(&self, assumptions: &[Lit]) -> (Option<usize>, Vec<WorkerResult>) {
+    /// Worker events (when observing) form a reproducible stream:
+    /// `WorkerStart` in worker order up front, the tagged solver events in
+    /// schedule order, `WorkerDone` in worker order at the end.
+    fn run_deterministic(
+        &self,
+        assumptions: &[Lit],
+        observer: Option<SharedObserver>,
+    ) -> (Option<usize>, Vec<WorkerResult>, Option<PoolSummary>) {
         let n = self.config.threads;
         let pool = self
             .config
             .share_lbd
-            .map(|_| Arc::new(ClausePool::new(POOL_CAPACITY)));
+            .map(|_| Arc::new(ClausePool::new(POOL_CAPACITY, n)));
         let record_proof = self.proof.is_some();
         let slice = self.config.slice_conflicts;
         let cap = self.config.budget.max_conflicts;
@@ -369,10 +395,16 @@ impl PortfolioEngine {
                     self.worker_config(id),
                     sharing,
                     None,
+                    observer.clone(),
                     record_proof,
                 )
             })
             .collect();
+        if let Some(shared) = &observer {
+            for id in 0..n {
+                emit_shared(shared, &SolveEvent::WorkerStart { worker: id });
+            }
+        }
 
         let mut last: Vec<Option<SolveStatus>> = (0..n).map(|_| None).collect();
         let mut retired = vec![false; n];
@@ -412,7 +444,7 @@ impl PortfolioEngine {
             }
         }
 
-        let results = workers
+        let results: Vec<WorkerResult> = workers
             .into_iter()
             .zip(last)
             .map(|((solver, tap), status)| {
@@ -434,7 +466,19 @@ impl PortfolioEngine {
                 }
             })
             .collect();
-        (winner, results)
+        if let Some(shared) = &observer {
+            for (id, result) in results.iter().enumerate() {
+                emit_shared(
+                    shared,
+                    &SolveEvent::WorkerDone {
+                        worker: id,
+                        verdict: SolveVerdict::from(&result.status),
+                    },
+                );
+            }
+        }
+        let summary = pool.map(|p| p.summary());
+        (winner, results, summary)
     }
 }
 
@@ -467,10 +511,32 @@ impl SatEngine for PortfolioEngine {
         self.model = None;
         self.failed.clear();
 
-        let (winner, results) = if self.config.deterministic {
-            self.run_deterministic(&assumptions)
+        // The observer moves behind an `Arc<Mutex<..>>` for the race (the
+        // workers' `Forward` adapters and the portfolio itself share it)
+        // and is reclaimed afterwards for the next call.
+        let shared: Option<SharedObserver> = self.observer.take().map(|b| Arc::new(Mutex::new(b)));
+        if let Some(obs) = &shared {
+            emit_shared(
+                obs,
+                &SolveEvent::SolveStart {
+                    call: self.calls,
+                    num_vars: self.num_vars,
+                    num_clauses: self.clauses.len(),
+                    assumptions: assumptions.len(),
+                },
+            );
+        }
+        let base = (
+            self.stats.conflicts,
+            self.stats.decisions,
+            self.stats.propagations,
+            self.stats.restarts,
+        );
+
+        let (winner, results, pool_summary) = if self.config.deterministic {
+            self.run_deterministic(&assumptions, shared.clone())
         } else {
-            self.run_threaded(&assumptions)
+            self.run_threaded(&assumptions, shared.clone())
         };
         self.winner = winner;
 
@@ -488,42 +554,84 @@ impl SatEngine for PortfolioEngine {
                 decisions: result.stats.decisions,
                 exported: result.stats.clauses_exported,
                 imported: result.stats.clauses_imported,
+                missed: pool_summary
+                    .as_ref()
+                    .and_then(|s| s.missed.get(id).copied())
+                    .unwrap_or(0),
             });
             self.stats.merge(&result.stats);
         }
-        // Merging summed the per-worker copies of the formula-level
-        // numbers; restore the portfolio-level view.
+        // `Stats::merge` leaves the formula-level counters alone; set the
+        // portfolio-level view explicitly (the formula is shared, not
+        // duplicated N times, and one portfolio call is one solve call).
         self.stats.initial_clauses = self.clauses.len() as u64;
         self.stats.solve_calls = self.calls;
+        if let Some(summary) = &pool_summary {
+            self.stats.pool_evicted += summary.evicted;
+            self.stats.pool_missed += summary.missed.iter().sum::<u64>();
+        }
 
-        let Some(w) = winner else {
-            // Every worker stopped without answering: surface the first
-            // worker's stop reason (budget exhaustion in practice).
-            return results
-                .first()
-                .map(|r| r.status.clone())
-                .unwrap_or(SolveStatus::Unknown(StopReason::ConflictBudget));
+        let status = match winner {
+            None => {
+                // Every worker stopped without answering: surface the first
+                // worker's stop reason (budget exhaustion in practice).
+                results
+                    .first()
+                    .map(|r| r.status.clone())
+                    .unwrap_or(SolveStatus::Unknown(StopReason::ConflictBudget))
+            }
+            Some(w) => {
+                if let Some(sink) = &mut self.proof {
+                    for op in &results[w].proof_ops {
+                        match op {
+                            ProofOp::Add(lits) => sink.add_clause(lits),
+                            ProofOp::Delete(lits) => sink.delete_clause(lits),
+                        }
+                    }
+                }
+                match &results[w].status {
+                    SolveStatus::Sat(model) => {
+                        self.model = Some(model.clone());
+                    }
+                    SolveStatus::Unsat => {
+                        self.failed = results[w].failed.clone();
+                    }
+                    SolveStatus::Unknown(_) => unreachable!("winner is definitive"),
+                }
+                results[w].status.clone()
+            }
         };
 
-        if let Some(sink) = &mut self.proof {
-            for op in &results[w].proof_ops {
-                match op {
-                    ProofOp::Add(lits) => sink.add_clause(lits),
-                    ProofOp::Delete(lits) => sink.delete_clause(lits),
+        if let Some(obs) = &shared {
+            if let Some(summary) = &pool_summary {
+                if summary.evicted > 0 {
+                    emit_shared(
+                        obs,
+                        &SolveEvent::PoolEvicted {
+                            evicted: summary.evicted,
+                        },
+                    );
                 }
             }
+            emit_shared(
+                obs,
+                &SolveEvent::SolveDone {
+                    verdict: SolveVerdict::from(&status),
+                    conflicts: self.stats.conflicts - base.0,
+                    decisions: self.stats.decisions - base.1,
+                    propagations: self.stats.propagations - base.2,
+                    restarts: self.stats.restarts - base.3,
+                },
+            );
         }
-
-        match &results[w].status {
-            SolveStatus::Sat(model) => {
-                self.model = Some(model.clone());
+        if let Some(arc) = shared {
+            // Threads are joined and deterministic workers dropped, so this
+            // is the last clone; reclaim the observer for the next call.
+            if let Ok(mutex) = Arc::try_unwrap(arc) {
+                self.observer = Some(mutex.into_inner().unwrap());
             }
-            SolveStatus::Unsat => {
-                self.failed = results[w].failed.clone();
-            }
-            SolveStatus::Unknown(_) => unreachable!("winner is definitive"),
         }
-        results[w].status.clone()
+        status
     }
 
     fn value(&self, var: Var) -> LBool {
@@ -539,6 +647,10 @@ impl SatEngine for PortfolioEngine {
 
     fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    fn set_observer(&mut self, observer: Option<Box<dyn SolveObserver + Send>>) {
+        self.observer = observer;
     }
 }
 
@@ -728,6 +840,26 @@ mod tests {
     fn proof_with_sharing_is_rejected() {
         let mut engine = deterministic(2, Some(4));
         engine.set_proof(Box::new(crate::proof::NoProof));
+    }
+
+    /// Regression for the `Stats::merge` formula-counter bug: merging the
+    /// workers' stats used to sum their per-worker copies of
+    /// `initial_clauses` and `solve_calls` (N× the truth), relying on the
+    /// aggregator to overwrite afterwards. The counters are now excluded
+    /// from the merge and pinned to the portfolio-level view.
+    #[test]
+    fn portfolio_stats_keep_formula_level_counters() {
+        let mut engine = deterministic(3, Some(4));
+        for c in pigeonhole(4) {
+            engine.add_clause(&c);
+        }
+        let num_clauses = engine.clauses.len() as u64;
+        assert!(engine.solve().is_unsat());
+        assert_eq!(engine.stats().initial_clauses, num_clauses);
+        assert_eq!(engine.stats().solve_calls, 1);
+        assert!(engine.solve().is_unsat());
+        assert_eq!(engine.stats().initial_clauses, num_clauses);
+        assert_eq!(engine.stats().solve_calls, 2);
     }
 
     #[test]

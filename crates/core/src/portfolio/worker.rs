@@ -11,7 +11,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use berkmin_cnf::Lit;
 
@@ -20,8 +20,36 @@ use crate::config::SolverConfig;
 use crate::proof::ProofSink;
 use crate::solver::{SolveStatus, Solver};
 use crate::stats::Stats;
+use crate::telemetry::{SolveEvent, SolveObserver, SolveVerdict};
 
 use super::share::ClausePool;
+
+/// The portfolio's observer as shared by its workers: one mutex serializes
+/// events from all threads, so the observer sees a totally ordered stream.
+pub(crate) type SharedObserver = Arc<Mutex<Box<dyn SolveObserver + Send>>>;
+
+/// Per-worker adapter installed as the worker solver's observer: wraps each
+/// event in [`SolveEvent::Worker`] with the worker's id and forwards it to
+/// the portfolio's shared observer under the mutex.
+struct Forward {
+    worker: usize,
+    shared: SharedObserver,
+}
+
+impl SolveObserver for Forward {
+    fn on_event(&mut self, event: &SolveEvent) {
+        let tagged = SolveEvent::Worker {
+            worker: self.worker,
+            event: Box::new(event.clone()),
+        };
+        self.shared.lock().unwrap().on_event(&tagged);
+    }
+}
+
+/// Emits a portfolio-level (untagged) event into the shared observer.
+pub(crate) fn emit_shared(observer: &SharedObserver, event: &SolveEvent) {
+    observer.lock().unwrap().on_event(event);
+}
 
 /// One buffered proof operation — the `Send`-able form of a worker's DRAT
 /// stream, replayed into the portfolio's real sink if that worker wins.
@@ -66,7 +94,9 @@ pub(crate) struct WorkerResult {
 /// through the solver's `on_terminate` hook, so a raised flag stops the
 /// worker within one terminate-poll interval (~1024 conflicts);
 /// `record_proof` attaches a private [`ProofBuffer`] whose handle is
-/// returned alongside.
+/// returned alongside; `observer` (when given) receives the worker's
+/// telemetry events tagged with its id.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn build_worker(
     id: usize,
     num_vars: usize,
@@ -74,6 +104,7 @@ pub(crate) fn build_worker(
     config: SolverConfig,
     sharing: Option<(u32, Arc<ClausePool>)>,
     cancel: Option<Arc<AtomicBool>>,
+    observer: Option<SharedObserver>,
     record_proof: bool,
 ) -> (Solver, Option<Rc<RefCell<ProofBuffer>>>) {
     debug_assert!(
@@ -92,10 +123,12 @@ pub(crate) fn build_worker(
         builder = builder.share_export(max_lbd, move |lits, lbd| {
             export_pool.publish(id, lits, lbd);
         });
-        let mut cursor = 0u64;
         builder = builder.share_import(move |buf| {
-            pool.collect(id, max_lbd, &mut cursor, buf);
+            pool.collect(id, max_lbd, buf);
         });
+    }
+    if let Some(shared) = observer {
+        builder = builder.on_event(Forward { worker: id, shared });
     }
     let mut tap = None;
     if record_proof {
@@ -118,6 +151,7 @@ pub(crate) fn run_worker(
     config: SolverConfig,
     sharing: Option<(u32, Arc<ClausePool>)>,
     cancel: Arc<AtomicBool>,
+    observer: Option<SharedObserver>,
     record_proof: bool,
 ) -> WorkerResult {
     let (mut solver, tap) = build_worker(
@@ -127,12 +161,25 @@ pub(crate) fn run_worker(
         config,
         sharing,
         Some(cancel),
+        observer.clone(),
         record_proof,
     );
     for &a in assumptions {
         solver.assume(a);
     }
+    if let Some(shared) = &observer {
+        emit_shared(shared, &SolveEvent::WorkerStart { worker: id });
+    }
     let status = solver.solve();
+    if let Some(shared) = &observer {
+        emit_shared(
+            shared,
+            &SolveEvent::WorkerDone {
+                worker: id,
+                verdict: SolveVerdict::from(&status),
+            },
+        );
+    }
     let failed = solver.failed_assumptions().to_vec();
     let stats = solver.stats().clone();
     drop(solver); // releases the solver's clone of the proof tap
@@ -184,6 +231,7 @@ mod tests {
             SolverConfig::portfolio_worker(0).with_budget(Budget::unlimited()),
             None,
             cancel,
+            None,
             false,
         );
         assert_eq!(
@@ -214,6 +262,7 @@ mod tests {
             SolverConfig::portfolio_worker(0).with_budget(Budget::unlimited()),
             None,
             cancel,
+            None,
             false,
         );
         raiser.join().unwrap();

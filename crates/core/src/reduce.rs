@@ -28,6 +28,9 @@ impl Solver {
     pub(crate) fn reduce_db<S: ProofSink>(&mut self, proof: &mut S) {
         debug_assert_eq!(self.decision_level(), 0);
         self.stats.reductions += 1;
+        let observing = self.has_observer();
+        let live_before = self.db.num_live() as u64;
+        let words_before = self.stats.gc_words_reclaimed;
 
         self.simplify_by_level0(proof);
         self.db.compact_stack();
@@ -38,6 +41,13 @@ impl Solver {
         // dropped — analysis never consults level-0 reasons).
         self.collect_garbage(proof);
         debug_assert!(self.assert_invariants("reduce_db"));
+        if observing {
+            self.emit(crate::telemetry::SolveEvent::Reduce {
+                live_before,
+                live_after: self.db.num_live() as u64,
+                words_reclaimed: self.stats.gc_words_reclaimed - words_before,
+            });
+        }
     }
 
     /// Removes clauses satisfied by retained level-0 assignments and strips

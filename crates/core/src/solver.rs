@@ -8,6 +8,7 @@ use crate::heap::VarHeap;
 use crate::proof::{NoProof, ProofSink};
 use crate::rng::XorShift64;
 use crate::stats::Stats;
+use crate::telemetry::{SolveEvent, SolveObserver, SolveVerdict};
 
 /// Why a run stopped without an answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,6 +83,10 @@ pub(crate) struct SolveEvents {
     /// boundary (after §8 database reduction); fetched clauses are
     /// integrated at level 0.
     pub(crate) import: Option<ImportCallback>,
+    /// Structured telemetry observer (see [`crate::telemetry`]): receives
+    /// typed [`SolveEvent`]s. Every emission site checks this `Option`
+    /// once, so an observer-less solver pays nothing.
+    pub(crate) observer: Option<Box<dyn SolveObserver>>,
 }
 
 impl std::fmt::Debug for SolveEvents {
@@ -91,6 +96,7 @@ impl std::fmt::Debug for SolveEvents {
             .field("on_learnt", &self.on_learnt.as_ref().map(|(cap, _)| *cap))
             .field("export", &self.export.as_ref().map(|(cap, _)| *cap))
             .field("import", &self.import.is_some())
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -275,12 +281,15 @@ impl std::fmt::Debug for Solver {
 /// huge fixed interval) would otherwise never hand control back.
 const TERMINATE_POLL_CONFLICTS: u64 = 1024;
 
-/// Per-solve-call baseline of the budgeted counters.
+/// Per-solve-call baseline of the budgeted counters (plus restarts, which
+/// are not budgeted but are reported as a per-call delta in
+/// [`SolveEvent::SolveDone`]).
 #[derive(Debug, Clone, Copy, Default)]
 struct BudgetBase {
     conflicts: u64,
     decisions: u64,
     propagations: u64,
+    restarts: u64,
 }
 
 impl Solver {
@@ -809,11 +818,39 @@ impl Solver {
         self.solve_session(proof)
     }
 
-    /// One solve session: consumes the pending assumptions and runs the
-    /// CDCL loop, reporting to `proof`. The single implementation behind
-    /// [`Solver::solve`] and the deprecated wrappers.
+    /// One solve session: consumes the pending assumptions, emits the
+    /// [`SolveEvent::SolveStart`]/[`SolveEvent::SolveDone`] bracket, and
+    /// runs the CDCL loop ([`Solver::search`]), reporting to `proof`. The
+    /// single implementation behind [`Solver::solve`] and the deprecated
+    /// wrappers.
     fn solve_session(&mut self, proof: &mut dyn ProofSink) -> SolveStatus {
         self.begin_solve();
+        if self.events.observer.is_some() {
+            let event = SolveEvent::SolveStart {
+                call: self.stats.solve_calls,
+                num_vars: self.num_vars,
+                num_clauses: self.db.num_live(),
+                assumptions: self.assumptions.len(),
+            };
+            self.emit(event);
+        }
+        let status = self.search(proof);
+        if self.events.observer.is_some() {
+            let event = SolveEvent::SolveDone {
+                verdict: SolveVerdict::from(&status),
+                conflicts: self.stats.conflicts - self.budget_base.conflicts,
+                decisions: self.stats.decisions - self.budget_base.decisions,
+                propagations: self.stats.propagations - self.budget_base.propagations,
+                restarts: self.stats.restarts - self.budget_base.restarts,
+            };
+            self.emit(event);
+        }
+        status
+    }
+
+    /// The CDCL search proper: entry checks, import poll, then the
+    /// propagate/analyze/decide loop until an answer or a stop.
+    fn search(&mut self, proof: &mut dyn ProofSink) -> SolveStatus {
         if self.should_terminate() {
             return SolveStatus::Unknown(StopReason::Callback);
         }
@@ -850,16 +887,39 @@ impl Solver {
                 // Share export: short clauses are always worth the wire,
                 // longer ones only when their glue is low (paper-era
                 // portfolio practice; the LBD cap is the one knob).
+                let mut exported = false;
                 if let Some((max_lbd, callback)) = &mut self.events.export {
                     if learnt.len() <= 2 || lbd <= *max_lbd {
                         self.stats.clauses_exported += 1;
                         callback(&learnt, lbd);
+                        exported = true;
                     }
+                }
+                if exported && self.events.observer.is_some() {
+                    let event = SolveEvent::ShareExport {
+                        len: learnt.len(),
+                        lbd,
+                    };
+                    self.emit(event);
                 }
                 self.cancel_until(bt_level);
                 self.record_learnt(learnt);
                 self.on_conflict_maintenance();
                 self.paranoid_audit("after conflict handling");
+                if self.events.observer.is_some() {
+                    let per_call = self.spent(self.stats.conflicts, self.budget_base.conflicts);
+                    if self.config.progress_every > 0 && per_call % self.config.progress_every == 0
+                    {
+                        let event = SolveEvent::Progress {
+                            conflicts: self.stats.conflicts,
+                            trail: self.trail.len(),
+                            heap: self.heap.len(),
+                            learnt: self.db.num_learnt(),
+                            avg_lbd: self.stats.avg_lbd(),
+                        };
+                        self.emit(event);
+                    }
+                }
                 // Restart boundaries alone can starve the terminate
                 // callback (RestartPolicy::Never, FixedInterval(u64::MAX),
                 // or a huge Luby leg), so it is also polled on a fixed
@@ -977,6 +1037,7 @@ impl Solver {
             conflicts: self.stats.conflicts,
             decisions: self.stats.decisions,
             propagations: self.stats.propagations,
+            restarts: self.stats.restarts,
         };
         self.stats.solve_calls += 1;
         debug_assert!(
@@ -991,6 +1052,33 @@ impl Solver {
             self.emitted_empty = true;
         }
         SolveStatus::Unsat
+    }
+
+    /// Delivers `event` to the observer, if one is attached. Emission
+    /// sites that would *construct* a non-trivial event first check
+    /// `self.events.observer.is_some()` so an observer-less solver pays
+    /// only that one branch.
+    #[inline]
+    pub(crate) fn emit(&mut self, event: SolveEvent) {
+        if let Some(observer) = &mut self.events.observer {
+            observer.on_event(&event);
+        }
+    }
+
+    /// Whether a telemetry observer is attached (the emission-site gate
+    /// for code outside this module).
+    #[inline]
+    pub(crate) fn has_observer(&self) -> bool {
+        self.events.observer.is_some()
+    }
+
+    /// Installs (or clears) the structured telemetry observer — the typed
+    /// counterpart of the `c`-line progress output. See
+    /// [`crate::telemetry`] for the event vocabulary and ordering
+    /// guarantees. Usually installed at construction time via
+    /// [`SolverBuilder::on_event`](crate::SolverBuilder::on_event).
+    pub fn set_observer(&mut self, observer: Option<Box<dyn SolveObserver>>) {
+        self.events.observer = observer;
     }
 
     /// Polls the terminate callback, if any.
@@ -1131,6 +1219,13 @@ impl Solver {
         self.stats.restarts += 1;
         self.conflicts_since_restart = 0;
         self.cancel_until(0);
+        if self.events.observer.is_some() {
+            let event = SolveEvent::Restart {
+                restarts: self.stats.restarts,
+                conflicts: self.stats.conflicts,
+            };
+            self.emit(event);
+        }
         self.reduce_db(&mut proof);
         self.import_shared_clauses();
     }
@@ -1154,6 +1249,7 @@ impl Solver {
             return;
         }
         debug_assert_eq!(self.decision_level(), 0);
+        let imported_before = self.stats.clauses_imported;
         let mut buf = std::mem::take(&mut self.import_buf);
         buf.clear();
         if let Some(source) = &mut self.events.import {
@@ -1190,6 +1286,10 @@ impl Solver {
         }
         buf.clear();
         self.import_buf = buf;
+        let imported = self.stats.clauses_imported - imported_before;
+        if imported > 0 && self.events.observer.is_some() {
+            self.emit(SolveEvent::ShareImport { count: imported });
+        }
     }
 
     /// Bumps `var_activity(v)` by 1 (paper §4) and fixes up the heap index.

@@ -74,6 +74,16 @@ pub struct Stats {
     /// boundaries (after the per-importer filter and level-0 simplification
     /// dropped the rest).
     pub clauses_imported: u64,
+    /// Entries the portfolio's bounded share pool evicted past its
+    /// capacity (each eviction is a shared clause some consumer may never
+    /// see — best-effort sharing, never a soundness issue).
+    pub pool_evicted: u64,
+    /// Pool entries that were evicted before some consumer's cursor
+    /// reached them, summed over consumers — an upper bound on the import
+    /// candidates slow consumers lost to eviction (own publications and
+    /// clauses the LBD filter would have dropped are included; their fate
+    /// is unknowable once evicted).
+    pub pool_missed: u64,
 }
 
 impl Stats {
@@ -136,10 +146,13 @@ impl Stats {
     ///
     /// Additive counters are summed, peak counters (`max_live_clauses`,
     /// `lbd_max`) take the maximum, the skin-effect histogram is merged
-    /// element-wise, and `other`'s decision log is appended. Note that
-    /// summed counters like `initial_clauses` and `solve_calls` then count
-    /// *per-worker* events; an aggregator that wants formula-level numbers
-    /// overwrites them after merging (the portfolio engine does).
+    /// element-wise, and `other`'s decision log is appended.
+    ///
+    /// The *formula-level* counters `initial_clauses` and `solve_calls`
+    /// are **not** merged: every worker sees a copy of the same formula
+    /// and runs its own solve calls, so summing them would count the
+    /// formula once per worker. An aggregator keeps (or sets) its own
+    /// values for those two fields.
     pub fn merge(&mut self, other: &Stats) {
         self.decisions += other.decisions;
         self.conflicts += other.conflicts;
@@ -153,7 +166,6 @@ impl Stats {
         self.gc_runs += other.gc_runs;
         self.gc_words_reclaimed += other.gc_words_reclaimed;
         self.max_live_clauses = self.max_live_clauses.max(other.max_live_clauses);
-        self.initial_clauses += other.initial_clauses;
         self.decisions_from_top_clause += other.decisions_from_top_clause;
         self.decisions_from_free_var += other.decisions_from_free_var;
         if self.top_distance_hist.len() < other.top_distance_hist.len() {
@@ -169,12 +181,13 @@ impl Stats {
         }
         self.decision_log.extend_from_slice(&other.decision_log);
         self.responsible_clauses += other.responsible_clauses;
-        self.solve_calls += other.solve_calls;
         self.assumption_conflicts += other.assumption_conflicts;
         self.lbd_sum += other.lbd_sum;
         self.lbd_max = self.lbd_max.max(other.lbd_max);
         self.clauses_exported += other.clauses_exported;
         self.clauses_imported += other.clauses_imported;
+        self.pool_evicted += other.pool_evicted;
+        self.pool_missed += other.pool_missed;
     }
 }
 
@@ -235,6 +248,28 @@ mod tests {
         assert_eq!(a.clauses_imported, 3);
         assert_eq!(a.top_distance_hist, vec![2, 2, 4]);
         assert!((a.avg_lbd() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_leaves_formula_level_counters_alone() {
+        // Two workers on the same 100-clause formula, one solve call each:
+        // the aggregate must NOT double-count the formula or the calls.
+        let mut a = Stats {
+            initial_clauses: 100,
+            solve_calls: 1,
+            conflicts: 10,
+            ..Stats::new()
+        };
+        let b = Stats {
+            initial_clauses: 100,
+            solve_calls: 1,
+            conflicts: 20,
+            ..Stats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.initial_clauses, 100);
+        assert_eq!(a.solve_calls, 1);
+        assert_eq!(a.conflicts, 30);
     }
 
     #[test]

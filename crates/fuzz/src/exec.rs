@@ -5,8 +5,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use berkmin::{
-    ActivityIndex, Budget, PortfolioConfig, PortfolioEngine, RestartPolicy, SatEngine, SolveStatus,
-    Solver, SolverBuilder, SolverConfig,
+    ActivityIndex, Budget, PortfolioConfig, PortfolioEngine, RestartPolicy, SatEngine, SolveEvent,
+    SolveStatus, Solver, SolverBuilder, SolverConfig,
 };
 use berkmin_cnf::{Cnf, Lit};
 use berkmin_drat::{check_refutation, DratProof};
@@ -40,23 +40,103 @@ fn verdict(status: &SolveStatus) -> Verdict {
     }
 }
 
-/// One engine under test plus its accumulated proof.
+/// Lifetime totals accumulated from the observer event stream, checked
+/// against the engine's own [`berkmin::Stats`] after every solve. Any
+/// divergence means an emission site was skipped or double-fired.
+#[derive(Debug, Default)]
+struct EventTally {
+    solve_starts: u64,
+    solve_dones: u64,
+    restarts: u64,
+    reductions: u64,
+    /// Sum of the per-call `SolveDone` conflict deltas.
+    conflicts: u64,
+    /// Sum of the per-call `SolveDone` decision deltas.
+    decisions: u64,
+    /// Sum of the per-call `SolveDone` restart deltas.
+    restart_deltas: u64,
+}
+
+impl EventTally {
+    fn record(&mut self, event: &SolveEvent) {
+        match event {
+            SolveEvent::SolveStart { .. } => self.solve_starts += 1,
+            SolveEvent::SolveDone {
+                conflicts,
+                decisions,
+                restarts,
+                ..
+            } => {
+                self.solve_dones += 1;
+                self.conflicts += conflicts;
+                self.decisions += decisions;
+                self.restart_deltas += restarts;
+            }
+            SolveEvent::Restart { .. } => self.restarts += 1,
+            SolveEvent::Reduce { .. } => self.reductions += 1,
+            _ => {}
+        }
+    }
+
+    /// Checks the tallied stream against the engine's lifetime counters.
+    fn check(&self, name: &'static str, at: usize, stats: &berkmin::Stats) -> Result<(), String> {
+        let fail = |what: &str, event: u64, stat: u64| {
+            Err(format!(
+                "[{name} op {at}] event stream disagrees with stats: \
+                 {what} tallied {event}, stats say {stat}"
+            ))
+        };
+        if self.solve_starts != stats.solve_calls {
+            return fail("SolveStart", self.solve_starts, stats.solve_calls);
+        }
+        if self.solve_dones != stats.solve_calls {
+            return fail("SolveDone", self.solve_dones, stats.solve_calls);
+        }
+        if self.restarts != stats.restarts {
+            return fail("Restart", self.restarts, stats.restarts);
+        }
+        if self.restart_deltas != stats.restarts {
+            return fail(
+                "SolveDone restart deltas",
+                self.restart_deltas,
+                stats.restarts,
+            );
+        }
+        if self.reductions != stats.reductions {
+            return fail("Reduce", self.reductions, stats.reductions);
+        }
+        if self.conflicts != stats.conflicts {
+            return fail("SolveDone conflict deltas", self.conflicts, stats.conflicts);
+        }
+        if self.decisions != stats.decisions {
+            return fail("SolveDone decision deltas", self.decisions, stats.decisions);
+        }
+        Ok(())
+    }
+}
+
+/// One engine under test plus its accumulated proof and event tally.
 struct Arm {
     name: &'static str,
     solver: Solver,
     proof: Rc<RefCell<DratProof>>,
+    events: Rc<RefCell<EventTally>>,
 }
 
 impl Arm {
     fn new(name: &'static str, config: SolverConfig) -> Arm {
         let proof = Rc::new(RefCell::new(DratProof::new()));
+        let events = Rc::new(RefCell::new(EventTally::default()));
+        let tap = Rc::clone(&events);
         let solver = SolverBuilder::with_config(config.with_paranoid(true))
             .proof(Rc::clone(&proof))
+            .on_event(move |e: &SolveEvent| tap.borrow_mut().record(e))
             .build();
         Arm {
             name,
             solver,
             proof,
+            events,
         }
     }
 }
@@ -157,6 +237,9 @@ pub fn run_case(case: &Case) -> Result<CaseReport, String> {
                     arm.solver.audit_invariants().map_err(|e| {
                         format!("[{} op {at}] post-solve audit failed: {e}", arm.name)
                     })?;
+                    arm.events
+                        .borrow()
+                        .check(arm.name, at, arm.solver.stats())?;
                     verdicts.push(verdict(&status));
                 }
                 let status = portfolio.solve();

@@ -35,6 +35,15 @@
 //!   --check-proof          verify the proof with the built-in RUP checker
 //!   --paranoid             audit solver invariants at every quiescent
 //!                          point of the search (slow; panics on violation)
+//!   --stats-json FILE      write a machine-readable run summary to FILE
+//!                          (verdict, seconds, full stats block; per-worker
+//!                          reports for the portfolio) — the emitted JSON is
+//!                          parsed back and cross-checked before the process
+//!                          exits, so a malformed or lossy file is an
+//!                          internal error, never a silent one
+//!   -v, --verbose          MiniSat-style progress table (one row per
+//!                          progress tick; restarts/reductions annotated;
+//!                          worker-tagged rows for the portfolio)
 //!   --no-model             suppress the 'v' model lines
 //!   --quiet                suppress statistics
 //!
@@ -43,19 +52,29 @@
 //!   --max-depth D          deepest cycle to try (default 2^bits - 1)
 //!   --scratch              re-solve every depth from scratch instead of
 //!                          reusing one incremental engine (for comparison)
+//!   --stats-json FILE      as above, plus a per-depth "depths" array; in
+//!                          --scratch mode the stats block carries the
+//!                          total conflict count only (no warm engine
+//!                          exists to snapshot)
+//!   -v, --verbose          as above (incremental mode only)
 //! ```
 //!
-//! Exit codes: 10 = SAT, 20 = UNSAT, 0 = unknown (budget), 2 = usage or
-//! input error, 3 = internal error.
+//! Exit codes follow the SAT-competition convention: **10** = SAT,
+//! **20** = UNSAT, **0** = unknown (budget or termination), **2** = usage
+//! or input error, **3** = internal error (model/proof/stats
+//! self-verification failure). The summary lines (`c time …`, warm-engine
+//! and worker reports) print on *every* outcome, including unknown — a
+//! budget-stopped run still reports where its time went.
 
 use std::cell::RefCell;
 use std::fs;
 use std::process::ExitCode;
 use std::rc::Rc;
 
+use berkmin::telemetry::json::Value as JsonValue;
 use berkmin::{
-    Budget, PortfolioConfig, PortfolioEngine, SatEngine, SolveStatus, SolverBuilder, SolverConfig,
-    WorkerOutcome,
+    Budget, PortfolioConfig, PortfolioEngine, SatEngine, SolveEvent, SolveStatus, SolveVerdict,
+    SolverBuilder, SolverConfig, Stats, StatsSnapshot, WorkerOutcome,
 };
 use berkmin_circuit::arith::enabled_counter;
 use berkmin_circuit::bmc::{scratch_first_reaching_depth, BmcDriver, BmcOutcome};
@@ -73,9 +92,11 @@ fn usage() -> ! {
     die(
         "usage: berkmin-cli [--engine NAME] [--threads N] [--share-lbd K] [--no-share] \
          [--deterministic] [--max-conflicts N] [--seed N] \
-         [--proof FILE] [--check-proof] [--paranoid] [--no-model] [--quiet] [FILE]\n\
+         [--proof FILE] [--check-proof] [--paranoid] [--stats-json FILE] [--verbose] \
+         [--no-model] [--quiet] [FILE]\n\
          \x20      berkmin-cli bmc [--bits N] [--max-depth D] [--engine NAME] \
-         [--max-conflicts N] [--seed N] [--scratch] [--paranoid] [--quiet]",
+         [--max-conflicts N] [--seed N] [--scratch] [--paranoid] \
+         [--stats-json FILE] [--verbose] [--quiet]",
     );
 }
 
@@ -111,6 +132,8 @@ struct Options {
     share_lbd: u32,
     no_share: bool,
     deterministic: bool,
+    stats_json: Option<String>,
+    verbose: bool,
 }
 
 fn parse_args() -> Options {
@@ -126,6 +149,8 @@ fn parse_args() -> Options {
         share_lbd: 4,
         no_share: false,
         deterministic: false,
+        stats_json: None,
+        verbose: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -172,6 +197,8 @@ fn parse_args() -> Options {
             "--proof" => opts.proof_path = Some(args.next().unwrap_or_else(|| usage())),
             "--check-proof" => opts.check_proof = true,
             "--paranoid" => opts.config.paranoid = true,
+            "--stats-json" => opts.stats_json = Some(args.next().unwrap_or_else(|| usage())),
+            "-v" | "--verbose" => opts.verbose = true,
             "--no-model" => opts.print_model = false,
             "--quiet" => opts.quiet = true,
             "--help" | "-h" => usage(),
@@ -231,14 +258,16 @@ impl EngineHolder {
     }
 }
 
-/// Formats the per-worker portfolio summary: winner id, then each worker's
-/// outcome, conflict spend and sharing traffic.
+/// Formats the per-worker portfolio summary: winner id, pool eviction
+/// pressure, then each worker's outcome, conflict spend, sharing traffic
+/// and how many shared clauses it missed to capacity eviction.
 fn workers_line(portfolio: &PortfolioEngine) -> String {
     let mut line = format!("c workers {}", portfolio.reports().len());
     match portfolio.winner() {
         Some(w) => line.push_str(&format!(" winner {w}")),
         None => line.push_str(" winner none"),
     }
+    line.push_str(&format!(" evicted {}", portfolio.stats().pool_evicted));
     for r in portfolio.reports() {
         let outcome = match r.outcome {
             WorkerOutcome::Sat => "sat",
@@ -246,11 +275,125 @@ fn workers_line(portfolio: &PortfolioEngine) -> String {
             WorkerOutcome::Stopped(_) => "stopped",
         };
         line.push_str(&format!(
-            "  w{} {outcome} conflicts {} exported {} imported {}",
-            r.id, r.conflicts, r.exported, r.imported
+            "  w{} {outcome} conflicts {} exported {} imported {} missed {}",
+            r.id, r.conflicts, r.exported, r.imported, r.missed
         ));
     }
     line
+}
+
+/// The worker name shown in a `-v` table row: blank for the single engine,
+/// `wN` under the portfolio.
+fn worker_tag(worker: Option<usize>) -> String {
+    worker.map(|w| format!("w{w}")).unwrap_or_default()
+}
+
+/// The `-v/--verbose` observer: a MiniSat-style progress table, one row
+/// per progress tick, with restart/reduction annotations. Portfolio
+/// worker events arrive tagged and print under their `wN` label.
+fn verbose_observer() -> impl FnMut(&SolveEvent) + Send + 'static {
+    let mut header_printed = false;
+    move |event: &SolveEvent| {
+        let (worker, inner) = match event {
+            SolveEvent::Worker { worker, event } => (Some(*worker), &**event),
+            other => (None, other),
+        };
+        match inner {
+            SolveEvent::Progress {
+                conflicts,
+                trail,
+                heap,
+                learnt,
+                avg_lbd,
+            } => {
+                if !header_printed {
+                    println!("c | who |  conflicts |  trail |   heap | learnt | avg lbd |");
+                    header_printed = true;
+                }
+                println!(
+                    "c | {:>3} | {conflicts:>10} | {trail:>6} | {heap:>6} | {learnt:>6} | {avg_lbd:>7.2} |",
+                    worker_tag(worker)
+                );
+            }
+            SolveEvent::Restart {
+                restarts,
+                conflicts,
+            } => println!(
+                "c {:>3} restart {restarts} at conflict {conflicts}",
+                worker_tag(worker)
+            ),
+            SolveEvent::Reduce {
+                live_before,
+                live_after,
+                words_reclaimed,
+            } => println!(
+                "c {:>3} reduce {live_before} -> {live_after} clauses \
+                 ({words_reclaimed} words reclaimed)",
+                worker_tag(worker)
+            ),
+            SolveEvent::WorkerDone { worker, verdict } => {
+                println!("c w{worker} done: {verdict}");
+            }
+            SolveEvent::PoolEvicted { evicted } => {
+                println!("c share pool evicted {evicted} clauses (capacity pressure)");
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Writes the machine-readable run summary to `path` and self-validates
+/// it: the emitted document is parsed back and its verdict and stats block
+/// must reproduce the engine's exactly. `extra` carries additional
+/// top-level sections (worker reports, BMC depths) that parsers of the
+/// core schema may ignore.
+fn write_stats_json(
+    path: &str,
+    verdict: SolveVerdict,
+    seconds: f64,
+    stats: &Stats,
+    extra: Vec<(String, JsonValue)>,
+) -> Result<(), String> {
+    let snapshot = StatsSnapshot::new(verdict, seconds, stats);
+    let mut value = snapshot.to_json();
+    if let JsonValue::Object(fields) = &mut value {
+        fields.extend(extra);
+    }
+    let text = value.render();
+    let parsed =
+        StatsSnapshot::parse(&text).map_err(|e| format!("stats JSON failed to parse back: {e}"))?;
+    if parsed.verdict != verdict || parsed.stats != *stats {
+        return Err("stats JSON round-trip mismatch".to_string());
+    }
+    fs::write(path, &text).map_err(|e| format!("cannot write stats to {path}: {e}"))
+}
+
+/// The portfolio's per-worker reports as a JSON array (the `"workers"`
+/// section of `--stats-json`).
+fn workers_json(portfolio: &PortfolioEngine) -> JsonValue {
+    JsonValue::Array(
+        portfolio
+            .reports()
+            .iter()
+            .map(|r| {
+                let outcome = match r.outcome {
+                    WorkerOutcome::Sat => "sat",
+                    WorkerOutcome::Unsat => "unsat",
+                    WorkerOutcome::Stopped(_) => "stopped",
+                };
+                JsonValue::Object(vec![
+                    ("id".to_string(), JsonValue::Int(r.id as u64)),
+                    ("outcome".to_string(), JsonValue::Str(outcome.to_string())),
+                    ("winner".to_string(), JsonValue::Bool(r.winner)),
+                    ("conflicts".to_string(), JsonValue::Int(r.conflicts)),
+                    ("decisions".to_string(), JsonValue::Int(r.decisions)),
+                    ("exported".to_string(), JsonValue::Int(r.exported)),
+                    ("imported".to_string(), JsonValue::Int(r.imported)),
+                    ("missed".to_string(), JsonValue::Int(r.missed)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Streams the DIMACS input (file or stdin) into `sink` without buffering
@@ -330,6 +473,8 @@ struct BmcOptions {
     config: SolverConfig,
     scratch: bool,
     quiet: bool,
+    stats_json: Option<String>,
+    verbose: bool,
 }
 
 fn parse_bmc_args(argv: &[String]) -> BmcOptions {
@@ -339,6 +484,8 @@ fn parse_bmc_args(argv: &[String]) -> BmcOptions {
         config: SolverConfig::berkmin(),
         scratch: false,
         quiet: false,
+        stats_json: None,
+        verbose: false,
     };
     let mut args = argv.iter();
     while let Some(arg) = args.next() {
@@ -377,6 +524,10 @@ fn parse_bmc_args(argv: &[String]) -> BmcOptions {
             }
             "--scratch" => opts.scratch = true,
             "--paranoid" => opts.config.paranoid = true,
+            "--stats-json" => {
+                opts.stats_json = Some(args.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "-v" | "--verbose" => opts.verbose = true,
             "--quiet" => opts.quiet = true,
             _ => usage(),
         }
@@ -410,14 +561,23 @@ fn run_bmc(argv: &[String]) -> ExitCode {
     let start = std::time::Instant::now();
     let mut total_conflicts = 0u64;
     let mut outcome: Option<usize> = None;
+    // An aborted sweep (budget/termination) records where it stopped; the
+    // summary lines below print on this path too — an unknown verdict must
+    // never swallow the run's accounting.
+    let mut aborted: Option<(usize, String)> = None;
+    // Per-depth record for --stats-json: (depth, result, conflicts so far).
+    let mut depths: Vec<(usize, &'static str, u64)> = Vec::new();
+    let mut final_stats = Stats::default();
     if opts.scratch {
         let quiet = opts.quiet;
+        let depths = &mut depths;
         let (result, conflicts) = scratch_first_reaching_depth(
             &netlist,
             &pattern,
             max_depth,
             &opts.config,
             |t, status, so_far| {
+                depths.push((t, describe(status), so_far));
                 if !quiet {
                     println!(
                         "c depth {t}: {} (conflicts so far {so_far})",
@@ -430,20 +590,23 @@ fn run_bmc(argv: &[String]) -> ExitCode {
         match result {
             BmcOutcome::Reached { depth, .. } => outcome = Some(depth),
             BmcOutcome::Exhausted => {}
-            BmcOutcome::Aborted { depth, reason } => {
-                println!("s UNKNOWN");
-                println!("c stopped at depth {depth}: {reason}");
-                return ExitCode::SUCCESS;
-            }
+            BmcOutcome::Aborted { depth, reason } => aborted = Some((depth, reason.to_string())),
         }
+        // Scratch mode has no single engine to snapshot; the stats block
+        // carries the summed conflict count only.
+        final_stats.conflicts = total_conflicts;
     } else {
         // The incremental sweep runs entirely behind the trait object: the
         // `--engine` preset only decides what the builder assembles.
-        let engine = SolverBuilder::with_config(opts.config.clone()).build_engine();
+        let mut engine = SolverBuilder::with_config(opts.config.clone()).build_engine();
+        if opts.verbose {
+            engine.set_observer(Some(Box::new(verbose_observer())));
+        }
         let mut driver = BmcDriver::with_engine(netlist, engine);
         for t in 0..=max_depth {
             let status = driver.check_outputs_at(t, &pattern);
             total_conflicts = driver.engine().stats().conflicts;
+            depths.push((t, describe(&status), total_conflicts));
             if !opts.quiet {
                 println!(
                     "c depth {t}: {} (conflicts so far {total_conflicts})",
@@ -457,9 +620,8 @@ fn run_bmc(argv: &[String]) -> ExitCode {
                 }
                 SolveStatus::Unsat => {}
                 SolveStatus::Unknown(reason) => {
-                    println!("s UNKNOWN");
-                    println!("c stopped at depth {t}: {reason}");
-                    return ExitCode::SUCCESS;
+                    aborted = Some((t, reason.to_string()));
+                    break;
                 }
             }
         }
@@ -470,6 +632,7 @@ fn run_bmc(argv: &[String]) -> ExitCode {
                 s.solve_calls, s.learnt_total, s.deleted_clauses
             );
         }
+        final_stats = s.clone();
     }
 
     if !opts.quiet {
@@ -478,13 +641,52 @@ fn run_bmc(argv: &[String]) -> ExitCode {
             start.elapsed().as_secs_f64()
         );
     }
-    match outcome {
-        Some(depth) => {
+
+    let verdict = if outcome.is_some() {
+        SolveVerdict::Sat
+    } else if aborted.is_some() {
+        SolveVerdict::Unknown
+    } else {
+        SolveVerdict::Unsat
+    };
+    if let Some(path) = &opts.stats_json {
+        let depths_json = JsonValue::Array(
+            depths
+                .iter()
+                .map(|&(depth, result, conflicts)| {
+                    JsonValue::Object(vec![
+                        ("depth".to_string(), JsonValue::Int(depth as u64)),
+                        ("result".to_string(), JsonValue::Str(result.to_string())),
+                        ("conflicts".to_string(), JsonValue::Int(conflicts)),
+                    ])
+                })
+                .collect(),
+        );
+        let extra = vec![("depths".to_string(), depths_json)];
+        if let Err(e) = write_stats_json(
+            path,
+            verdict,
+            start.elapsed().as_secs_f64(),
+            &final_stats,
+            extra,
+        ) {
+            eprintln!("internal error: {e}");
+            return ExitCode::from(3);
+        }
+    }
+
+    match (outcome, aborted) {
+        (Some(depth), _) => {
             println!("s SATISFIABLE");
             println!("c all-ones first reachable at depth {depth}");
             ExitCode::from(10)
         }
-        None => {
+        (None, Some((depth, reason))) => {
+            println!("s UNKNOWN");
+            println!("c stopped at depth {depth}: {reason}");
+            ExitCode::SUCCESS
+        }
+        (None, None) => {
             println!("s UNSATISFIABLE");
             println!("c all-ones unreachable within depth {max_depth}");
             ExitCode::from(20)
@@ -538,6 +740,11 @@ fn main() -> ExitCode {
         }
         EngineHolder::Single(builder.build_engine())
     };
+    if opts.verbose {
+        holder
+            .as_engine()
+            .set_observer(Some(Box::new(verbose_observer())));
+    }
 
     // Stream the input straight into the engine. A mirror Cnf is retained
     // only for --check-proof, whose RUP checker needs the original formula.
@@ -582,6 +789,23 @@ fn main() -> ExitCode {
         );
         if let EngineHolder::Portfolio(p) = &holder {
             println!("{}", workers_line(p));
+        }
+    }
+
+    if let Some(path) = &opts.stats_json {
+        let mut extra = Vec::new();
+        if let EngineHolder::Portfolio(p) = &holder {
+            extra.push(("workers".to_string(), workers_json(p)));
+        }
+        if let Err(e) = write_stats_json(
+            path,
+            SolveVerdict::from(&status),
+            elapsed.as_secs_f64(),
+            holder.stats(),
+            extra,
+        ) {
+            eprintln!("internal error: {e}");
+            return ExitCode::from(3);
         }
     }
 

@@ -94,6 +94,28 @@ fn ci_keeps_the_portfolio_steps() {
 }
 
 #[test]
+fn ci_keeps_the_telemetry_smoke_step() {
+    // The observability layer's end-to-end check: solve a generated
+    // instance with --stats-json and -v, parse the emitted JSON back and
+    // require the key counters non-zero — for the single engine and the
+    // deterministic portfolio. Without this step a silently empty or
+    // malformed stats file would ship unnoticed.
+    let ci = ci_config();
+    for required in [
+        "-v --stats-json stats.json",
+        "--deterministic \\\n            --stats-json pstats.json",
+        r#"assert s["stats"]["conflicts"] > 0"#,
+        r#"assert len(s["workers"]) == 2"#,
+    ] {
+        assert!(
+            ci.contains(required),
+            "CI workflow dropped `{required}` from the telemetry smoke step; \
+             the --stats-json/-v surface would rot silently"
+        );
+    }
+}
+
+#[test]
 fn ci_keeps_the_fuzz_smoke_step() {
     // The differential fuzz harness is the integrity layer's teeth: a
     // bounded fixed-seed sweep in which every SAT model, UNSAT core and
