@@ -100,6 +100,7 @@ impl Solver {
         self.audit_stack(&live, &mut out);
         self.audit_watches(&live, &mut out);
         self.audit_trail(&live, &mut out);
+        self.audit_eliminated(&live, &mut out);
         if self.config.activity_index == ActivityIndex::Heap {
             self.audit_heap(&mut out);
         }
@@ -369,12 +370,66 @@ impl Solver {
     }
 
     /// Decision-heap membership and structure ([`ActivityIndex::Heap`]).
+    /// Eliminated variables are exempt: the simplifier purges them from the
+    /// heap and they must never be branched on again.
     fn audit_heap(&self, out: &mut Vec<String>) {
         self.heap.audit(&self.var_activity, out);
         for v in 0..self.num_vars {
-            if self.assigns[v].is_undef() && !self.heap.contains(Var::new(v as u32)) {
+            if self.assigns[v].is_undef()
+                && !self.eliminated[v]
+                && !self.heap.contains(Var::new(v as u32))
+            {
                 out.push(format!(
                     "heap: unassigned var {v} has fallen out of the decision heap"
+                ));
+            }
+        }
+    }
+
+    /// Variables dissolved by the preprocessor must have vanished from the
+    /// search entirely: no live clause, watcher, trail entry, assignment or
+    /// heap slot may mention them (their values exist only on the
+    /// reconstruction stack).
+    fn audit_eliminated(&self, live: &HashSet<ClauseRef>, out: &mut Vec<String>) {
+        if !self.eliminated.iter().any(|&e| e) {
+            return;
+        }
+        for v in 0..self.num_vars {
+            if !self.eliminated[v] {
+                continue;
+            }
+            if !self.assigns[v].is_undef() {
+                out.push(format!("eliminated: var {v} is assigned"));
+            }
+            if self.frozen[v] {
+                out.push(format!("eliminated: var {v} is also frozen"));
+            }
+            if self.heap.contains(Var::new(v as u32)) {
+                out.push(format!("eliminated: var {v} still in the decision heap"));
+            }
+            for l in [Lit::pos(Var::new(v as u32)), !Lit::pos(Var::new(v as u32))] {
+                let code = l.code();
+                if !self.watches[code].is_empty() || !self.bin_watches[code].is_empty() {
+                    out.push(format!("eliminated: var {v} still has watchers"));
+                    break;
+                }
+            }
+        }
+        for &l in &self.trail {
+            if self.eliminated[l.var().index()] {
+                out.push(format!("eliminated: var {:?} on the trail", l.var()));
+            }
+        }
+        for &cref in live {
+            if let Some(l) = self
+                .db
+                .lits(cref)
+                .iter()
+                .find(|l| self.eliminated[l.var().index()])
+            {
+                out.push(format!(
+                    "eliminated: live clause {cref:?} mentions eliminated var {:?}",
+                    l.var()
                 ));
             }
         }
@@ -392,7 +447,12 @@ mod tests {
     }
 
     fn solved_solver() -> Solver {
-        let mut s = Solver::with_config(SolverConfig::berkmin());
+        // Simplification off: these tests corrupt watch/trail state by hand
+        // and need the exact clauses (the ternary one in particular) to
+        // survive to the arena untouched.
+        let mut cfg = SolverConfig::berkmin();
+        cfg.simplify = crate::config::SimplifyConfig::off();
+        let mut s = Solver::with_config(cfg);
         s.add_clause([lit(1), lit(2), lit(3)]);
         s.add_clause([lit(-1), lit(2)]);
         s.add_clause([lit(-2), lit(3)]);

@@ -8,7 +8,7 @@
 //! `build_engine()` yields it as a `Box<dyn SatEngine>` for drivers that
 //! are generic over engines.
 
-use berkmin_cnf::{ClauseSink, Cnf, Lit};
+use berkmin_cnf::{ClauseSink, Cnf, Lit, Var};
 
 use crate::config::SolverConfig;
 use crate::engine::SatEngine;
@@ -61,6 +61,7 @@ pub struct SolverBuilder {
     proof: Option<Box<dyn ProofSink>>,
     reserve_vars: usize,
     clauses: Vec<Vec<Lit>>,
+    frozen: Vec<Var>,
     terminate: Option<TerminateCallback>,
     on_learnt: Option<(usize, LearntCallback)>,
     export: Option<(u32, ExportCallback)>,
@@ -88,6 +89,7 @@ impl SolverBuilder {
             proof: None,
             reserve_vars: 0,
             clauses: Vec::new(),
+            frozen: Vec::new(),
             terminate: None,
             on_learnt: None,
             export: None,
@@ -120,6 +122,17 @@ impl SolverBuilder {
     /// Appends one initial clause.
     pub fn clause(mut self, lits: impl IntoIterator<Item = Lit>) -> Self {
         self.clauses.push(lits.into_iter().collect());
+        self
+    }
+
+    /// Marks `var` as frozen: the preprocessor will never eliminate it, so
+    /// it stays safe to mention in clauses added after a solve call or in
+    /// assumptions ([`Solver::freeze`] has the full contract). Assumption
+    /// variables of each call are frozen automatically; freeze here only
+    /// the variables of *future* clauses or assumptions the solver cannot
+    /// yet see.
+    pub fn freeze(mut self, var: Var) -> Self {
+        self.frozen.push(var);
         self
     }
 
@@ -221,6 +234,9 @@ impl SolverBuilder {
         solver.set_import_source(self.import);
         solver.set_observer(self.observer);
         solver.reserve_vars(self.reserve_vars);
+        for var in self.frozen {
+            solver.freeze(var);
+        }
         for clause in self.clauses {
             solver.add_clause(clause);
         }

@@ -345,7 +345,7 @@ impl ClauseDb {
     /// other outstanding [`ClauseRef`] (watch lists, trail reasons).
     ///
     /// Returns the map plus the number of words reclaimed.
-    pub fn collect<S: ProofSink>(&mut self, proof: &mut S) -> (GcMap, usize) {
+    pub fn collect<S: ProofSink + ?Sized>(&mut self, proof: &mut S) -> (GcMap, usize) {
         let live_words = self.arena.len() - self.garbage_words;
         let mut old = std::mem::replace(&mut self.arena, Vec::with_capacity(live_words));
         let reclaimed = self.garbage_words;

@@ -177,6 +177,89 @@ impl Default for DbPolicy {
     }
 }
 
+/// Configuration of the SatELite-style preprocessor (the
+/// `crate::preprocess` module): subsumption, self-subsuming resolution and
+/// bounded variable elimination, run at solve entry over the occurrence
+/// lists before the search starts.
+///
+/// Three presets cover the useful points of the space:
+///
+/// * [`SimplifyConfig::default`] — subsumption and strengthening on,
+///   variable elimination **off**, first solve call only. This is the
+///   conservative default: it never removes a variable, so incremental
+///   sessions can keep adding clauses over any variable without ceremony.
+/// * [`SimplifyConfig::full`] — everything on, including bounded variable
+///   elimination. Eliminated variables **may not** be mentioned by later
+///   [`add_clause`](crate::Solver::add_clause)/[`assume`](crate::Solver::assume)
+///   calls (the solver panics); incremental users must
+///   [`freeze`](crate::Solver::freeze) variables they intend to reuse.
+/// * [`SimplifyConfig::off`] — the preprocessor never runs; the search
+///   sees the raw formula exactly as before this subsystem existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimplifyConfig {
+    /// Master switch: when false the preprocessor never runs.
+    pub enable: bool,
+    /// Backward subsumption + self-subsuming resolution (clause
+    /// strengthening) over the occurrence lists.
+    pub subsumption: bool,
+    /// Bounded variable elimination. Off in the default preset: BVE
+    /// removes variables, which constrains later incremental reuse (see
+    /// the freeze/melt contract on [`crate::Solver::freeze`]).
+    pub var_elim: bool,
+    /// Skip eliminating a variable when either polarity occurs in more
+    /// than this many clauses (the classic SatELite occurrence cap).
+    pub elim_occ_cap: usize,
+    /// Eliminate only when the number of non-tautological resolvents is at
+    /// most `pos + neg + elim_growth` (0 = never let the database grow).
+    pub elim_growth: usize,
+    /// Abort eliminating a variable if any resolvent would exceed this
+    /// many literals.
+    pub elim_clause_cap: usize,
+    /// Re-run the simplifier at every solve call (inprocessing) instead of
+    /// only the first.
+    pub inprocess: bool,
+    /// Maximum subsumption/elimination rounds per simplifier run (each
+    /// round re-processes the clauses touched by the previous one).
+    pub rounds: u32,
+}
+
+impl SimplifyConfig {
+    /// Everything on: subsumption, strengthening and bounded variable
+    /// elimination, re-run on every solve call.
+    pub const fn full() -> Self {
+        SimplifyConfig {
+            enable: true,
+            subsumption: true,
+            var_elim: true,
+            elim_occ_cap: 10,
+            elim_growth: 0,
+            elim_clause_cap: 20,
+            inprocess: true,
+            rounds: 3,
+        }
+    }
+
+    /// Preprocessing disabled entirely.
+    pub const fn off() -> Self {
+        SimplifyConfig {
+            enable: false,
+            ..SimplifyConfig::full()
+        }
+    }
+}
+
+impl Default for SimplifyConfig {
+    /// Subsumption and strengthening on, variable elimination off, first
+    /// solve call only — safe for unrestricted incremental use.
+    fn default() -> Self {
+        SimplifyConfig {
+            var_elim: false,
+            inprocess: false,
+            ..SimplifyConfig::full()
+        }
+    }
+}
+
 /// Resource budgets turning a run into a deterministic, machine-independent
 /// experiment. A budget of `u64::MAX` means unlimited.
 ///
@@ -280,6 +363,9 @@ pub struct SolverConfig {
     /// meant for fuzzing, debugging and the `--paranoid` CLI flag, not for
     /// production runs.
     pub paranoid: bool,
+    /// Preprocessor configuration (subsumption, self-subsuming resolution,
+    /// bounded variable elimination) applied at solve entry.
+    pub simplify: SimplifyConfig,
 }
 
 impl SolverConfig {
@@ -303,6 +389,7 @@ impl SolverConfig {
             record_decisions: false,
             progress_every: 1024,
             paranoid: false,
+            simplify: SimplifyConfig::default(),
         }
     }
 
@@ -435,6 +522,13 @@ impl SolverConfig {
     /// [`SolverConfig::progress_every`].
     pub fn with_progress_every(mut self, conflicts: u64) -> Self {
         self.progress_every = conflicts;
+        self
+    }
+
+    /// Sets the preprocessor configuration, returning the modified config
+    /// (builder-style). See [`SimplifyConfig`].
+    pub fn with_simplify(mut self, simplify: SimplifyConfig) -> Self {
+        self.simplify = simplify;
         self
     }
 }

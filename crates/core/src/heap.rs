@@ -86,6 +86,29 @@ impl VarHeap {
         Some(Var::new(top))
     }
 
+    /// Removes `v` from the heap if present (used when the preprocessor
+    /// eliminates a variable: an eliminated variable must never surface as
+    /// a branching candidate again).
+    pub fn remove(&mut self, v: Var, key: &[u64]) {
+        let Some(&p) = self.pos.get(v.index()) else {
+            return;
+        };
+        if p == ABSENT {
+            return;
+        }
+        let p = p as usize;
+        let last = self.heap.pop().unwrap();
+        self.pos[v.index()] = ABSENT;
+        if p < self.heap.len() {
+            self.heap[p] = last;
+            self.pos[last as usize] = p as u32;
+            // The replacement may be larger than the removed entry's parent
+            // or smaller than its children — restore both directions.
+            self.sift_up(p, key);
+            self.sift_down(p, key);
+        }
+    }
+
     /// Rebuilds the heap from scratch (used after global activity decay,
     /// which preserves order only approximately under integer division).
     pub fn rebuild(&mut self, key: &[u64]) {
@@ -232,6 +255,20 @@ mod tests {
         assert!(h.contains(v));
         h.pop(&key);
         assert!(!h.contains(v));
+    }
+
+    #[test]
+    fn remove_detaches_any_entry_and_keeps_order() {
+        let key = vec![5u64, 9, 1, 7, 3];
+        let mut h = VarHeap::new();
+        for i in 0..5 {
+            h.insert(Var::new(i), &key);
+        }
+        h.remove(Var::new(1), &key); // the max
+        h.remove(Var::new(2), &key); // a leaf
+        h.remove(Var::new(2), &key); // idempotent
+        assert!(!h.contains(Var::new(1)));
+        assert_eq!(drain(&mut h, &key), vec![3, 0, 4]);
     }
 
     #[test]

@@ -117,6 +117,7 @@ mod gc_props;
 mod heap;
 mod polarity;
 mod portfolio;
+mod preprocess;
 mod proof;
 mod reduce;
 mod rng;
@@ -128,7 +129,7 @@ pub use audit::AuditReport;
 pub use builder::SolverBuilder;
 pub use config::{
     ActivityIndex, Budget, DbPolicy, DecisionStrategy, FreeVarPolarity, RestartPolicy, Sensitivity,
-    SolverConfig, TopClausePolarity,
+    SimplifyConfig, SolverConfig, TopClausePolarity,
 };
 pub use engine::SatEngine;
 pub use portfolio::{PortfolioConfig, PortfolioEngine, WorkerOutcome, WorkerReport};

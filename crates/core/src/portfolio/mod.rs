@@ -21,12 +21,27 @@
 //!   verdicts, winner and statistics — what the test suite and the fuzz
 //!   harness drive.
 //!
+//! # Pre-simplification
+//!
+//! Per [`PortfolioConfig::simplify`], the engine simplifies the accumulated
+//! formula **once, before diversifying** (through a throwaway solver
+//! running the ordinary [`crate::preprocess`] passes), so subsumption,
+//! strengthening and variable elimination are paid one time instead of
+//! once per worker; the workers themselves run with simplification off.
+//! Eliminated variables accumulate on an engine-level reconstruction
+//! stack — winning SAT models are extended back over them — and the
+//! freeze/melt contract matches the single solver's
+//! ([`PortfolioEngine::freeze`]).
+//!
 //! # Proofs
 //!
 //! With sharing **off**, a proof sink attached via
 //! [`PortfolioEngine::set_proof`] receives the winning worker's complete
 //! DRAT stream (each worker logs privately into a buffer; only the winner's
-//! is replayed). With sharing **on**, imported clauses are not
+//! is replayed), prefixed by the pre-simplifier's additions and deletions —
+//! every simplifier clause is RUP at its emission point, and the winner
+//! proves from the simplified formula, so the concatenation checks against
+//! the original formula. With sharing **on**, imported clauses are not
 //! RUP-derivable in the importer's own proof, so attaching a proof sink is
 //! a configuration error and `set_proof` panics — the engine never emits an
 //! unsound proof silently.
@@ -36,20 +51,23 @@ mod worker;
 
 pub(crate) use share::ClausePool;
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use berkmin_cnf::{Assignment, LBool, Lit, Var};
 
-use crate::config::{Budget, SolverConfig};
+use crate::config::{Budget, SimplifyConfig, SolverConfig};
 use crate::engine::SatEngine;
+use crate::preprocess::Reconstructor;
 use crate::proof::ProofSink;
-use crate::solver::{SolveStatus, StopReason};
+use crate::solver::{SolveStatus, Solver, StopReason};
 use crate::stats::Stats;
 use crate::telemetry::{SolveEvent, SolveObserver, SolveVerdict};
 
 use share::PoolSummary;
-use worker::{emit_shared, ProofOp, SharedObserver, WorkerResult};
+use worker::{emit_shared, ProofBuffer, ProofOp, SharedObserver, WorkerResult};
 
 /// Maximum clauses the share pool retains; older entries are evicted
 /// (sharing is best-effort — dropping a clause never costs soundness).
@@ -78,6 +96,10 @@ pub struct PortfolioConfig {
     /// Run every worker with paranoid in-search self-audits (expensive;
     /// meant for the fuzz harness and debugging).
     pub paranoid: bool,
+    /// Pre-simplification of the shared formula, run once before the
+    /// workers diversify (the workers themselves never simplify). Defaults
+    /// to [`SimplifyConfig::default`] — subsumption on, elimination off.
+    pub simplify: SimplifyConfig,
 }
 
 impl Default for PortfolioConfig {
@@ -89,6 +111,7 @@ impl Default for PortfolioConfig {
             slice_conflicts: 512,
             budget: Budget::unlimited(),
             paranoid: false,
+            simplify: SimplifyConfig::default(),
         }
     }
 }
@@ -124,6 +147,12 @@ impl PortfolioConfig {
     /// Enables paranoid worker self-audits (builder-style).
     pub fn with_paranoid(mut self, paranoid: bool) -> Self {
         self.paranoid = paranoid;
+        self
+    }
+
+    /// Sets the pre-simplification configuration (builder-style).
+    pub fn with_simplify(mut self, simplify: SimplifyConfig) -> Self {
+        self.simplify = simplify;
         self
     }
 }
@@ -207,6 +236,21 @@ pub struct PortfolioEngine {
     winner: Option<usize>,
     proof: Option<Box<dyn ProofSink>>,
     observer: Option<Box<dyn SolveObserver + Send>>,
+    /// Variables protected from elimination by the pre-simplifier.
+    frozen: Vec<bool>,
+    /// Variables the pre-simplifier has eliminated (see
+    /// [`PortfolioEngine::freeze`] for the contract this implies).
+    eliminated: Vec<bool>,
+    /// Engine-level reconstruction stack accumulating the eliminations of
+    /// every pre-simplification run; winning SAT models are extended
+    /// through it.
+    recon: Reconstructor,
+    /// Whether pre-simplification already ran (without
+    /// [`SimplifyConfig::inprocess`] it runs only once).
+    simplified_once: bool,
+    /// The pre-simplifier's buffered proof stream, drained into the
+    /// attached sink ahead of the winner's ops.
+    pending_simplify_ops: Vec<ProofOp>,
 }
 
 impl std::fmt::Debug for PortfolioEngine {
@@ -215,6 +259,7 @@ impl std::fmt::Debug for PortfolioEngine {
             .field("config", &self.config)
             .field("num_vars", &self.num_vars)
             .field("clauses", &self.clauses.len())
+            .field("eliminated", &self.recon.len())
             .field("winner", &self.winner)
             .field("proof", &self.proof.is_some())
             .field("observer", &self.observer.is_some())
@@ -243,6 +288,11 @@ impl PortfolioEngine {
             winner: None,
             proof: None,
             observer: None,
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            recon: Reconstructor::default(),
+            simplified_once: false,
+            pending_simplify_ops: Vec::new(),
         }
     }
 
@@ -252,7 +302,9 @@ impl PortfolioEngine {
     }
 
     /// Attaches a proof sink that will receive the **winning worker's**
-    /// complete DRAT stream after every solve call.
+    /// complete DRAT stream after every solve call, prefixed by the
+    /// pre-simplifier's additions and deletions (attach before the first
+    /// solve so the prefix lands ahead of any worker-derived clause).
     ///
     /// # Panics
     ///
@@ -288,6 +340,38 @@ impl PortfolioEngine {
         self.config.budget = budget;
     }
 
+    /// Protects `var` from elimination by the pre-simplifier — the same
+    /// contract as [`Solver::freeze`](crate::Solver::freeze): freeze every
+    /// variable that *future* clauses or assumptions may mention before the
+    /// first solve call. The current call's assumption variables are frozen
+    /// automatically (and permanently).
+    pub fn freeze(&mut self, var: Var) {
+        self.num_vars = self.num_vars.max(var.index() + 1);
+        if self.frozen.len() < self.num_vars {
+            self.frozen.resize(self.num_vars, false);
+        }
+        self.frozen[var.index()] = true;
+    }
+
+    /// Lifts a [`PortfolioEngine::freeze`]: the next pre-simplification run
+    /// (under [`SimplifyConfig::inprocess`]) may eliminate `var` again.
+    pub fn melt(&mut self, var: Var) {
+        if let Some(f) = self.frozen.get_mut(var.index()) {
+            *f = false;
+        }
+    }
+
+    /// Whether `var` is currently protected from elimination.
+    pub fn is_frozen(&self, var: Var) -> bool {
+        self.frozen.get(var.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether the pre-simplifier has eliminated `var` (see
+    /// [`PortfolioEngine::freeze`] for the contract this implies).
+    pub fn is_eliminated(&self, var: Var) -> bool {
+        self.eliminated.get(var.index()).copied().unwrap_or(false)
+    }
+
     /// The diversified configuration worker `id` will run with.
     fn worker_config(&self, id: usize) -> SolverConfig {
         let budget = if self.config.deterministic {
@@ -299,6 +383,104 @@ impl PortfolioEngine {
         SolverConfig::portfolio_worker(id)
             .with_budget(budget)
             .with_paranoid(self.config.paranoid)
+            // The engine simplifies the shared formula once up front; the
+            // workers must not re-run (and re-pay for) the passes.
+            .with_simplify(SimplifyConfig::off())
+    }
+
+    /// Simplifies the accumulated formula through a throwaway solver before
+    /// the workers diversify — the reduction is paid once instead of N
+    /// times. Runs at the first solve call only, unless
+    /// [`SimplifyConfig::inprocess`] asks for every call.
+    ///
+    /// The simplifier's proof stream is buffered into
+    /// `pending_simplify_ops` (drained into the attached sink by
+    /// [`SatEngine::solve`] ahead of the winner's ops); its eliminations are
+    /// folded into the engine's `eliminated` flags and reconstruction
+    /// stack, and its `Simplify` telemetry is re-emitted through `shared`.
+    fn pre_simplify(&mut self, assumptions: &[Lit], shared: &Option<SharedObserver>) {
+        let cfg = self.config.simplify;
+        if !self.ok || !cfg.enable || (!cfg.subsumption && !cfg.var_elim) {
+            return;
+        }
+        if self.simplified_once && !cfg.inprocess {
+            return;
+        }
+        self.simplified_once = true;
+        // This call's assumption variables must survive elimination
+        // (permanently — a later call may assume them again).
+        for &a in assumptions {
+            self.freeze(a.var());
+        }
+
+        let mut s = Solver::with_config(
+            SolverConfig::berkmin()
+                .with_simplify(cfg)
+                .with_paranoid(self.config.paranoid),
+        );
+        s.reserve_vars(self.num_vars);
+        for (i, &frozen) in self.frozen.iter().enumerate() {
+            if frozen {
+                s.freeze(Var::new(i as u32));
+            }
+        }
+        let captured: Rc<RefCell<Vec<SolveEvent>>> = Rc::new(RefCell::new(Vec::new()));
+        if shared.is_some() {
+            let tap = Rc::clone(&captured);
+            s.set_observer(Some(Box::new(move |e: &SolveEvent| {
+                tap.borrow_mut().push(e.clone())
+            })));
+        }
+        for c in &self.clauses {
+            s.add_clause(c.iter().copied());
+        }
+        let mut buf = ProofBuffer::default();
+        if s.is_ok() && s.propagate().is_some() {
+            s.ok = false;
+        }
+        if s.is_ok() {
+            s.simplify_formula(&mut buf);
+        }
+
+        // Export the simplified formula: the level-0 trail as unit clauses
+        // plus the live original clauses (the throwaway never searches, so
+        // learnt clauses cannot arise).
+        let mut clauses: Vec<Vec<Lit>> = s.trail.iter().map(|&l| vec![l]).collect();
+        for cref in s.db.iter_live() {
+            if !s.db.is_learnt(cref) {
+                clauses.push(s.db.lits(cref).to_vec());
+            }
+        }
+        if !s.is_ok() {
+            // Refuted at level 0. The empty clause is RUP here (unit
+            // propagation over the simplified formula conflicts), so it
+            // both completes the buffered proof and resolves the race
+            // trivially and uniformly.
+            buf.ops.push(ProofOp::Add(Vec::new()));
+            clauses.push(Vec::new());
+            self.ok = false;
+        }
+        self.clauses = clauses;
+        self.pending_simplify_ops.extend(buf.ops);
+
+        // Fold the run into the engine: eliminated flags, reconstruction
+        // entries (appended — these eliminations are the latest) and the
+        // simplification work counters.
+        if self.eliminated.len() < self.num_vars {
+            self.eliminated.resize(self.num_vars, false);
+        }
+        for (i, &e) in s.eliminated.iter().enumerate() {
+            if e {
+                self.eliminated[i] = true;
+            }
+        }
+        self.recon.absorb(&s.reconstructor);
+        self.stats.merge(s.stats());
+        if let Some(obs) = shared {
+            for event in captured.borrow().iter() {
+                emit_shared(obs, event);
+            }
+        }
     }
 
     /// Threaded race: one scoped thread per worker, first definitive
@@ -489,6 +671,13 @@ impl SatEngine for PortfolioEngine {
 
     fn add_clause(&mut self, lits: &[Lit]) -> bool {
         for l in lits {
+            assert!(
+                !self.is_eliminated(l.var()),
+                "add_clause mentions eliminated variable {:?}: freeze it \
+                 before the first solve, or disable variable elimination \
+                 (SimplifyConfig::var_elim)",
+                l.var()
+            );
             self.num_vars = self.num_vars.max(l.var().index() + 1);
         }
         if lits.is_empty() {
@@ -499,6 +688,13 @@ impl SatEngine for PortfolioEngine {
     }
 
     fn assume(&mut self, lit: Lit) {
+        assert!(
+            !self.is_eliminated(lit.var()),
+            "assume mentions eliminated variable {:?}: freeze it before \
+             solving, or disable variable elimination \
+             (SimplifyConfig::var_elim)",
+            lit.var()
+        );
         self.num_vars = self.num_vars.max(lit.var().index() + 1);
         self.pending.push(lit);
     }
@@ -532,6 +728,18 @@ impl SatEngine for PortfolioEngine {
             self.stats.propagations,
             self.stats.restarts,
         );
+
+        // Simplify the shared formula once before diversifying, and flush
+        // the simplifier's proof prefix before any worker-derived clause.
+        self.pre_simplify(&assumptions, &shared);
+        if let Some(sink) = &mut self.proof {
+            for op in self.pending_simplify_ops.drain(..) {
+                match &op {
+                    ProofOp::Add(lits) => sink.add_clause(lits),
+                    ProofOp::Delete(lits) => sink.delete_clause(lits),
+                }
+            }
+        }
 
         let (winner, results, pool_summary) = if self.config.deterministic {
             self.run_deterministic(&assumptions, shared.clone())
@@ -591,14 +799,24 @@ impl SatEngine for PortfolioEngine {
                 }
                 match &results[w].status {
                     SolveStatus::Sat(model) => {
+                        // Extend the winner's model back over every
+                        // variable the pre-simplifier eliminated (the
+                        // worker valued them arbitrarily — the
+                        // reconstruction overwrites with the value that
+                        // satisfies the dissolved clauses).
+                        let mut model = model.clone();
+                        if self.recon.len() > 0 {
+                            self.recon.extend_model(&mut model);
+                        }
                         self.model = Some(model.clone());
+                        SolveStatus::Sat(model)
                     }
                     SolveStatus::Unsat => {
                         self.failed = results[w].failed.clone();
+                        SolveStatus::Unsat
                     }
                     SolveStatus::Unknown(_) => unreachable!("winner is definitive"),
                 }
-                results[w].status.clone()
             }
         };
 
@@ -860,6 +1078,116 @@ mod tests {
         assert!(engine.solve().is_unsat());
         assert_eq!(engine.stats().initial_clauses, num_clauses);
         assert_eq!(engine.stats().solve_calls, 2);
+    }
+
+    /// Deterministic, share-free engine with full pre-simplification
+    /// (subsumption + elimination).
+    fn simplifying(threads: usize) -> PortfolioEngine {
+        PortfolioEngine::new(
+            PortfolioConfig::new(threads)
+                .with_deterministic(true)
+                .with_share_lbd(None)
+                .with_simplify(SimplifyConfig::full()),
+        )
+    }
+
+    #[test]
+    fn pre_simplification_shrinks_the_shared_formula_once() {
+        let mut engine = simplifying(2);
+        engine.add_clause(&[lit(1), lit(2)]);
+        engine.add_clause(&[lit(1), lit(2), lit(3)]); // subsumed
+        engine.add_clause(&[lit(-1), lit(-2), lit(4)]);
+        assert!(engine.solve().is_sat());
+        assert_eq!(engine.stats().clauses_subsumed, 1);
+        assert!(
+            engine.stats().initial_clauses < 3,
+            "the workers must race on the reduced formula"
+        );
+        // Without inprocessing the second call reuses the reduction.
+        assert!(engine.solve().is_sat());
+        assert_eq!(engine.stats().clauses_subsumed, 1);
+    }
+
+    #[test]
+    fn models_reconstruct_over_engine_eliminated_variables() {
+        let mut engine = simplifying(2);
+        engine.add_clause(&[lit(1), lit(2)]);
+        engine.add_clause(&[lit(-2), lit(3)]);
+        engine.add_clause(&[lit(-1), lit(4)]);
+        let status = engine.solve();
+        let model = status.model().expect("satisfiable");
+        assert!(engine.stats().vars_eliminated >= 1);
+        assert!(model.satisfies(lit(1)) || model.satisfies(lit(2)));
+        assert!(model.satisfies(lit(-2)) || model.satisfies(lit(3)));
+        assert!(model.satisfies(lit(-1)) || model.satisfies(lit(4)));
+        // `value` answers through the reconstructed model too.
+        for v in 0..4 {
+            assert_ne!(engine.value(Var::new(v)), LBool::Undef);
+        }
+    }
+
+    #[test]
+    fn frozen_variables_survive_engine_elimination() {
+        let mut engine = simplifying(2);
+        engine.freeze(Var::new(1));
+        assert!(engine.is_frozen(Var::new(1)));
+        engine.add_clause(&[lit(1), lit(2)]);
+        engine.add_clause(&[lit(-2), lit(3)]);
+        assert!(engine.solve().is_sat());
+        assert!(!engine.is_eliminated(Var::new(1)));
+        // The frozen variable can still be assumed afterwards.
+        engine.assume(lit(-2));
+        assert!(engine.solve().is_sat());
+    }
+
+    #[test]
+    #[should_panic(expected = "eliminated variable")]
+    fn eliminated_variables_reject_new_clauses() {
+        let mut engine = simplifying(2);
+        engine.add_clause(&[lit(1), lit(2)]);
+        engine.add_clause(&[lit(-2), lit(3)]);
+        engine.add_clause(&[lit(-1), lit(4)]);
+        assert!(engine.solve().is_sat());
+        let v = (0..4)
+            .map(Var::new)
+            .find(|&v| engine.is_eliminated(v))
+            .expect("full simplification eliminates at least one variable");
+        engine.add_clause(&[Lit::pos(v)]);
+    }
+
+    #[test]
+    fn simplifier_proof_precedes_the_winner_refutation() {
+        #[derive(Default)]
+        struct Recording {
+            adds: usize,
+            dels: usize,
+            empty: bool,
+        }
+        impl ProofSink for Recording {
+            fn add_clause(&mut self, lits: &[Lit]) {
+                self.adds += 1;
+                if lits.is_empty() {
+                    self.empty = true;
+                }
+            }
+            fn delete_clause(&mut self, _lits: &[Lit]) {
+                self.dels += 1;
+            }
+        }
+
+        let sink = std::rc::Rc::new(RefCell::new(Recording::default()));
+        let mut engine = simplifying(2);
+        engine.set_proof(Box::new(std::rc::Rc::clone(&sink)));
+        // The ternary clause is subsumed (a deletion in the prefix) and the
+        // remainder collapses by strengthening into a contradiction.
+        engine.add_clause(&[lit(1), lit(2)]);
+        engine.add_clause(&[lit(1), lit(2), lit(3)]);
+        engine.add_clause(&[lit(-1), lit(2)]);
+        engine.add_clause(&[lit(-2), lit(3)]);
+        engine.add_clause(&[lit(-3), lit(-2)]);
+        assert!(engine.solve().is_unsat());
+        assert!(sink.borrow().empty, "the refutation ends in []");
+        assert!(sink.borrow().dels > 0, "simplifier deletions are logged");
     }
 
     #[test]

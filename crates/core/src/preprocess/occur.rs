@@ -1,0 +1,213 @@
+//! Occurrence lists and clause signatures — the simplifier's index.
+//!
+//! The index is rebuilt for each simplifier run: every live *original*
+//! clause gets a dense id, a 64-bit signature, and an entry in the
+//! occurrence list of each of its literals. Passes address clauses by
+//! dense id; the arena [`ClauseRef`] is consulted only to read or rewrite
+//! literals. Deletion is lazy (a `live` flag) except where a pass
+//! invalidates a specific literal's list, which is pruned eagerly so the
+//! lists stay an exact "clauses containing `l`" relation.
+
+use berkmin_cnf::Lit;
+
+use crate::clause_db::ClauseRef;
+
+/// Per-clause bookkeeping of the simplifier.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ClauseInfo {
+    /// Arena record backing this clause.
+    pub(crate) cref: ClauseRef,
+    /// Signature: OR of `1 << (lit.code() % 64)` over the literals. If
+    /// `sig(A) & !sig(B) != 0` then `A ⊄ B` — the cheap pre-filter in
+    /// front of every subset check.
+    pub(crate) sig: u64,
+    /// False once the clause has been deleted or dissolved.
+    pub(crate) live: bool,
+}
+
+/// The simplifier's occurrence index over the original clauses.
+#[derive(Debug, Default)]
+pub(crate) struct OccIndex {
+    /// Dense clause table.
+    pub(crate) clauses: Vec<ClauseInfo>,
+    /// `occ[l.code()]` = dense ids of live clauses containing literal `l`
+    /// (may contain stale ids of deleted clauses; check `live`).
+    occ: Vec<Vec<u32>>,
+    /// Subset-check scratch, one stamp per literal code.
+    stamp: Vec<u64>,
+    /// Current stamp generation.
+    stamp_gen: u64,
+}
+
+/// The signature bit of one literal.
+#[inline]
+fn sig_bit(l: Lit) -> u64 {
+    1u64 << (l.code() % 64)
+}
+
+/// The signature of a literal set.
+pub(crate) fn signature(lits: &[Lit]) -> u64 {
+    lits.iter().fold(0u64, |s, &l| s | sig_bit(l))
+}
+
+impl OccIndex {
+    /// An empty index covering `num_vars` variables.
+    pub(crate) fn new(num_vars: usize) -> Self {
+        OccIndex {
+            clauses: Vec::new(),
+            occ: vec![Vec::new(); 2 * num_vars],
+            stamp: vec![0; 2 * num_vars],
+            stamp_gen: 0,
+        }
+    }
+
+    /// Registers a clause, returning its dense id.
+    pub(crate) fn add(&mut self, cref: ClauseRef, lits: &[Lit]) -> u32 {
+        let id = self.clauses.len() as u32;
+        self.clauses.push(ClauseInfo {
+            cref,
+            sig: signature(lits),
+            live: true,
+        });
+        for &l in lits {
+            self.occ[l.code()].push(id);
+        }
+        id
+    }
+
+    #[inline]
+    pub(crate) fn is_live(&self, id: u32) -> bool {
+        self.clauses[id as usize].live
+    }
+
+    #[inline]
+    pub(crate) fn cref(&self, id: u32) -> ClauseRef {
+        self.clauses[id as usize].cref
+    }
+
+    #[inline]
+    pub(crate) fn sig(&self, id: u32) -> u64 {
+        self.clauses[id as usize].sig
+    }
+
+    /// Marks a clause dead. Its occurrence entries are left to lazy
+    /// filtering — every consumer checks [`OccIndex::is_live`].
+    pub(crate) fn kill(&mut self, id: u32) {
+        self.clauses[id as usize].live = false;
+    }
+
+    /// Clauses currently listed as containing `l` (ids may be stale).
+    #[cfg(test)]
+    pub(crate) fn occ(&self, l: Lit) -> &[u32] {
+        &self.occ[l.code()]
+    }
+
+    /// Number of *live* clauses containing `l`.
+    pub(crate) fn occ_len_live(&self, l: Lit) -> usize {
+        self.occ[l.code()]
+            .iter()
+            .filter(|&&id| self.is_live(id))
+            .count()
+    }
+
+    /// Drops dead ids from `l`'s list and returns the live ids.
+    pub(crate) fn compact_occ(&mut self, l: Lit) -> Vec<u32> {
+        let clauses = &self.clauses;
+        self.occ[l.code()].retain(|&id| clauses[id as usize].live);
+        self.occ[l.code()].clone()
+    }
+
+    /// Removes `id` from `l`'s occurrence list (after `l` was struck from
+    /// the clause) and refreshes the clause's signature from `lits`.
+    pub(crate) fn detach_lit(&mut self, id: u32, l: Lit, remaining: &[Lit]) {
+        let list = &mut self.occ[l.code()];
+        if let Some(p) = list.iter().position(|&x| x == id) {
+            list.swap_remove(p);
+        }
+        self.clauses[id as usize].sig = signature(remaining);
+    }
+
+    /// Clears `l`'s occurrence list outright (every listed clause was just
+    /// deleted, e.g. by unit application or variable elimination).
+    pub(crate) fn clear_occ(&mut self, l: Lit) {
+        self.occ[l.code()].clear();
+    }
+
+    /// The literal of `lits` with the shortest occurrence list — the
+    /// cheapest candidate set for a backward-subsumption scan.
+    pub(crate) fn min_occ_lit(&self, lits: &[Lit]) -> Lit {
+        *lits
+            .iter()
+            .min_by_key(|l| self.occ[l.code()].len())
+            .expect("clauses in the index have at least two literals")
+    }
+
+    /// Stamps `lits` as the current membership set for
+    /// [`OccIndex::stamped`] queries.
+    pub(crate) fn stamp_clause(&mut self, lits: &[Lit]) {
+        self.stamp_gen += 1;
+        for &l in lits {
+            self.stamp[l.code()] = self.stamp_gen;
+        }
+    }
+
+    /// Whether `l` belongs to the most recently stamped clause.
+    #[inline]
+    pub(crate) fn stamped(&self, l: Lit) -> bool {
+        self.stamp[l.code()] == self.stamp_gen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(n: i32) -> Lit {
+        Lit::from_dimacs(n)
+    }
+
+    #[test]
+    fn signatures_prefilter_subsets() {
+        let a = signature(&[lit(1), lit(2)]);
+        let b = signature(&[lit(1), lit(2), lit(3)]);
+        // a ⊆ b ⇒ the filter must not reject.
+        assert_eq!(a & !b, 0);
+        // ¬x1 ∉ {x1,x2,x3} and the codes differ, so the filter rejects.
+        let c = signature(&[lit(-1)]);
+        assert_ne!(c & !b, 0);
+    }
+
+    #[test]
+    fn occurrence_lists_track_membership_and_detach() {
+        let mut idx = OccIndex::new(4);
+        let cref = ClauseRef(0);
+        let id = idx.add(cref, &[lit(1), lit(2), lit(3)]);
+        assert_eq!(idx.occ(lit(2)), &[id]);
+        assert_eq!(idx.occ_len_live(lit(2)), 1);
+        idx.detach_lit(id, lit(2), &[lit(1), lit(3)]);
+        assert!(idx.occ(lit(2)).is_empty());
+        assert_eq!(idx.sig(id), signature(&[lit(1), lit(3)]));
+        idx.kill(id);
+        assert_eq!(idx.occ_len_live(lit(1)), 0);
+        assert!(idx.compact_occ(lit(1)).is_empty());
+    }
+
+    #[test]
+    fn stamping_answers_membership() {
+        let mut idx = OccIndex::new(3);
+        idx.stamp_clause(&[lit(1), lit(-2)]);
+        assert!(idx.stamped(lit(1)));
+        assert!(idx.stamped(lit(-2)));
+        assert!(!idx.stamped(lit(2)));
+        idx.stamp_clause(&[lit(3)]);
+        assert!(!idx.stamped(lit(1)));
+    }
+
+    #[test]
+    fn min_occ_lit_picks_the_rarest_literal() {
+        let mut idx = OccIndex::new(3);
+        idx.add(ClauseRef(0), &[lit(1), lit(2)]);
+        idx.add(ClauseRef(8), &[lit(1), lit(3)]);
+        assert_ne!(idx.min_occ_lit(&[lit(1), lit(2)]), lit(1));
+    }
+}

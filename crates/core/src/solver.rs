@@ -5,6 +5,7 @@ use berkmin_cnf::{Assignment, Cnf, LBool, Lit, Var};
 use crate::clause_db::{ClauseDb, ClauseRef};
 use crate::config::{ActivityIndex, Budget, DecisionStrategy, RestartPolicy, SolverConfig};
 use crate::heap::VarHeap;
+use crate::preprocess::Reconstructor;
 use crate::proof::{NoProof, ProofSink};
 use crate::rng::XorShift64;
 use crate::stats::Stats;
@@ -256,6 +257,19 @@ pub struct Solver {
     proof: Box<dyn ProofSink>,
     /// Terminate / learnt-clause hooks (see [`SolveEvents`]).
     events: SolveEvents,
+    /// `frozen[v]`: the preprocessor may not eliminate `v` (user-frozen
+    /// via [`Solver::freeze`], or auto-frozen as an assumption variable).
+    pub(crate) frozen: Vec<bool>,
+    /// `eliminated[v]`: `v` was dissolved by bounded variable elimination —
+    /// absent from every live clause, the watches, the trail and the heap;
+    /// mentioning it again in [`Solver::add_clause`]/[`Solver::assume`]
+    /// panics (see the freeze/melt contract on [`Solver::freeze`]).
+    pub(crate) eliminated: Vec<bool>,
+    /// Reconstruction stack extending SAT models over eliminated variables.
+    pub(crate) reconstructor: Reconstructor,
+    /// Whether the preprocessor has run at least once (the default
+    /// configuration simplifies only the first solve call).
+    pub(crate) simplified_once: bool,
 }
 
 impl std::fmt::Debug for Solver {
@@ -343,6 +357,10 @@ impl Solver {
             pending_assumptions: Vec::new(),
             proof: Box::new(NoProof),
             events: SolveEvents::default(),
+            frozen: Vec::new(),
+            eliminated: Vec::new(),
+            reconstructor: Reconstructor::default(),
+            simplified_once: false,
         }
     }
 
@@ -446,6 +464,8 @@ impl Solver {
         self.lit_activity.resize(2 * n, 0);
         self.vsids.resize(2 * n, 0);
         self.seen.resize(n, false);
+        self.frozen.resize(n, false);
+        self.eliminated.resize(n, false);
         // Decision levels range over 0..=n, one stamp slot per level.
         self.lbd_stamp.resize(n + 1, 0);
         self.heap.grow(n);
@@ -464,11 +484,24 @@ impl Solver {
     /// first. Tautologies are dropped, duplicate literals merged, literals
     /// false at level 0 stripped. Returns `false` if the formula has become
     /// trivially unsatisfiable (an empty clause arose).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clause mentions a variable the preprocessor has
+    /// eliminated — see the freeze/melt contract on [`Solver::freeze`].
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
         self.cancel_until(0);
         let mut ls: Vec<Lit> = lits.into_iter().collect();
         let max_var = ls.iter().map(|l| l.var().index() + 1).max().unwrap_or(0);
         self.ensure_vars(max_var);
+        if let Some(l) = ls.iter().find(|l| self.eliminated[l.var().index()]) {
+            panic!(
+                "add_clause mentions eliminated variable {:?}: freeze it \
+                 before solving, or disable variable elimination \
+                 (SimplifyConfig::var_elim)",
+                l.var()
+            );
+        }
         self.stats.initial_clauses += 1;
         if !self.ok {
             return false;
@@ -706,7 +739,7 @@ impl Solver {
     ///
     /// Only valid at decision level 0 with a fully propagated trail; run at
     /// every §8 database reduction.
-    pub(crate) fn collect_garbage<S: ProofSink>(&mut self, proof: &mut S) {
+    pub(crate) fn collect_garbage<S: ProofSink + ?Sized>(&mut self, proof: &mut S) {
         debug_assert_eq!(self.decision_level(), 0);
         self.db.compact_stack();
         if self.db.garbage_words() == 0 {
@@ -750,8 +783,66 @@ impl Solver {
     /// assert!(status.model().unwrap().satisfies(Lit::from_dimacs(2)));
     /// assert!(solver.solve().is_sat()); // assumptions were consumed
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lit`'s variable has been eliminated by the preprocessor —
+    /// see the freeze/melt contract on [`Solver::freeze`]. (Assumption
+    /// variables of a solve call are frozen automatically, so this can only
+    /// fire for a variable assumed for the *first* time after elimination.)
     pub fn assume(&mut self, lit: Lit) {
+        if self
+            .eliminated
+            .get(lit.var().index())
+            .copied()
+            .unwrap_or(false)
+        {
+            panic!(
+                "assume mentions eliminated variable {:?}: freeze it before \
+                 solving, or disable variable elimination \
+                 (SimplifyConfig::var_elim)",
+                lit.var()
+            );
+        }
         self.pending_assumptions.push(lit);
+    }
+
+    /// Protects `var` from bounded variable elimination.
+    ///
+    /// **The freeze/melt contract.** With
+    /// [`SimplifyConfig::var_elim`](crate::SimplifyConfig) enabled, the
+    /// preprocessor may dissolve a variable into resolvents; an eliminated
+    /// variable is gone from the formula, and mentioning it again in
+    /// [`Solver::add_clause`] or [`Solver::assume`] panics (its deleted
+    /// defining clauses cannot be restored soundly under a DRAT proof).
+    /// Incremental users must therefore freeze every variable they intend
+    /// to constrain or assume *after* the next solve call. Assumption
+    /// variables of each call are frozen automatically, as are variables
+    /// with no occurrences (e.g. [`Solver::reserve_vars`] headroom — there
+    /// is nothing to dissolve). [`Solver::melt`] lifts the protection
+    /// again once a variable's incremental role is over.
+    pub fn freeze(&mut self, var: Var) {
+        self.ensure_vars(var.index() + 1);
+        self.frozen[var.index()] = true;
+    }
+
+    /// Lifts a [`Solver::freeze`]: the next simplifier run may eliminate
+    /// `var` again.
+    pub fn melt(&mut self, var: Var) {
+        if let Some(f) = self.frozen.get_mut(var.index()) {
+            *f = false;
+        }
+    }
+
+    /// Whether `var` is currently protected from elimination.
+    pub fn is_frozen(&self, var: Var) -> bool {
+        self.frozen.get(var.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether the preprocessor has eliminated `var` (see
+    /// [`Solver::freeze`] for the contract this implies).
+    pub fn is_eliminated(&self, var: Var) -> bool {
+        self.eliminated.get(var.index()).copied().unwrap_or(false)
     }
 
     /// Solves the formula under the assumptions staged by
@@ -859,6 +950,15 @@ impl Solver {
         }
         if self.decision_level() == 0 && self.propagate().is_some() {
             self.ok = false;
+            return self.conclude_unsat(proof);
+        }
+        // Preprocess at solve entry, over the propagated level-0 trail:
+        // subsumption, strengthening and bounded variable elimination (see
+        // `crate::preprocess`), with every change reported to the proof
+        // sink and eliminated variables pushed onto the reconstruction
+        // stack.
+        self.simplify_formula(proof);
+        if !self.ok {
             return self.conclude_unsat(proof);
         }
         // Import shared clauses at solve entry as well as at restart
@@ -1307,6 +1407,10 @@ impl Solver {
             // Unconstrained variables default to false.
             model.assign(Var::new(i as u32), v == LBool::True);
         }
+        // Extend the model back over the variables the preprocessor
+        // eliminated, in reverse elimination order, so it satisfies the
+        // *original* formula rather than just the simplified one.
+        self.reconstructor.extend_model(&mut model);
         model
     }
 }

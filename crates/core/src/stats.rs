@@ -84,6 +84,18 @@ pub struct Stats {
     /// clauses the LBD filter would have dropped are included; their fate
     /// is unknowable once evicted).
     pub pool_missed: u64,
+    /// Clauses removed by the preprocessor's backward-subsumption pass (a
+    /// live clause was a superset of another).
+    pub clauses_subsumed: u64,
+    /// Clauses strengthened by the preprocessor's self-subsuming
+    /// resolution pass (one literal dropped per count).
+    pub clauses_strengthened: u64,
+    /// Variables dissolved by bounded variable elimination (their models
+    /// are recovered through the reconstruction stack).
+    pub vars_eliminated: u64,
+    /// Resolvent clauses the preprocessor added while eliminating
+    /// variables (tautological and satisfied resolvents are not counted).
+    pub elim_resolvents: u64,
 }
 
 impl Stats {
@@ -188,6 +200,10 @@ impl Stats {
         self.clauses_imported += other.clauses_imported;
         self.pool_evicted += other.pool_evicted;
         self.pool_missed += other.pool_missed;
+        self.clauses_subsumed += other.clauses_subsumed;
+        self.clauses_strengthened += other.clauses_strengthened;
+        self.vars_eliminated += other.vars_eliminated;
+        self.elim_resolvents += other.elim_resolvents;
     }
 }
 

@@ -119,6 +119,26 @@ pub enum SolveEvent {
         /// Restarts performed by this call.
         restarts: u64,
     },
+    /// The preprocessor ran at solve entry (subsumption, self-subsuming
+    /// resolution, bounded variable elimination). All counters are
+    /// **per-run deltas** for this simplification, not lifetime totals.
+    Simplify {
+        /// Sweeps the run performed before reaching a fixpoint (or the
+        /// configured round cap).
+        rounds: u32,
+        /// Clauses deleted by backward subsumption.
+        subsumed: u64,
+        /// Clauses strengthened by self-subsuming resolution.
+        strengthened: u64,
+        /// Variables dissolved by bounded variable elimination.
+        eliminated: u64,
+        /// Resolvent clauses added while eliminating variables.
+        resolvents: u64,
+        /// Live original clauses before the run.
+        clauses_before: u64,
+        /// Live original clauses after the run.
+        clauses_after: u64,
+    },
     /// The search abandoned its current tree (paper §1). Lifetime totals.
     Restart {
         /// Restarts performed so far (`stats().restarts`).
@@ -352,6 +372,13 @@ pub fn stats_to_json(stats: &Stats) -> json::Value {
         ("clauses_imported".to_string(), Int(stats.clauses_imported)),
         ("pool_evicted".to_string(), Int(stats.pool_evicted)),
         ("pool_missed".to_string(), Int(stats.pool_missed)),
+        ("clauses_subsumed".to_string(), Int(stats.clauses_subsumed)),
+        (
+            "clauses_strengthened".to_string(),
+            Int(stats.clauses_strengthened),
+        ),
+        ("vars_eliminated".to_string(), Int(stats.vars_eliminated)),
+        ("elim_resolvents".to_string(), Int(stats.elim_resolvents)),
     ])
 }
 
@@ -393,6 +420,10 @@ pub fn stats_from_json(value: &json::Value) -> Option<Stats> {
         clauses_imported: int("clauses_imported")?,
         pool_evicted: int("pool_evicted")?,
         pool_missed: int("pool_missed")?,
+        clauses_subsumed: int("clauses_subsumed")?,
+        clauses_strengthened: int("clauses_strengthened")?,
+        vars_eliminated: int("vars_eliminated")?,
+        elim_resolvents: int("elim_resolvents")?,
     })
 }
 
@@ -805,6 +836,8 @@ mod tests {
             top_distance_hist: vec![5, 0, 2],
             pool_evicted: 11,
             pool_missed: 4,
+            clauses_subsumed: 6,
+            vars_eliminated: 2,
             ..Stats::new()
         };
         let parsed = stats_from_json(&stats_to_json(&stats)).unwrap();

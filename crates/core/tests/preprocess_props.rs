@@ -1,0 +1,221 @@
+//! Property tests for the preprocessing subsystem: simplification must
+//! preserve satisfiability on every formula family (random CNF, planted
+//! k-SAT, XOR chains), SAT models must reconstruct over eliminated
+//! variables back to the *original* formula, and a frozen incremental
+//! session must agree call-for-call with an unsimplified twin.
+
+use berkmin::{SimplifyConfig, SolveStatus, Solver, SolverConfig};
+use berkmin_cnf::{Cnf, Lit, Var};
+use proptest::prelude::*;
+
+/// The full pipeline: subsumption, strengthening and bounded variable
+/// elimination, re-run before every solve.
+fn simplify_on() -> SolverConfig {
+    SolverConfig::berkmin().with_simplify(SimplifyConfig::full())
+}
+
+fn simplify_off() -> SolverConfig {
+    SolverConfig::berkmin().with_simplify(SimplifyConfig::off())
+}
+
+fn arb_cnf(max_vars: u32, max_clauses: usize, max_len: usize) -> impl Strategy<Value = Cnf> {
+    prop::collection::vec(
+        prop::collection::vec((0..max_vars, any::<bool>()), 1..=max_len),
+        1..=max_clauses,
+    )
+    .prop_map(|clauses| {
+        let mut cnf = Cnf::with_vars(0);
+        for c in clauses {
+            cnf.add_clause(c.into_iter().map(|(v, neg)| Lit::new(Var::new(v), neg)));
+        }
+        cnf
+    })
+}
+
+/// Planted 3-SAT: every clause is forced to agree with a hidden model in
+/// at least one literal, so the instance is SAT by construction — and
+/// elimination-heavy simplification must not lose that model family.
+fn arb_planted(num_vars: u32, num_clauses: usize) -> impl Strategy<Value = (Cnf, Vec<bool>)> {
+    (
+        prop::collection::vec(any::<bool>(), num_vars as usize),
+        prop::collection::vec(
+            (
+                prop::collection::vec((0..num_vars, any::<bool>()), 3),
+                0..3usize,
+            ),
+            1..=num_clauses,
+        ),
+    )
+        .prop_map(move |(plant, raw)| {
+            let mut cnf = Cnf::with_vars(num_vars as usize);
+            for (mut lits, agree_at) in raw {
+                // Force the chosen literal to agree with the plant.
+                let (v, ref mut neg) = lits[agree_at];
+                *neg = !plant[v as usize];
+                cnf.add_clause(lits.into_iter().map(|(v, neg)| Lit::new(Var::new(v), neg)));
+            }
+            (cnf, plant)
+        })
+}
+
+/// An XOR chain `x_1 ⊕ x_2 = b_1, …, x_{n-1} ⊕ x_n = b_{n-1}` with both
+/// ends pinned. Each equality is two binary clauses; the instance is SAT
+/// iff the pinned ends are consistent with the accumulated parity — which
+/// the generator computes, so the expected verdict is known exactly.
+fn xor_chain(bits: &[bool], first: bool, last: bool) -> (Cnf, bool) {
+    let n = bits.len() + 1;
+    let mut cnf = Cnf::with_vars(n);
+    let lit = |i: usize, neg: bool| Lit::new(Var::new(i as u32), neg);
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            // x_i ⊕ x_{i+1} = 1: (x_i ∨ x_{i+1}) ∧ (¬x_i ∨ ¬x_{i+1})
+            cnf.add_clause([lit(i, false), lit(i + 1, false)]);
+            cnf.add_clause([lit(i, true), lit(i + 1, true)]);
+        } else {
+            // x_i ⊕ x_{i+1} = 0: (¬x_i ∨ x_{i+1}) ∧ (x_i ∨ ¬x_{i+1})
+            cnf.add_clause([lit(i, true), lit(i + 1, false)]);
+            cnf.add_clause([lit(i, false), lit(i + 1, true)]);
+        }
+    }
+    cnf.add_clause([lit(0, !first)]);
+    cnf.add_clause([lit(n - 1, !last)]);
+    let parity = bits.iter().fold(first, |acc, &b| acc ^ b);
+    (cnf, parity == last)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Equisatisfiability against exhaustive enumeration: the fully
+    /// simplifying solver reaches the oracle's verdict, and its SAT models
+    /// — reconstructed over any eliminated variables — satisfy the
+    /// *original* formula clause for clause.
+    #[test]
+    fn simplified_verdicts_match_enumeration(cnf in arb_cnf(8, 24, 4)) {
+        let oracle = cnf.solve_by_enumeration();
+        let mut solver = Solver::new(&cnf, simplify_on());
+        match solver.solve() {
+            SolveStatus::Sat(model) => {
+                prop_assert!(oracle.is_some(), "simplified solver said SAT, oracle says UNSAT");
+                prop_assert!(cnf.is_satisfied_by(&model), "reconstructed model violates the original formula");
+            }
+            SolveStatus::Unsat => prop_assert!(oracle.is_none(), "simplified solver said UNSAT, oracle found a model"),
+            SolveStatus::Unknown(r) => prop_assert!(false, "unlimited run aborted: {r}"),
+        }
+    }
+
+    /// On/off agreement on random CNF: simplification changes the search,
+    /// never the verdict.
+    #[test]
+    fn on_and_off_agree_on_random_cnf(cnf in arb_cnf(10, 32, 4)) {
+        let on = Solver::new(&cnf, simplify_on()).solve().is_sat();
+        let off = Solver::new(&cnf, simplify_off()).solve().is_sat();
+        prop_assert_eq!(on, off, "simplification flipped the verdict");
+    }
+
+    /// Planted k-SAT stays SAT through elimination, and the reconstructed
+    /// model satisfies every original clause (not merely the survivors).
+    #[test]
+    fn planted_ksat_models_reconstruct(planted in arb_planted(12, 40)) {
+        let (cnf, _plant) = planted;
+        let mut solver = Solver::new(&cnf, simplify_on());
+        match solver.solve() {
+            SolveStatus::Sat(model) => {
+                prop_assert!(cnf.is_satisfied_by(&model), "model violates a planted clause");
+            }
+            other => prop_assert!(false, "planted instance must be SAT, got {other:?}"),
+        }
+    }
+
+    /// XOR chains: binary-clause equalities are prime strengthening and
+    /// elimination fodder; the verdict must still match the parity
+    /// arithmetic, with simplification on and off.
+    #[test]
+    fn xor_chains_preserve_satisfiability(
+        bits in prop::collection::vec(any::<bool>(), 1..12),
+        first in any::<bool>(),
+        last in any::<bool>(),
+    ) {
+        let (cnf, expect_sat) = xor_chain(&bits, first, last);
+        for cfg in [simplify_on(), simplify_off()] {
+            let mut solver = Solver::new(&cnf, cfg);
+            match solver.solve() {
+                SolveStatus::Sat(model) => {
+                    prop_assert!(expect_sat, "chain parity is inconsistent yet solver said SAT");
+                    prop_assert!(cnf.is_satisfied_by(&model));
+                }
+                SolveStatus::Unsat => prop_assert!(!expect_sat, "chain parity is consistent yet solver said UNSAT"),
+                SolveStatus::Unknown(r) => prop_assert!(false, "unlimited run aborted: {r}"),
+            }
+        }
+    }
+
+    /// Frozen incremental prefix agreement: a session that freezes every
+    /// variable its future ops will mention must produce the same verdict
+    /// sequence as an unsimplified twin — freezing keeps elimination away
+    /// from exactly the variables the session comes back to.
+    #[test]
+    fn frozen_incremental_sessions_agree(
+        base in arb_cnf(8, 20, 3),
+        extra in prop::collection::vec(
+            prop::collection::vec((0..8u32, any::<bool>()), 1..=3),
+            1..6,
+        ),
+        assumption in (0..8u32, any::<bool>()),
+    ) {
+        let mut on = Solver::new(&base, simplify_on());
+        let mut off = Solver::new(&base, simplify_off());
+        // Freeze the future: every variable the later ops mention.
+        for clause in &extra {
+            for &(v, _) in clause {
+                on.freeze(Var::new(v));
+            }
+        }
+        on.freeze(Var::new(assumption.0));
+        prop_assert_eq!(on.solve().is_sat(), off.solve().is_sat(), "prefix verdicts differ");
+        for clause in &extra {
+            let lits: Vec<Lit> = clause.iter().map(|&(v, neg)| Lit::new(Var::new(v), neg)).collect();
+            on.add_clause(lits.iter().copied());
+            off.add_clause(lits.iter().copied());
+        }
+        let a = Lit::new(Var::new(assumption.0), assumption.1);
+        on.assume(a);
+        off.assume(a);
+        let (von, voff) = (on.solve(), off.solve());
+        prop_assert_eq!(von.is_sat(), voff.is_sat(), "extended verdicts differ");
+        if let SolveStatus::Sat(model) = von {
+            prop_assert!(base.is_satisfied_by(&model), "model violates the base formula");
+            prop_assert!(model.satisfies(a), "model violates the assumption");
+        }
+    }
+}
+
+/// A deterministic instance where elimination is guaranteed to fire:
+/// a long implication chain has singleton occurrence counts everywhere, so
+/// the bounded heuristic eliminates interior variables — and the model the
+/// caller sees must still value every original variable consistently.
+#[test]
+fn chain_elimination_reconstructs_interior_variables() {
+    let n = 20usize;
+    let mut cnf = Cnf::with_vars(n);
+    for i in 0..n - 1 {
+        // x_i → x_{i+1}
+        cnf.add_clause([
+            Lit::new(Var::new(i as u32), true),
+            Lit::new(Var::new(i as u32 + 1), false),
+        ]);
+    }
+    let mut solver = Solver::new(&cnf, simplify_on());
+    let status = solver.solve();
+    let SolveStatus::Sat(model) = status else {
+        panic!("chain is satisfiable, got {status:?}");
+    };
+    assert!(
+        solver.stats().vars_eliminated > 0,
+        "the chain must eliminate at least one interior variable"
+    );
+    assert!(
+        cnf.is_satisfied_by(&model),
+        "reconstruction broke the chain"
+    );
+}

@@ -41,6 +41,7 @@ struct Tally {
     solve_dones: Vec<(SolveVerdict, u64, u64, u64, u64)>,
     restarts: u64,
     reduces: u64,
+    simplifies: u64,
     progress: u64,
     worker_starts: Vec<usize>,
     worker_dones: Vec<usize>,
@@ -63,6 +64,17 @@ impl Tally {
                     .push((*verdict, *conflicts, *decisions, *propagations, *restarts))
             }
             SolveEvent::Restart { .. } => self.restarts += 1,
+            SolveEvent::Simplify {
+                clauses_before,
+                clauses_after,
+                ..
+            } => {
+                assert!(
+                    clauses_after <= clauses_before,
+                    "simplification must not grow the original formula"
+                );
+                self.simplifies += 1;
+            }
             SolveEvent::Reduce {
                 live_before,
                 live_after,
@@ -273,6 +285,28 @@ fn threaded_portfolio_tags_worker_events() {
     assert_eq!(starts, vec![0, 1]);
     assert_eq!(dones, vec![0, 1]);
     assert!(t.tagged > 0);
+}
+
+#[test]
+fn portfolio_pre_simplification_emits_one_event() {
+    let (mut engine, tally) = observed_portfolio(
+        PortfolioConfig::new(2)
+            .with_deterministic(true)
+            .with_share_lbd(None),
+    );
+    engine.add_clause(&[Lit::from_dimacs(1), Lit::from_dimacs(2)]);
+    engine.add_clause(&[
+        Lit::from_dimacs(1),
+        Lit::from_dimacs(2),
+        Lit::from_dimacs(3),
+    ]);
+    assert!(engine.solve().is_sat());
+    assert!(engine.solve().is_sat());
+    let t = tally.lock().unwrap();
+    assert_eq!(
+        t.simplifies, 1,
+        "the default preset pre-simplifies the first call only"
+    );
 }
 
 #[test]

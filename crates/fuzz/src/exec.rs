@@ -1,12 +1,13 @@
-//! Differential execution of one fuzz case: replay the ops on two
-//! production engines, certify every answer, cross-check the verdicts.
+//! Differential execution of one fuzz case: replay the ops on several
+//! production engines (including a fully-preprocessing arm and a sharing
+//! portfolio), certify every answer, cross-check the verdicts.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use berkmin::{
-    ActivityIndex, Budget, PortfolioConfig, PortfolioEngine, RestartPolicy, SatEngine, SolveEvent,
-    SolveStatus, Solver, SolverBuilder, SolverConfig,
+    ActivityIndex, Budget, PortfolioConfig, PortfolioEngine, RestartPolicy, SatEngine,
+    SimplifyConfig, SolveEvent, SolveStatus, Solver, SolverBuilder, SolverConfig,
 };
 use berkmin_cnf::{Cnf, Lit};
 use berkmin_drat::{check_refutation, DratProof};
@@ -158,8 +159,39 @@ pub fn run_case(case: &Case) -> Result<CaseReport, String> {
         Arm::new("berkmin", SolverConfig::berkmin().with_seed(0x5EED)),
         Arm::new("chaff", SolverConfig::chaff_like().with_seed(7)),
         Arm::new("churn", churn_cfg),
+        // Full preprocessing with inprocessing: subsumption, strengthening
+        // and bounded variable elimination re-run before *every* solve. Its
+        // SAT models exercise reconstruction (certified against the original
+        // accumulated formula below) and its refutations carry elimination
+        // additions and deletions through the same DRAT check as the others.
+        Arm::new(
+            "simplify",
+            SolverConfig::berkmin()
+                .with_seed(0x51A9)
+                .with_simplify(SimplifyConfig::full()),
+        ),
     ];
-    // The fourth arm: a deterministic two-worker sharing portfolio. Clause
+    // Variable elimination forbids re-introducing an eliminated variable,
+    // so freeze up front every variable the rest of the case will assume,
+    // or add after the first solve — the contract a real incremental user
+    // follows for variables they intend to come back to.
+    {
+        let simplify = arms.last_mut().expect("simplify arm exists");
+        let mut seen_solve = false;
+        for op in &case.ops {
+            match op {
+                Op::Solve => seen_solve = true,
+                Op::Assume(l) => simplify.solver.freeze(l.var()),
+                Op::Add(lits) if seen_solve => {
+                    for l in lits {
+                        simplify.solver.freeze(l.var());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // The last arm: a deterministic two-worker sharing portfolio. Clause
     // import makes its DRAT stream unsound, so its absolute refutations are
     // certified through the independent DPLL reference instead of a proof.
     let mut portfolio = PortfolioEngine::new(

@@ -31,6 +31,19 @@
 //!   --max-conflicts N      abort after N conflicts
 //!   --seed N               heuristic PRNG seed (single engines; portfolio
 //!                          workers derive their own diversified seeds)
+//!   --no-simplify          disable preprocessing (subsumption runs by
+//!                          default at the first solve; the portfolio
+//!                          simplifies once before diversifying)
+//!   --elim                 enable bounded variable elimination (SAT models
+//!                          are reconstructed over eliminated variables;
+//!                          proofs carry the elimination additions and
+//!                          deletions)
+//!   --elim-occ-cap N       elimination: skip variables with more than N
+//!                          occurrences of either polarity (default 10)
+//!   --elim-growth N        elimination: allow at most N extra clauses over
+//!                          the number removed (default 0)
+//!   --elim-clause-cap N    elimination: skip resolvents longer than N
+//!                          literals (default 20; cap flags imply --elim)
 //!   --proof FILE           write a DRAT refutation to FILE on UNSAT
 //!   --check-proof          verify the proof with the built-in RUP checker
 //!   --paranoid             audit solver invariants at every quiescent
@@ -73,8 +86,8 @@ use std::rc::Rc;
 
 use berkmin::telemetry::json::Value as JsonValue;
 use berkmin::{
-    Budget, PortfolioConfig, PortfolioEngine, SatEngine, SolveEvent, SolveStatus, SolveVerdict,
-    SolverBuilder, SolverConfig, Stats, StatsSnapshot, WorkerOutcome,
+    Budget, PortfolioConfig, PortfolioEngine, SatEngine, SimplifyConfig, SolveEvent, SolveStatus,
+    SolveVerdict, SolverBuilder, SolverConfig, Stats, StatsSnapshot, WorkerOutcome,
 };
 use berkmin_circuit::arith::enabled_counter;
 use berkmin_circuit::bmc::{scratch_first_reaching_depth, BmcDriver, BmcOutcome};
@@ -92,10 +105,12 @@ fn usage() -> ! {
     die(
         "usage: berkmin-cli [--engine NAME] [--threads N] [--share-lbd K] [--no-share] \
          [--deterministic] [--max-conflicts N] [--seed N] \
+         [--no-simplify] [--elim] [--elim-occ-cap N] [--elim-growth N] \
+         [--elim-clause-cap N] \
          [--proof FILE] [--check-proof] [--paranoid] [--stats-json FILE] [--verbose] \
          [--no-model] [--quiet] [FILE]\n\
          \x20      berkmin-cli bmc [--bits N] [--max-depth D] [--engine NAME] \
-         [--max-conflicts N] [--seed N] [--scratch] [--paranoid] \
+         [--max-conflicts N] [--seed N] [--no-simplify] [--scratch] [--paranoid] \
          [--stats-json FILE] [--verbose] [--quiet]",
     );
 }
@@ -152,6 +167,13 @@ fn parse_args() -> Options {
         stats_json: None,
         verbose: false,
     };
+    // Simplify tweaks are collected separately and applied after the loop,
+    // so `--engine` (which replaces the whole config) cannot clobber them.
+    let mut no_simplify = false;
+    let mut elim = false;
+    let mut elim_occ_cap: Option<usize> = None;
+    let mut elim_growth: Option<usize> = None;
+    let mut elim_clause_cap: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -194,6 +216,29 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage());
                 opts.config.seed = n;
             }
+            "--no-simplify" => no_simplify = true,
+            "--elim" => elim = true,
+            "--elim-occ-cap" => {
+                elim_occ_cap = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--elim-growth" => {
+                elim_growth = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--elim-clause-cap" => {
+                elim_clause_cap = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--proof" => opts.proof_path = Some(args.next().unwrap_or_else(|| usage())),
             "--check-proof" => opts.check_proof = true,
             "--paranoid" => opts.config.paranoid = true,
@@ -205,6 +250,26 @@ fn parse_args() -> Options {
             "-" => opts.file = None,
             f if !f.starts_with('-') => opts.file = Some(f.to_string()),
             _ => usage(),
+        }
+    }
+    if no_simplify {
+        opts.config.simplify = SimplifyConfig::off();
+    } else {
+        let s = &mut opts.config.simplify;
+        // Any elimination cap implies elimination itself.
+        s.var_elim = elim
+            || elim_occ_cap.is_some()
+            || elim_growth.is_some()
+            || elim_clause_cap.is_some()
+            || s.var_elim;
+        if let Some(n) = elim_occ_cap {
+            s.elim_occ_cap = n;
+        }
+        if let Some(n) = elim_growth {
+            s.elim_growth = n;
+        }
+        if let Some(n) = elim_clause_cap {
+            s.elim_clause_cap = n;
         }
     }
     opts
@@ -522,6 +587,7 @@ fn parse_bmc_args(argv: &[String]) -> BmcOptions {
                     .unwrap_or_else(|| usage());
                 opts.config.seed = n;
             }
+            "--no-simplify" => opts.config.simplify = SimplifyConfig::off(),
             "--scratch" => opts.scratch = true,
             "--paranoid" => opts.config.paranoid = true,
             "--stats-json" => {
@@ -727,7 +793,8 @@ fn main() -> ExitCode {
                 .with_share_lbd(share)
                 .with_deterministic(opts.deterministic)
                 .with_budget(opts.config.budget)
-                .with_paranoid(opts.config.paranoid),
+                .with_paranoid(opts.config.paranoid)
+                .with_simplify(opts.config.simplify),
         );
         if want_proof {
             engine.set_proof(Box::new(Rc::clone(&proof)));
@@ -787,6 +854,13 @@ fn main() -> ExitCode {
             s.avg_lbd(),
             s.lbd_max
         );
+        let simp = opts.config.simplify;
+        if simp.enable && (simp.subsumption || simp.var_elim) {
+            println!(
+                "c simplify subsumed {} strengthened {} eliminated {} resolvents {}",
+                s.clauses_subsumed, s.clauses_strengthened, s.vars_eliminated, s.elim_resolvents
+            );
+        }
         if let EngineHolder::Portfolio(p) = &holder {
             println!("{}", workers_line(p));
         }

@@ -43,9 +43,9 @@ pub use berkmin_gens;
 /// straight into it.
 pub mod prelude {
     pub use berkmin::{
-        Budget, PortfolioConfig, PortfolioEngine, ProofSink, SatEngine, SolveEvent, SolveObserver,
-        SolveStatus, SolveVerdict, Solver, SolverBuilder, SolverConfig, Stats, StatsSnapshot,
-        StopReason, WorkerOutcome, WorkerReport,
+        Budget, PortfolioConfig, PortfolioEngine, ProofSink, SatEngine, SimplifyConfig, SolveEvent,
+        SolveObserver, SolveStatus, SolveVerdict, Solver, SolverBuilder, SolverConfig, Stats,
+        StatsSnapshot, StopReason, WorkerOutcome, WorkerReport,
     };
     pub use berkmin_circuit::bmc::{BmcDriver, BmcEncoding, BmcOutcome};
     pub use berkmin_cnf::{Assignment, Clause, ClauseSink, Cnf, LBool, Lit, Var};

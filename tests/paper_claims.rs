@@ -110,6 +110,45 @@ fn restarts_and_reduction_occur_on_long_runs() {
 }
 
 #[test]
+fn claim_instances_agree_with_and_without_preprocessing() {
+    // The claims above measure heuristic *shape*; this pins the soundness
+    // side: on the same instance families, the fully preprocessing solver
+    // (subsumption, strengthening, elimination before every call) and the
+    // unsimplified one reach identical verdicts, and preprocessed SAT
+    // models still satisfy the original formula.
+    for inst in [
+        hole::pigeonhole(5),
+        parity::parity_learning(10, 14, 2),
+        miters::multiplier_miter(4, 2),
+        pipeline::sss_check(3, false, 5),
+        pipeline::sss_check(3, true, 5),
+    ] {
+        let mut on = Solver::new(
+            &inst.cnf,
+            SolverConfig::berkmin().with_simplify(SimplifyConfig::full()),
+        );
+        let mut off = Solver::new(
+            &inst.cnf,
+            SolverConfig::berkmin().with_simplify(SimplifyConfig::off()),
+        );
+        let (von, voff) = (on.solve(), off.solve());
+        assert_eq!(
+            von.is_sat(),
+            voff.is_sat(),
+            "preprocessing moved the verdict on {}",
+            inst.name
+        );
+        if let SolveStatus::Sat(m) = von {
+            assert!(
+                inst.cnf.is_satisfied_by(&m),
+                "preprocessed model violates {}",
+                inst.name
+            );
+        }
+    }
+}
+
+#[test]
 fn decisions_split_between_stack_and_free_paths() {
     // Paper §5: with conflict clauses present, most decisions come from the
     // stack; the two counters partition all decisions.

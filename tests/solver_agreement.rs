@@ -56,17 +56,26 @@ fn paper_configs() -> Vec<(&'static str, SolverConfig)> {
 
 fn check_pool(pool: &[BenchInstance]) {
     for inst in pool {
-        let mut verdicts: Vec<(&str, bool)> = Vec::new();
+        let mut verdicts: Vec<(String, bool)> = Vec::new();
         for (name, cfg) in paper_configs() {
-            let mut solver = engine_for(&inst.cnf, cfg);
-            match solver.solve() {
-                SolveStatus::Sat(m) => {
-                    assert!(inst.cnf.is_satisfied_by(&m), "{name} on {}", inst.name);
-                    verdicts.push((name, true));
-                }
-                SolveStatus::Unsat => verdicts.push((name, false)),
-                SolveStatus::Unknown(r) => {
-                    panic!("{name} on {}: aborted without budget: {r}", inst.name)
+            // Each configuration runs the sweep twice: preprocessing fully
+            // off and fully on (subsumption, strengthening, elimination) —
+            // the simplifier must never move any arm's verdict.
+            for (tag, simplify) in [
+                ("simplify-off", SimplifyConfig::off()),
+                ("simplify-full", SimplifyConfig::full()),
+            ] {
+                let arm = format!("{name}/{tag}");
+                let mut solver = engine_for(&inst.cnf, cfg.clone().with_simplify(simplify));
+                match solver.solve() {
+                    SolveStatus::Sat(m) => {
+                        assert!(inst.cnf.is_satisfied_by(&m), "{arm} on {}", inst.name);
+                        verdicts.push((arm, true));
+                    }
+                    SolveStatus::Unsat => verdicts.push((arm, false)),
+                    SolveStatus::Unknown(r) => {
+                        panic!("{arm} on {}: aborted without budget: {r}", inst.name)
+                    }
                 }
             }
         }

@@ -116,6 +116,41 @@ fn ci_keeps_the_telemetry_smoke_step() {
 }
 
 #[test]
+fn ci_keeps_the_preprocessing_steps() {
+    // The preprocessing subsystem's three CI legs: the agreement sweep that
+    // runs every paper configuration with simplification off and fully on,
+    // the proof pipeline that pushes elimination's add/delete lines through
+    // the independent checker (plus the reconstructed-model SAT arm), and
+    // the bench smoke that writes BENCH_preprocess.json.
+    let ci = ci_config();
+    assert!(
+        ci.contains("cargo test -q --release --test solver_agreement all_configs"),
+        "CI workflow dropped the simplified agreement sweep; preprocessing \
+         could silently move verdicts on the paper configurations"
+    );
+    assert!(
+        ci.contains("--elim --proof hole5.drat --check-proof hole5.cnf"),
+        "CI workflow dropped the elimination proof pipeline; DRAT streams \
+         with elimination deletions would no longer be checked end-to-end"
+    );
+    assert!(
+        ci.contains("grep -q '^d ' hole5.drat"),
+        "CI workflow no longer insists the elimination proof carries `d` \
+         lines — the deletion-emitting path would rot silently"
+    );
+    assert!(
+        ci.contains("--elim elim_sat.cnf"),
+        "CI workflow dropped the reconstructed-model SAT arm; model \
+         extension over eliminated variables would go unexercised"
+    );
+    assert!(
+        ci.contains("--bin preprocess_bench -- --smoke"),
+        "CI workflow dropped the preprocess bench smoke step; the on/off \
+         comparison (BENCH_preprocess.json) would rot silently"
+    );
+}
+
+#[test]
 fn ci_keeps_the_fuzz_smoke_step() {
     // The differential fuzz harness is the integrity layer's teeth: a
     // bounded fixed-seed sweep in which every SAT model, UNSAT core and
