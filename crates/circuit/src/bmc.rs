@@ -287,13 +287,6 @@ impl<E: SatEngine> BmcDriver<E> {
         &self.engine
     }
 
-    /// Deprecated name of [`BmcDriver::engine`], from when the driver was
-    /// hard-wired to the concrete [`Solver`].
-    #[deprecated(note = "use `engine()`")]
-    pub fn solver(&self) -> &E {
-        &self.engine
-    }
-
     /// The netlist being checked.
     pub fn netlist(&self) -> &Netlist {
         &self.netlist

@@ -69,10 +69,10 @@ impl Solver {
                     continue;
                 }
                 let v = q.var();
-                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                if !self.seen[v.index()] && self.trail.level_of(v) > 0 {
                     self.seen[v.index()] = true;
                     to_clear.push(v.raw());
-                    if self.level[v.index()] as usize == current_level {
+                    if self.trail.level_of(v) as usize == current_level {
                         counter += 1;
                     } else {
                         learnt.push(q);
@@ -83,11 +83,11 @@ impl Solver {
             // --- pick the next current-level literal off the trail ---
             loop {
                 idx -= 1;
-                if self.seen[self.trail[idx].var().index()] {
+                if self.seen[self.trail.lit_at(idx).var().index()] {
                     break;
                 }
             }
-            let pl = self.trail[idx];
+            let pl = self.trail.lit_at(idx);
             self.seen[pl.var().index()] = false;
             counter -= 1;
             if counter == 0 {
@@ -95,7 +95,9 @@ impl Solver {
                 learnt[0] = !pl;
                 break;
             }
-            cref = self.reason[pl.var().index()]
+            cref = self
+                .trail
+                .reason_of(pl.var())
                 .expect("implied literal above level 0 must have a reason");
             p = Some(pl);
         }
@@ -118,12 +120,12 @@ impl Solver {
         } else {
             let mut max_i = 1;
             for i in 2..learnt.len() {
-                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                if self.trail.level_of(learnt[i].var()) > self.trail.level_of(learnt[max_i].var()) {
                     max_i = i;
                 }
             }
             learnt.swap(1, max_i);
-            self.level[learnt[1].var().index()] as usize
+            self.trail.level_of(learnt[1].var()) as usize
         };
 
         for v in to_clear {
@@ -136,7 +138,7 @@ impl Solver {
         self.lbd_stamp_gen += 1;
         let mut lbd = 0u32;
         for &l in &learnt {
-            let lvl = self.level[l.var().index()] as usize;
+            let lvl = self.trail.level_of(l.var()) as usize;
             if self.lbd_stamp[lvl] != self.lbd_stamp_gen {
                 self.lbd_stamp[lvl] = self.lbd_stamp_gen;
                 lbd += 1;
@@ -169,22 +171,22 @@ impl Solver {
             return core;
         }
         self.seen[failed.var().index()] = true;
-        let bound = self.trail_lim[0];
+        let bound = self.trail.level_start(0);
         for i in (bound..self.trail.len()).rev() {
-            let x = self.trail[i].var();
+            let x = self.trail.lit_at(i).var();
             if !self.seen[x.index()] {
                 continue;
             }
-            match self.reason[x.index()] {
+            match self.trail.reason_of(x) {
                 None => {
-                    debug_assert!(self.level[x.index()] > 0, "root facts have level 0");
-                    core.push(self.trail[i]);
+                    debug_assert!(self.trail.level_of(x) > 0, "root facts have level 0");
+                    core.push(self.trail.lit_at(i));
                 }
                 Some(rc) => {
                     let n = self.db.lits(rc).len();
                     for k in 0..n {
                         let q = self.db.lits(rc)[k];
-                        if q.var() != x && self.level[q.var().index()] > 0 {
+                        if q.var() != x && self.trail.level_of(q.var()) > 0 {
                             self.seen[q.var().index()] = true;
                         }
                     }
@@ -204,14 +206,14 @@ impl Solver {
         let mut j = 1;
         for i in 1..learnt.len() {
             let v = learnt[i].var();
-            let removable = match self.reason[v.index()] {
+            let removable = match self.trail.reason_of(v) {
                 None => false, // decision literal: must stay
                 Some(rc) => {
                     let lits = self.db.lits(rc);
                     lits.iter().all(|&q| {
                         q.var() == v
                             || self.seen[q.var().index()]
-                            || self.level[q.var().index()] == 0
+                            || self.trail.level_of(q.var()) == 0
                     })
                 }
             };
@@ -227,7 +229,8 @@ impl Solver {
 #[cfg(test)]
 mod tests {
     use crate::config::{Sensitivity, SolverConfig};
-    use crate::solver::{SolveStatus, Solver};
+    use crate::search::SolveStatus;
+    use crate::solver::Solver;
     use berkmin_cnf::{Lit, Var};
 
     fn lit(n: i32) -> Lit {

@@ -11,7 +11,8 @@
 //!   correct partner literal, blockers inside their clause, and no watcher
 //!   dangles into garbage.
 //! * **Watch semantics** — once the propagation queue is drained
-//!   (`qhead == trail.len()`) every live clause is satisfied or has both
+//!   ([`Trail::queue_drained`](crate::Trail::queue_drained)) every live
+//!   clause is satisfied or has both
 //!   watched literals unfalsified (the two-watched-literal contract).
 //! * **Trail/reason consistency** — trail literals are true, levels match
 //!   the decision markers, reason clauses are live, contain the implied
@@ -27,7 +28,7 @@
 //! does, and what the `debug_assert!` hooks at the mutation sites do in
 //! debug builds.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use berkmin_cnf::{LBool, Lit, Var};
 
@@ -89,6 +90,8 @@ impl Solver {
     pub fn audit_invariants(&self) -> Result<(), AuditReport> {
         let mut out = Vec::new();
         self.db.audit(&mut out);
+        self.trail.self_check(self.num_vars, &mut out);
+        self.watches.self_check_sizes(self.num_vars, &mut out);
         self.audit_tables(&mut out);
         if out.iter().any(|v| v.starts_with("tables:")) {
             // Mis-sized per-variable tables make the deeper checks index out
@@ -98,8 +101,9 @@ impl Solver {
         }
         let live: HashSet<ClauseRef> = self.db.iter_live().collect();
         self.audit_stack(&live, &mut out);
-        self.audit_watches(&live, &mut out);
-        self.audit_trail(&live, &mut out);
+        self.watches
+            .self_check(&self.db, &self.trail, &live, self.ok, &mut out);
+        self.audit_reasons(&live, &mut out);
         self.audit_eliminated(&live, &mut out);
         if self.config.activity_index == ActivityIndex::Heap {
             self.audit_heap(&mut out);
@@ -129,13 +133,15 @@ impl Solver {
         }
     }
 
-    /// Per-variable table sizes and trail bookkeeping.
+    /// Sizes of the analysis/activity scratch tables the [`Trail`] and
+    /// [`Watches`] self-checks do not own, plus the seen-scratch hygiene
+    /// check.
+    ///
+    /// [`Trail`]: crate::Trail
+    /// [`Watches`]: crate::watch::Watches
     fn audit_tables(&self, out: &mut Vec<String>) {
         let n = self.num_vars;
         for (name, len) in [
-            ("assigns", self.assigns.len()),
-            ("level", self.level.len()),
-            ("reason", self.reason.len()),
             ("seen", self.seen.len()),
             ("var_activity", self.var_activity.len()),
         ] {
@@ -143,35 +149,12 @@ impl Solver {
                 out.push(format!("tables: {name} covers {len} vars, expected {n}"));
             }
         }
-        for (name, len) in [
-            ("watches", self.watches.len()),
-            ("bin_watches", self.bin_watches.len()),
-            ("lit_activity", self.lit_activity.len()),
-        ] {
-            if len != 2 * n {
-                out.push(format!(
-                    "tables: {name} covers {len} literal codes, expected {}",
-                    2 * n
-                ));
-            }
-        }
-        if self.qhead > self.trail.len() {
+        let len = self.lit_activity.len();
+        if len != 2 * n {
             out.push(format!(
-                "trail: qhead {} beyond trail length {}",
-                self.qhead,
-                self.trail.len()
+                "tables: lit_activity covers {len} literal codes, expected {}",
+                2 * n
             ));
-        }
-        let mut prev = 0usize;
-        for (i, &lim) in self.trail_lim.iter().enumerate() {
-            if lim > self.trail.len() || lim < prev {
-                out.push(format!(
-                    "trail: decision marker {i} at {lim} is out of order \
-                     (prev {prev}, trail length {})",
-                    self.trail.len()
-                ));
-            }
-            prev = lim;
         }
         if self.seen.iter().any(|&s| s) {
             out.push("analysis: seen[] scratch left marked outside analysis".into());
@@ -201,142 +184,18 @@ impl Solver {
         }
     }
 
-    /// Watch-list structure, plus the semantic two-watched-literal contract
-    /// when the propagation queue is drained.
-    fn audit_watches(&self, live: &HashSet<ClauseRef>, out: &mut Vec<String>) {
-        let mut watch_count: HashMap<ClauseRef, usize> = HashMap::new();
-        for code in 0..self.watches.len().min(self.bin_watches.len()) {
-            // `watches[l]` is visited when `l` becomes true, i.e. it holds
-            // the clauses containing `¬l` — `watched` is the clause literal.
-            let watched = !Lit::from_code(code as u32);
-            for w in &self.watches[code] {
-                if !live.contains(&w.cref) {
-                    out.push(format!(
-                        "watches[{code}]: dangling long watcher {:?}",
-                        w.cref
-                    ));
-                    continue;
-                }
-                let lits = self.db.lits(w.cref);
-                if lits.len() < 3 {
-                    out.push(format!(
-                        "watches[{code}]: binary clause {:?} in the long lists",
-                        w.cref
-                    ));
-                }
-                if lits[0] != watched && lits[1] != watched {
-                    out.push(format!(
-                        "watches[{code}]: clause {:?} is not watched at its \
-                         first two literals",
-                        w.cref
-                    ));
-                }
-                if !lits.contains(&w.blocker) {
-                    out.push(format!(
-                        "watches[{code}]: blocker of {:?} is outside the clause",
-                        w.cref
-                    ));
-                }
-                *watch_count.entry(w.cref).or_insert(0) += 1;
-            }
-            for w in &self.bin_watches[code] {
-                if !live.contains(&w.cref) {
-                    out.push(format!(
-                        "bin_watches[{code}]: dangling binary watcher {:?}",
-                        w.cref
-                    ));
-                    continue;
-                }
-                let lits = self.db.lits(w.cref);
-                if lits.len() != 2 {
-                    out.push(format!(
-                        "bin_watches[{code}]: long clause {:?} in the binary lists",
-                        w.cref
-                    ));
-                } else if !(lits.contains(&watched) && lits.contains(&w.other)) {
-                    out.push(format!(
-                        "bin_watches[{code}]: inline watcher does not encode \
-                         clause {:?}",
-                        w.cref
-                    ));
-                }
-                *watch_count.entry(w.cref).or_insert(0) += 1;
-            }
-        }
-        for &cref in live {
-            let n = watch_count.get(&cref).copied().unwrap_or(0);
-            if n != 2 {
-                out.push(format!(
-                    "watches: live clause {cref:?} is watched {n} time(s), \
-                     expected exactly 2"
-                ));
-            }
-        }
-        // The semantic contract only holds once BCP has drained the queue;
-        // a refuted solver keeps a falsified clause by design.
-        if self.ok && self.qhead == self.trail.len() {
-            for &cref in live {
-                let lits = self.db.lits(cref);
-                let satisfied = lits.iter().any(|&l| self.lit_value(l) == LBool::True);
-                let watches_ok = self.lit_value(lits[0]) != LBool::False
-                    && self.lit_value(lits[1]) != LBool::False;
-                if !satisfied && !watches_ok {
-                    out.push(format!(
-                        "watch semantics: clause {cref:?} {lits:?} has a \
-                         falsified watched literal but no satisfying literal \
-                         on a fully propagated trail"
-                    ));
-                }
-            }
-        }
-    }
-
-    /// Trail/assignment/level/reason cross-consistency.
-    fn audit_trail(&self, live: &HashSet<ClauseRef>, out: &mut Vec<String>) {
-        let mut on_trail = vec![false; self.num_vars];
-        let mut next_lim = 0usize;
-        let mut level_here = 0u32;
-        for (i, &l) in self.trail.iter().enumerate() {
-            while next_lim < self.trail_lim.len() && self.trail_lim[next_lim] <= i {
-                next_lim += 1;
-                level_here = next_lim as u32;
-            }
-            let v = l.var().index();
-            if v >= self.num_vars {
-                out.push(format!("trail[{i}]: unknown var {v}"));
-                continue;
-            }
-            if on_trail[v] {
-                out.push(format!("trail[{i}]: var {v} appears twice"));
-            }
-            on_trail[v] = true;
-            if self.lit_value(l) != LBool::True {
-                out.push(format!("trail[{i}]: literal {l:?} is not assigned true"));
-            }
-            if self.level[v] != level_here {
-                out.push(format!(
-                    "trail[{i}]: var {v} records level {}, decision markers \
-                     say {level_here}",
-                    self.level[v]
-                ));
-            }
-        }
-        for (v, &trailed) in on_trail.iter().enumerate().take(self.num_vars) {
-            let assigned = !self.assigns[v].is_undef();
-            if assigned != trailed {
-                out.push(format!(
-                    "assigns: var {v} is {} but {} the trail",
-                    if assigned { "assigned" } else { "unassigned" },
-                    if trailed { "on" } else { "off" }
-                ));
-            }
-            if !assigned && self.reason[v].is_some() {
-                out.push(format!("reason: unassigned var {v} keeps a reason"));
-            }
-        }
+    /// Reason-*clause* consistency for every implied trail literal: the
+    /// clause is live, contains the implied literal, and every other
+    /// literal is falsified at or below the implied literal's level. (The
+    /// trail/assignment/level cross-checks that need no clause arena live
+    /// in [`Trail::self_check`](crate::Trail).)
+    fn audit_reasons(&self, live: &HashSet<ClauseRef>, out: &mut Vec<String>) {
         for &l in self.trail.iter() {
             let v = l.var().index();
-            let Some(cref) = self.reason.get(v).copied().flatten() else {
+            if v >= self.num_vars {
+                continue; // already reported by the trail self-check
+            }
+            let Some(cref) = self.trail.reason_of(l.var()) else {
                 continue;
             };
             if !live.contains(&cref) {
@@ -352,17 +211,17 @@ impl Solver {
                 continue;
             }
             for &other in lits.iter().filter(|&&o| o != l) {
-                if self.lit_value(other) != LBool::False {
+                if self.trail.lit_value(other) != LBool::False {
                     out.push(format!(
                         "reason: clause {cref:?} of var {v} has unfalsified \
                          side literal {other:?}"
                     ));
-                } else if self.level[other.var().index()] > self.level[v] {
+                } else if self.trail.level_of(other.var()) > self.trail.level_of(l.var()) {
                     out.push(format!(
                         "reason: clause {cref:?} of var {v} (level {}) leans on \
                          {other:?} assigned above it (level {})",
-                        self.level[v],
-                        self.level[other.var().index()]
+                        self.trail.level_of(l.var()),
+                        self.trail.level_of(other.var())
                     ));
                 }
             }
@@ -375,7 +234,7 @@ impl Solver {
     fn audit_heap(&self, out: &mut Vec<String>) {
         self.heap.audit(&self.var_activity, out);
         for v in 0..self.num_vars {
-            if self.assigns[v].is_undef()
+            if self.trail.value(Var::new(v as u32)).is_undef()
                 && !self.eliminated[v]
                 && !self.heap.contains(Var::new(v as u32))
             {
@@ -398,7 +257,7 @@ impl Solver {
             if !self.eliminated[v] {
                 continue;
             }
-            if !self.assigns[v].is_undef() {
+            if !self.trail.value(Var::new(v as u32)).is_undef() {
                 out.push(format!("eliminated: var {v} is assigned"));
             }
             if self.frozen[v] {
@@ -409,13 +268,13 @@ impl Solver {
             }
             for l in [Lit::pos(Var::new(v as u32)), !Lit::pos(Var::new(v as u32))] {
                 let code = l.code();
-                if !self.watches[code].is_empty() || !self.bin_watches[code].is_empty() {
+                if !self.watches.long(code).is_empty() || !self.watches.binary(code).is_empty() {
                     out.push(format!("eliminated: var {v} still has watchers"));
                     break;
                 }
             }
         }
-        for &l in &self.trail {
+        for &l in self.trail.iter() {
             if self.eliminated[l.var().index()] {
                 out.push(format!("eliminated: var {:?} on the trail", l.var()));
             }
@@ -440,7 +299,7 @@ impl Solver {
 mod tests {
     use super::*;
     use crate::config::SolverConfig;
-    use crate::solver::Watcher;
+    use crate::watch::Watcher;
 
     fn lit(n: i32) -> Lit {
         Lit::from_dimacs(n)
@@ -470,10 +329,10 @@ mod tests {
     #[test]
     fn cleared_watch_list_is_caught() {
         let mut s = solved_solver();
-        let victim = (0..s.watches.len())
-            .find(|&c| !s.watches[c].is_empty())
+        let victim = (0..s.watches.num_codes())
+            .find(|&c| !s.watches.long(c).is_empty())
             .expect("a ternary clause is watched somewhere");
-        s.watches[victim].clear();
+        s.watches.test_clear_long(victim);
         let report = s.audit_invariants().expect_err("audit must trip");
         assert!(
             report
@@ -488,10 +347,13 @@ mod tests {
     fn dangling_watcher_is_caught() {
         let mut s = solved_solver();
         let bogus = ClauseRef(u32::MAX - 8);
-        s.watches[0].push(Watcher {
-            cref: bogus,
-            blocker: lit(1),
-        });
+        s.watches.push_long(
+            0,
+            Watcher {
+                cref: bogus,
+                blocker: lit(1),
+            },
+        );
         let report = s.audit_invariants().expect_err("audit must trip");
         assert!(
             report.violations.iter().any(|v| v.contains("dangling")),
@@ -503,8 +365,8 @@ mod tests {
     fn corrupted_assignment_is_caught() {
         let mut s = solved_solver();
         // Flip the first trail literal's assignment out from under the trail.
-        let v = s.trail[0].var().index();
-        s.assigns[v] = !s.assigns[v];
+        let v = s.trail.lit_at(0).var();
+        s.trail.test_flip_assign(v);
         let report = s.audit_invariants().expect_err("audit must trip");
         assert!(
             report

@@ -13,7 +13,8 @@ use berkmin_cnf::{ClauseSink, Cnf, Lit, Var};
 use crate::config::SolverConfig;
 use crate::engine::SatEngine;
 use crate::proof::ProofSink;
-use crate::solver::{ExportCallback, ImportCallback, LearntCallback, Solver, TerminateCallback};
+use crate::search::{ExportCallback, ImportCallback, LearntCallback, TerminateCallback};
+use crate::solver::Solver;
 use crate::telemetry::SolveObserver;
 
 /// Builder for a [`Solver`] session.

@@ -36,9 +36,12 @@ use crate::proof::ProofSink;
 
 /// Handle to a clause: the word offset of its header in the arena.
 ///
-/// Stable across additions and deletions, but **not** across
-/// [`ClauseDb::collect`] — the collector hands back a [`GcMap`] through which
-/// every outstanding reference must be rewritten.
+/// Stable across additions and deletions, but **not** across garbage
+/// collection — the collector hands back a remapping table through which
+/// every outstanding reference is rewritten. Outside this crate the type
+/// is opaque: it appears in the public API only as the reason handle of
+/// [`Trail::reason_of`](crate::Trail::reason_of) /
+/// [`Trail::assign`](crate::Trail::assign).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ClauseRef(pub(crate) u32);
 

@@ -94,7 +94,7 @@ impl Solver {
     fn most_active_free_scan(&self) -> Option<Var> {
         let mut best: Option<(Var, u64)> = None;
         for i in 0..self.num_vars {
-            if self.assigns[i] == LBool::Undef && !self.eliminated[i] {
+            if self.trail.value(Var::new(i as u32)) == LBool::Undef && !self.eliminated[i] {
                 let a = self.var_activity[i];
                 if best.map_or(true, |(_, ba)| a > ba) {
                     best = Some((Var::new(i as u32), a));
@@ -107,7 +107,7 @@ impl Solver {
     /// Heap-indexed lookup — the BerkMin561 "strategy 3" optimization.
     fn most_active_free_heap(&mut self) -> Option<Var> {
         while let Some(v) = self.heap.pop(&self.var_activity) {
-            if self.assigns[v.index()] == LBool::Undef && !self.eliminated[v.index()] {
+            if self.trail.value(v) == LBool::Undef && !self.eliminated[v.index()] {
                 return Some(v);
             }
         }
@@ -120,7 +120,7 @@ impl Solver {
         let mut best: Option<(Lit, u64)> = None;
         for code in 0..2 * self.num_vars {
             let l = Lit::from_code(code as u32);
-            if self.assigns[l.var().index()] == LBool::Undef && !self.eliminated[l.var().index()] {
+            if self.trail.value(l.var()) == LBool::Undef && !self.eliminated[l.var().index()] {
                 let c = self.vsids[code];
                 if best.map_or(true, |(_, bc)| c > bc) {
                     best = Some((l, c));

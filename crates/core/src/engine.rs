@@ -10,7 +10,8 @@
 
 use berkmin_cnf::{ClauseSink, LBool, Lit, Var};
 
-use crate::solver::{SolveStatus, Solver};
+use crate::search::SolveStatus;
+use crate::solver::Solver;
 use crate::stats::Stats;
 use crate::telemetry::SolveObserver;
 

@@ -15,6 +15,7 @@ use crate::clause_db::ClauseRef;
 use crate::config::SolverConfig;
 use crate::proof::NoProof;
 use crate::solver::Solver;
+use crate::watch::WatchRef;
 
 /// Size of the variable pool the generated clauses draw from.
 const VARS: usize = 24;
@@ -48,11 +49,8 @@ fn check_invariants(s: &Solver) {
     let live: HashSet<ClauseRef> = s.db.iter_live().collect();
     let mut watch_count: HashMap<ClauseRef, usize> = HashMap::new();
 
-    for code in 0..2 * s.num_vars() {
-        // `watches[l]` is visited when `l` becomes true, i.e. it holds the
-        // clauses containing `¬l` — `watched` below is the clause literal.
-        let watched = !Lit::from_code(code as u32);
-        for w in &s.watches[code] {
+    s.watches.for_each_watcher(|watched, entry| match entry {
+        WatchRef::Long(w) => {
             assert!(live.contains(&w.cref), "dangling long watcher {:?}", w.cref);
             let lits = s.db.lits(w.cref);
             assert!(lits.len() >= 3, "binary clause in the long watch lists");
@@ -63,7 +61,7 @@ fn check_invariants(s: &Solver) {
             assert!(lits.contains(&w.blocker), "blocker outside the clause");
             *watch_count.entry(w.cref).or_insert(0) += 1;
         }
-        for w in &s.bin_watches[code] {
+        WatchRef::Binary(w) => {
             assert!(
                 live.contains(&w.cref),
                 "dangling binary watcher {:?}",
@@ -77,7 +75,7 @@ fn check_invariants(s: &Solver) {
             );
             *watch_count.entry(w.cref).or_insert(0) += 1;
         }
-    }
+    });
     for cref in &live {
         assert_eq!(
             watch_count.get(cref).copied().unwrap_or(0),
@@ -89,9 +87,13 @@ fn check_invariants(s: &Solver) {
         assert!(live.contains(cref), "dangling stack entry {cref:?}");
         assert!(s.db.is_learnt(*cref), "original clause on the stack");
     }
-    for (v, r) in s.reason.iter().enumerate() {
-        if let Some(cref) = r {
-            assert!(live.contains(cref), "dangling reason for var {v}");
+    for &l in s.trail.iter() {
+        if let Some(cref) = s.trail.reason_of(l.var()) {
+            assert!(
+                live.contains(&cref),
+                "dangling reason for var {}",
+                l.var().index()
+            );
         }
     }
 }

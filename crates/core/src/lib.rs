@@ -115,18 +115,23 @@ mod engine;
 #[cfg(test)]
 mod gc_props;
 mod heap;
+mod limits;
 mod polarity;
 mod portfolio;
 mod preprocess;
 mod proof;
 mod reduce;
 mod rng;
+mod search;
 mod solver;
 mod stats;
 pub mod telemetry;
+mod trail;
+mod watch;
 
 pub use audit::AuditReport;
 pub use builder::SolverBuilder;
+pub use clause_db::ClauseRef;
 pub use config::{
     ActivityIndex, Budget, DbPolicy, DecisionStrategy, FreeVarPolarity, RestartPolicy, Sensitivity,
     SimplifyConfig, SolverConfig, TopClausePolarity,
@@ -134,12 +139,13 @@ pub use config::{
 pub use engine::SatEngine;
 pub use portfolio::{PortfolioConfig, PortfolioEngine, WorkerOutcome, WorkerReport};
 pub use proof::{NoProof, ProofSink};
-pub use solver::{
-    ExportCallback, ImportCallback, LearntCallback, SolveStatus, Solver, StopReason,
-    TerminateCallback,
+pub use search::{
+    ExportCallback, ImportCallback, LearntCallback, SolveStatus, StopReason, TerminateCallback,
 };
+pub use solver::Solver;
 pub use stats::Stats;
 pub use telemetry::{SolveEvent, SolveObserver, SolveVerdict, StatsSnapshot};
+pub use trail::Trail;
 
 // Re-export the vocabulary crate (and the clause-stream trait most
 // engine users want in scope) so downstream users need only one import.

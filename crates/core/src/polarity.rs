@@ -82,12 +82,12 @@ impl Solver {
         // containing `¬v` are the entries visited when `v` becomes true —
         // the occurrence lists the paper's `nb_two` wants fall out of the
         // binary watch scheme for free.
-        for w in &self.bin_watches[(!l).code()] {
+        for w in self.watches.binary((!l).code()) {
             let other = w.other;
             if self.lit_value(other) == LBool::True {
                 continue;
             }
-            total += 1 + self.bin_watches[other.code()].len() as u32;
+            total += 1 + self.watches.binary(other.code()).len() as u32;
             if total > self.config.nb_two_threshold {
                 break;
             }

@@ -62,7 +62,8 @@ use crate::config::{Budget, SimplifyConfig, SolverConfig};
 use crate::engine::SatEngine;
 use crate::preprocess::Reconstructor;
 use crate::proof::ProofSink;
-use crate::solver::{SolveStatus, Solver, StopReason};
+use crate::search::{SolveStatus, StopReason};
+use crate::solver::Solver;
 use crate::stats::Stats;
 use crate::telemetry::{SolveEvent, SolveObserver, SolveVerdict};
 

@@ -18,7 +18,8 @@ use berkmin_cnf::Lit;
 use crate::builder::SolverBuilder;
 use crate::config::SolverConfig;
 use crate::proof::ProofSink;
-use crate::solver::{SolveStatus, Solver};
+use crate::search::SolveStatus;
+use crate::solver::Solver;
 use crate::stats::Stats;
 use crate::telemetry::{SolveEvent, SolveObserver, SolveVerdict};
 
@@ -199,7 +200,7 @@ pub(crate) fn run_worker(
 mod tests {
     use super::*;
     use crate::config::Budget;
-    use crate::solver::StopReason;
+    use crate::search::StopReason;
 
     /// hole(n): n+1 pigeons in n holes — small but exponentially hard, so a
     /// worker is reliably mid-search when the flag rises.

@@ -73,10 +73,7 @@ impl Solver {
     /// changed at all.
     fn try_eliminate(&mut self, v: Var, st: &mut SimpState, proof: &mut dyn ProofSink) {
         let cfg = self.config.simplify;
-        if self.frozen[v.index()]
-            || self.eliminated[v.index()]
-            || !self.assigns[v.index()].is_undef()
-        {
+        if self.frozen[v.index()] || self.eliminated[v.index()] || !self.trail.value(v).is_undef() {
             return;
         }
         let p = Lit::pos(v);

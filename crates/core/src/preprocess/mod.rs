@@ -104,12 +104,11 @@ impl Solver {
         if !cfg.enable || (!cfg.subsumption && !cfg.var_elim) || !self.ok {
             return;
         }
-        if self.simplified_once && !cfg.inprocess {
+        if !self.limits.simplify_due(cfg.inprocess) {
             return;
         }
         debug_assert_eq!(self.decision_level(), 0);
-        debug_assert_eq!(self.qhead, self.trail.len(), "trail must be propagated");
-        self.simplified_once = true;
+        debug_assert!(self.trail.queue_drained(), "trail must be propagated");
 
         // The current call's assumption variables must survive: freeze them
         // (permanently — a later call may assume them again).
@@ -232,7 +231,7 @@ impl Solver {
     /// loop runs to the trail's end).
     pub(crate) fn apply_units(&mut self, st: &mut SimpState, proof: &mut dyn ProofSink) {
         while st.applied < self.trail.len() {
-            let l = self.trail[st.applied];
+            let l = self.trail.lit_at(st.applied);
             st.applied += 1;
             for id in st.idx.compact_occ(l) {
                 let cref = st.idx.cref(id);
@@ -455,16 +454,20 @@ mod tests {
             vec![lit(-2), lit(3)],
             vec![lit(-3), lit(-2)],
         ];
-        let mut s = solver(SimplifyConfig::full());
-        let mut proof = Recording::default();
+        let proof = std::rc::Rc::new(std::cell::RefCell::new(Recording::default()));
+        let mut cfg = SolverConfig::berkmin();
+        cfg.simplify = SimplifyConfig::full();
+        let mut s = crate::builder::SolverBuilder::with_config(cfg)
+            .proof(std::rc::Rc::clone(&proof))
+            .build();
         for c in &clauses {
             s.add_clause(c.iter().copied());
         }
-        #[allow(deprecated)]
-        let status = s.solve_with_proof(&mut proof);
+        let status = s.solve();
         assert!(status.is_unsat());
         // The refutation ends in the empty clause, and the simplifier's
         // removals (the subsumed ternary at least) produced `d` lines.
+        let proof = proof.borrow();
         assert_eq!(proof.adds.last().map(Vec::len), Some(0));
         assert!(!proof.dels.is_empty());
     }

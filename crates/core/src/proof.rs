@@ -57,7 +57,7 @@ impl<S: ProofSink + ?Sized> ProofSink for Box<S> {
 /// Shared-ownership sink: attach `Rc::clone(&sink)` to a
 /// [`SolverBuilder`](crate::SolverBuilder) and keep the other handle to
 /// read the recorded proof back after solving — the session replacement
-/// for the per-call `&mut sink` the deprecated `solve_with_proof` took.
+/// for the per-call `&mut sink` the removed `solve_with_proof` took.
 impl<S: ProofSink> ProofSink for std::rc::Rc<std::cell::RefCell<S>> {
     fn add_clause(&mut self, lits: &[Lit]) {
         self.borrow_mut().add_clause(lits);

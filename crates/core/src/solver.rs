@@ -1,177 +1,35 @@
-//! The solver object: state, BCP, and the main CDCL loop.
+//! The solver facade: composes the state subsystems and exposes the
+//! public session API.
+//!
+//! The heavy machinery lives in the subsystem modules — assignment state
+//! in [`crate::trail`], watched-literal indexes in [`crate::watch`], the
+//! cadence/budget scheduler in [`crate::limits`], the CDCL loop in
+//! [`crate::search`]. This module owns the [`Solver`] struct that wires
+//! them together plus the thin API that does not run search: construction,
+//! clause ingestion, assumption staging, freeze/melt, accessors, and the
+//! `solve()` entry point.
 
-use berkmin_cnf::{Assignment, Cnf, LBool, Lit, Var};
+use berkmin_cnf::{Cnf, LBool, Lit, Var};
 
 use crate::clause_db::{ClauseDb, ClauseRef};
-use crate::config::{ActivityIndex, Budget, DecisionStrategy, RestartPolicy, SolverConfig};
+use crate::config::{ActivityIndex, Budget, SolverConfig};
 use crate::heap::VarHeap;
+use crate::limits::SearchLimits;
 use crate::preprocess::Reconstructor;
 use crate::proof::{NoProof, ProofSink};
 use crate::rng::XorShift64;
+use crate::search::{SolveEvents, SolveStatus};
 use crate::stats::Stats;
-use crate::telemetry::{SolveEvent, SolveObserver, SolveVerdict};
-
-/// Why a run stopped without an answer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StopReason {
-    /// The conflict budget was exhausted — the deterministic analog of the
-    /// paper's wall-clock timeouts ("aborted" rows in Tables 2, 4, 7).
-    ConflictBudget,
-    /// The decision budget was exhausted.
-    DecisionBudget,
-    /// The propagation budget was exhausted.
-    PropagationBudget,
-    /// The terminate callback (see
-    /// [`SolverBuilder::on_terminate`](crate::SolverBuilder::on_terminate))
-    /// asked the solver to stop. Budgets are unaffected: a later
-    /// [`Solver::solve`] call gets its usual per-call allowance.
-    Callback,
-}
-
-impl std::fmt::Display for StopReason {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            StopReason::ConflictBudget => write!(f, "conflict budget exhausted"),
-            StopReason::DecisionBudget => write!(f, "decision budget exhausted"),
-            StopReason::PropagationBudget => write!(f, "propagation budget exhausted"),
-            StopReason::Callback => write!(f, "terminate callback requested stop"),
-        }
-    }
-}
-
-/// A boxed terminate callback: polled at solve entry, at restart
-/// boundaries, and every 1024 conflicts; returning `true` aborts with
-/// [`StopReason::Callback`].
-pub type TerminateCallback = Box<dyn FnMut() -> bool>;
-
-/// A boxed learnt-clause callback: receives each conflict-derived learnt
-/// clause (asserting literal first) whose length is within the cap it was
-/// registered with.
-pub type LearntCallback = Box<dyn FnMut(&[Lit])>;
-
-/// A boxed share-export callback: receives each conflict-derived learnt
-/// clause that passes the export filter (length ≤ 2, or LBD within the
-/// registered cap), together with its LBD — the portfolio's outbound half
-/// of learnt-clause sharing.
-pub type ExportCallback = Box<dyn FnMut(&[Lit], u32)>;
-
-/// A boxed share-import source: polled at solve entry and at every restart
-/// boundary, it pushes candidate clauses into the supplied buffer; the solver integrates them
-/// at decision level 0 (level-0-simplified, attached as learnt clauses).
-/// Every pushed clause **must** be implied by the original formula — the
-/// portfolio's inbound half of learnt-clause sharing.
-pub type ImportCallback = Box<dyn FnMut(&mut Vec<Vec<Lit>>)>;
-
-/// The solve-event hooks a solver carries (installed at construction time
-/// through [`SolverBuilder`](crate::SolverBuilder), replaceable later via
-/// [`Solver::set_terminate`] / [`Solver::set_learnt_callback`]). Callbacks
-/// receive no solver reference — they observe only what they captured plus
-/// the arguments passed, so they cannot perturb the search.
-#[derive(Default)]
-pub(crate) struct SolveEvents {
-    /// Polled at solve entry, at every restart boundary, and every 1024
-    /// conflicts (so a restart-free search cannot starve it); returning
-    /// `true` aborts the call with [`StopReason::Callback`].
-    pub(crate) terminate: Option<TerminateCallback>,
-    /// Fired once per conflict-derived learnt clause of length ≤ the cap
-    /// (asserting literal first), right after the clause is reported to the
-    /// proof sink and before search resumes.
-    pub(crate) on_learnt: Option<(usize, LearntCallback)>,
-    /// Share-export hook: fired (after `on_learnt`) for every learnt clause
-    /// with `len ≤ 2 || lbd ≤ cap`, carrying the clause and its LBD.
-    pub(crate) export: Option<(u32, ExportCallback)>,
-    /// Share-import source: polled at solve entry and at every restart
-    /// boundary (after §8 database reduction); fetched clauses are
-    /// integrated at level 0.
-    pub(crate) import: Option<ImportCallback>,
-    /// Structured telemetry observer (see [`crate::telemetry`]): receives
-    /// typed [`SolveEvent`]s. Every emission site checks this `Option`
-    /// once, so an observer-less solver pays nothing.
-    pub(crate) observer: Option<Box<dyn SolveObserver>>,
-}
-
-impl std::fmt::Debug for SolveEvents {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SolveEvents")
-            .field("terminate", &self.terminate.is_some())
-            .field("on_learnt", &self.on_learnt.as_ref().map(|(cap, _)| *cap))
-            .field("export", &self.export.as_ref().map(|(cap, _)| *cap))
-            .field("import", &self.import.is_some())
-            .field("observer", &self.observer.is_some())
-            .finish()
-    }
-}
-
-/// Result of [`Solver::solve`].
-///
-/// For runs under assumptions (staged with [`Solver::assume`]),
-/// [`SolveStatus::Unsat`] means *unsatisfiable under those assumptions*;
-/// consult [`Solver::failed_assumptions`] to distinguish an absolute
-/// refutation (empty core) from an assumption conflict (non-empty core).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SolveStatus {
-    /// Satisfiable; carries a model that satisfies every original clause.
-    Sat(Assignment),
-    /// Proven unsatisfiable.
-    Unsat,
-    /// Gave up because a [`Budget`] limit was hit.
-    Unknown(StopReason),
-}
-
-impl SolveStatus {
-    /// `true` iff the status is [`SolveStatus::Sat`].
-    pub fn is_sat(&self) -> bool {
-        matches!(self, SolveStatus::Sat(_))
-    }
-
-    /// `true` iff the status is [`SolveStatus::Unsat`].
-    pub fn is_unsat(&self) -> bool {
-        matches!(self, SolveStatus::Unsat)
-    }
-
-    /// `true` iff the run was aborted on a budget.
-    pub fn is_unknown(&self) -> bool {
-        matches!(self, SolveStatus::Unknown(_))
-    }
-
-    /// Returns the model if satisfiable.
-    pub fn model(&self) -> Option<&Assignment> {
-        match self {
-            SolveStatus::Sat(m) => Some(m),
-            _ => None,
-        }
-    }
-}
-
-/// A watch-list entry for a clause of length ≥ 3: the clause plus a
-/// *blocker* literal whose truth lets BCP skip the clause without touching
-/// its memory (SATO/Chaff-style fast BCP, paper §2).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct Watcher {
-    pub cref: ClauseRef,
-    pub blocker: Lit,
-}
-
-/// A binary clause stored *inline* in the watch list: the other literal is
-/// the watcher, so propagating through a binary clause never touches the
-/// clause arena. `cref` exists only to serve as the reason/conflict handle
-/// for conflict analysis.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct BinWatcher {
-    /// The clause's other literal — everything BCP needs.
-    pub other: Lit,
-    /// Arena record backing this clause (activity, stack age, proofs).
-    pub cref: ClauseRef,
-}
+use crate::trail::Trail;
+use crate::watch::Watches;
 
 /// The BerkMin CDCL SAT-solver.
 ///
 /// Construct through [`SolverBuilder`](crate::SolverBuilder) (which owns
-/// the configuration, the proof sink and the solve-event hooks), or with
-/// the [`Solver::new`] / [`Solver::with_config`] shortcuts when none of
-/// those attachments are needed. Per call, stage assumptions with
-/// [`Solver::assume`] and then run [`Solver::solve`] — the one entry point
-/// for plain, assumption, and proof-logged solving alike.
+/// the configuration, proof sink and solve-event hooks), or with the
+/// [`Solver::new`] / [`Solver::with_config`] shortcuts. Per call, stage
+/// assumptions with [`Solver::assume`] and run [`Solver::solve`] — the one
+/// entry point for plain, assumption, and proof-logged solving alike.
 ///
 /// # Examples
 ///
@@ -193,23 +51,16 @@ pub(crate) struct BinWatcher {
 pub struct Solver {
     pub(crate) config: SolverConfig,
     pub(crate) db: ClauseDb,
-    /// Watch lists indexed by literal code: `watches[l.code()]` holds the
-    /// clauses of length ≥ 3 in which `¬l` is watched (visited when `l`
-    /// becomes true). Binary clauses live in [`Solver::bin_watches`].
-    pub(crate) watches: Vec<Vec<Watcher>>,
-    /// Inline binary watch lists: `bin_watches[l.code()]` holds, for every
-    /// live binary clause containing `¬l`, the clause's *other* literal
-    /// (plus its arena handle) — visited when `l` becomes true, without any
-    /// arena access. These double as the occurrence lists behind `nb_two`
-    /// (paper §7): the binary clauses containing `l` are exactly the
-    /// entries of `bin_watches[(¬l).code()]`.
-    pub(crate) bin_watches: Vec<Vec<BinWatcher>>,
-    pub(crate) assigns: Vec<LBool>,
-    pub(crate) level: Vec<u32>,
-    pub(crate) reason: Vec<Option<ClauseRef>>,
-    pub(crate) trail: Vec<Lit>,
-    pub(crate) trail_lim: Vec<usize>,
-    pub(crate) qhead: usize,
+    /// The two-watched-literal indexes (long lists with blockers, inline
+    /// binary lists) — see [`crate::watch`].
+    pub(crate) watches: Watches,
+    /// The assignment state: values, levels, reasons, the chronological
+    /// trail with its decision markers, and the BCP queue head — see
+    /// [`crate::trail`].
+    pub(crate) trail: Trail,
+    /// The search scheduler: per-call budget baseline, restart clock and
+    /// maintenance cadence — see [`crate::limits`].
+    pub(crate) limits: SearchLimits,
     /// `var_activity(x)` counters (paper §4).
     pub(crate) var_activity: Vec<u64>,
     /// `lit_activity(l)` counters indexed by literal code (paper §7).
@@ -226,84 +77,62 @@ pub struct Solver {
     pub(crate) lbd_stamp_gen: u64,
     /// Scratch buffer the share-import source fills at restart boundaries
     /// (kept on the solver to avoid a per-restart allocation).
-    import_buf: Vec<Vec<Lit>>,
+    pub(crate) import_buf: Vec<Vec<Lit>>,
     pub(crate) rng: XorShift64,
     pub(crate) stats: Stats,
     pub(crate) ok: bool,
     pub(crate) num_vars: usize,
-    pub(crate) conflicts_since_restart: u64,
     /// Current old-clause activity threshold (paper §8: starts at 60, rises).
     pub(crate) old_act_threshold: u32,
     /// Set once the empty clause has been reported to the proof sink.
-    emitted_empty: bool,
-    /// Assumptions of the current [`Solver::solve_with_assumptions`] call,
-    /// enqueued lazily as pseudo-decisions at levels `1..=assumptions.len()`
-    /// below any real decision.
+    pub(crate) emitted_empty: bool,
+    /// Assumptions of the current [`Solver::solve`] call, enqueued lazily
+    /// as pseudo-decisions at levels `1..=k` below any real decision.
     pub(crate) assumptions: Vec<Lit>,
     /// Failed-assumption core of the last assumption-UNSAT answer (empty
     /// after an absolute refutation or a SAT/Unknown answer).
     pub(crate) failed: Vec<Lit>,
-    /// Stats snapshot taken at solve entry: budgets are per-call, so each
-    /// check compares against the growth since this baseline rather than
-    /// the lifetime totals (which would make a second call inherit the
-    /// previous call's spend).
-    budget_base: BudgetBase,
     /// Assumptions staged by [`Solver::assume`] since the last solve call;
     /// consumed (IPASIR-style) by the next [`Solver::solve`].
-    pending_assumptions: Vec<Lit>,
+    pub(crate) pending_assumptions: Vec<Lit>,
     /// The construction-time proof sink every [`Solver::solve`] call
-    /// reports to ([`NoProof`] unless a sink was attached via
+    /// reports to ([`NoProof`] unless attached via
     /// [`SolverBuilder::proof`](crate::SolverBuilder::proof)).
-    proof: Box<dyn ProofSink>,
+    pub(crate) proof: Box<dyn ProofSink>,
     /// Terminate / learnt-clause hooks (see [`SolveEvents`]).
-    events: SolveEvents,
+    pub(crate) events: SolveEvents,
     /// `frozen[v]`: the preprocessor may not eliminate `v` (user-frozen
     /// via [`Solver::freeze`], or auto-frozen as an assumption variable).
     pub(crate) frozen: Vec<bool>,
-    /// `eliminated[v]`: `v` was dissolved by bounded variable elimination —
-    /// absent from every live clause, the watches, the trail and the heap;
-    /// mentioning it again in [`Solver::add_clause`]/[`Solver::assume`]
-    /// panics (see the freeze/melt contract on [`Solver::freeze`]).
+    /// `eliminated[v]`: `v` was dissolved by bounded variable elimination
+    /// — absent from every live clause, watcher, trail entry and heap
+    /// slot; mentioning it again panics (see [`Solver::freeze`]).
     pub(crate) eliminated: Vec<bool>,
     /// Reconstruction stack extending SAT models over eliminated variables.
     pub(crate) reconstructor: Reconstructor,
-    /// Whether the preprocessor has run at least once (the default
-    /// configuration simplifies only the first solve call).
-    pub(crate) simplified_once: bool,
 }
 
 impl std::fmt::Debug for Solver {
-    /// The solver holds closures and a `dyn` proof sink, so `Debug` prints
-    /// a summary of the search state rather than the raw fields.
+    /// The solver holds closures and a `dyn` proof sink, so `Debug`
+    /// prints a summary rather than the raw fields: the subsystem
+    /// summaries (trail heights per level, watch-list population) and the
+    /// scheduler's next-due actions answer "what level am I at and why".
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Solver")
             .field("num_vars", &self.num_vars)
             .field("num_live_clauses", &self.db.num_live())
             .field("num_learnt_clauses", &self.db.num_learnt())
-            .field("decision_level", &self.decision_level())
             .field("ok", &self.ok)
+            .field("trail", &self.trail)
+            .field("watches", &self.watches)
+            .field("limits", &self.limits)
+            .field("next_due", &self.limits.next_due(&self.stats, &self.config))
             .field("pending_assumptions", &self.pending_assumptions)
             .field("events", &self.events)
             .field("config", &self.config)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
-}
-
-/// Conflicts between terminate-callback polls inside a search tree. Restart
-/// boundaries also poll, but a policy like [`RestartPolicy::Never`] (or a
-/// huge fixed interval) would otherwise never hand control back.
-const TERMINATE_POLL_CONFLICTS: u64 = 1024;
-
-/// Per-solve-call baseline of the budgeted counters (plus restarts, which
-/// are not budgeted but are reported as a per-call delta in
-/// [`SolveEvent::SolveDone`]).
-#[derive(Debug, Clone, Copy, Default)]
-struct BudgetBase {
-    conflicts: u64,
-    decisions: u64,
-    propagations: u64,
-    restarts: u64,
 }
 
 impl Solver {
@@ -317,8 +146,7 @@ impl Solver {
         s
     }
 
-    /// Creates an empty solver (no variables, no clauses) under `config`;
-    /// add clauses with [`Solver::add_clause`].
+    /// Creates an empty solver under `config` (see [`Solver::add_clause`]).
     pub fn with_config(config: SolverConfig) -> Self {
         let old_act_threshold = match config.db_policy {
             crate::DbPolicy::BerkMin { old_act_init, .. } => old_act_init,
@@ -328,14 +156,9 @@ impl Solver {
         Solver {
             config,
             db: ClauseDb::new(),
-            watches: Vec::new(),
-            bin_watches: Vec::new(),
-            assigns: Vec::new(),
-            level: Vec::new(),
-            reason: Vec::new(),
-            trail: Vec::new(),
-            trail_lim: Vec::new(),
-            qhead: 0,
+            watches: Watches::new(),
+            trail: Trail::new(),
+            limits: SearchLimits::new(),
             var_activity: Vec::new(),
             lit_activity: Vec::new(),
             vsids: Vec::new(),
@@ -348,19 +171,16 @@ impl Solver {
             stats: Stats::new(),
             ok: true,
             num_vars: 0,
-            conflicts_since_restart: 0,
             old_act_threshold,
             emitted_empty: false,
             assumptions: Vec::new(),
             failed: Vec::new(),
-            budget_base: BudgetBase::default(),
             pending_assumptions: Vec::new(),
             proof: Box::new(NoProof),
             events: SolveEvents::default(),
             frozen: Vec::new(),
             eliminated: Vec::new(),
             reconstructor: Reconstructor::default(),
-            simplified_once: false,
         }
     }
 
@@ -369,15 +189,15 @@ impl Solver {
         self.num_vars
     }
 
-    /// Grows the per-variable tables to cover `n` variables without adding
-    /// any clause. Incremental callers that allocate variables externally
-    /// (e.g. Tseitin or activation literals) use this to keep the solver's
-    /// variable space — and therefore its models — in sync with theirs.
+    /// Grows the per-variable tables to cover `n` variables without
+    /// adding any clause, keeping the solver's variable space — and
+    /// therefore its models — in sync with external allocators (e.g.
+    /// Tseitin or activation literals).
     pub fn reserve_vars(&mut self, n: usize) {
         self.ensure_vars(n);
     }
 
-    /// Search statistics accumulated so far.
+    /// Search statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
     }
@@ -389,27 +209,25 @@ impl Solver {
 
     /// Replaces the resource budget. Budgets are accounted **per solve
     /// call**: every call measures its own spend against the configured
-    /// limits, so an aborted run can simply be called again (learnt clauses
-    /// and heuristic state carry over) — with or without a new budget.
+    /// limits, so an aborted run can simply be called again — with or
+    /// without a new budget.
     pub fn set_budget(&mut self, budget: Budget) {
         self.config.budget = budget;
     }
 
     /// The failed-assumption core of the most recent assumption-carrying
-    /// [`Solver::solve`] call that returned
-    /// [`SolveStatus::Unsat`]: a subset `C` of the assumptions such that the
-    /// formula conjoined with `C` is unsatisfiable, extracted by
-    /// final-conflict analysis over the implication graph.
-    ///
-    /// Empty when the formula is unsatisfiable outright (no assumptions
-    /// needed), and after any SAT or Unknown answer.
+    /// [`Solver::solve`] call that returned [`SolveStatus::Unsat`]: a
+    /// subset `C` of the assumptions such that the formula conjoined with
+    /// `C` is unsatisfiable, extracted by final-conflict analysis. Empty
+    /// when the formula is unsatisfiable outright (no assumptions needed),
+    /// and after any SAT or Unknown answer.
     pub fn failed_assumptions(&self) -> &[Lit] {
         &self.failed
     }
 
     /// Number of variables currently queued in the decision heap (only
-    /// populated under [`ActivityIndex::Heap`]). Exposed so incremental
-    /// callers can check that heuristic state survives between solve calls.
+    /// populated under [`ActivityIndex::Heap`]); lets incremental callers
+    /// check that heuristic state survives between solve calls.
     pub fn decision_heap_len(&self) -> usize {
         self.heap.len()
     }
@@ -419,17 +237,13 @@ impl Solver {
         self.ok
     }
 
-    /// Current assignment of `var` (for inspection/debugging).
+    /// Current assignment of `var`.
     pub fn value(&self, var: Var) -> LBool {
-        self.assigns
-            .get(var.index())
-            .copied()
-            .unwrap_or(LBool::Undef)
+        self.trail.value_opt(var)
     }
 
     /// Current `var_activity` counter of `var` (paper §4) — how much the
-    /// variable has participated in conflict-making, after aging. Exposed
-    /// for instrumentation (e.g. the Fig. 1 idle/active experiment).
+    /// variable has participated in conflict-making, after aging.
     pub fn var_activity(&self, var: Var) -> u64 {
         self.var_activity.get(var.index()).copied().unwrap_or(0)
     }
@@ -439,8 +253,7 @@ impl Solver {
         self.db.num_live()
     }
 
-    /// Number of live learnt clauses — the current conflict-clause stack
-    /// size (paper §5/§8).
+    /// Number of live learnt clauses (the conflict-clause stack size).
     pub fn num_learnt_clauses(&self) -> usize {
         self.db.num_learnt()
     }
@@ -455,11 +268,8 @@ impl Solver {
         if n <= self.num_vars {
             return;
         }
-        self.watches.resize(2 * n, Vec::new());
-        self.bin_watches.resize(2 * n, Vec::new());
-        self.assigns.resize(n, LBool::Undef);
-        self.level.resize(n, 0);
-        self.reason.resize(n, None);
+        self.watches.grow(n);
+        self.trail.grow(n);
         self.var_activity.resize(n, 0);
         self.lit_activity.resize(2 * n, 0);
         self.vsids.resize(2 * n, 0);
@@ -479,16 +289,16 @@ impl Solver {
 
     /// Adds a clause to the original formula.
     ///
-    /// May be called before the first solve or between solves (incremental
-    /// use); any leftover search state from a previous SAT answer is undone
-    /// first. Tautologies are dropped, duplicate literals merged, literals
-    /// false at level 0 stripped. Returns `false` if the formula has become
+    /// May be called before the first solve or between solves
+    /// (incremental use); leftover search state is undone first.
+    /// Tautologies are dropped, duplicate literals merged, literals false
+    /// at level 0 stripped. Returns `false` if the formula has become
     /// trivially unsatisfiable (an empty clause arose).
     ///
     /// # Panics
     ///
-    /// Panics if the clause mentions a variable the preprocessor has
-    /// eliminated — see the freeze/melt contract on [`Solver::freeze`].
+    /// Panics if the clause mentions an eliminated variable — see the
+    /// freeze/melt contract on [`Solver::freeze`].
     pub fn add_clause<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> bool {
         self.cancel_until(0);
         let mut ls: Vec<Lit> = lits.into_iter().collect();
@@ -537,238 +347,58 @@ impl Solver {
     /// Current decision level (0 = root).
     #[inline]
     pub(crate) fn decision_level(&self) -> usize {
-        self.trail_lim.len()
+        self.trail.decision_level()
     }
 
     /// Value of a literal under the current partial assignment.
     #[inline]
     pub(crate) fn lit_value(&self, l: Lit) -> LBool {
-        let v = self.assigns[l.var().index()];
-        if l.is_negative() {
-            !v
-        } else {
-            v
-        }
+        self.trail.lit_value(l)
     }
 
     /// Assigns `l` true with `reason`, pushing it on the trail.
+    #[inline]
     pub(crate) fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
-        debug_assert!(
-            self.lit_value(l).is_undef(),
-            "enqueue of assigned literal {l:?}"
-        );
-        let v = l.var().index();
-        self.assigns[v] = LBool::from(l.is_positive());
-        self.level[v] = self.decision_level() as u32;
-        self.reason[v] = reason;
-        self.trail.push(l);
+        self.trail.assign(l, reason);
     }
 
-    /// Opens a new decision level and assigns the decision literal. (The
-    /// *session* method [`Solver::assume`] merely stages an assumption for
-    /// the next solve call; this is the internal trail operation.)
+    /// Opens a new decision level and assigns the decision literal (the
+    /// internal trail operation behind each search decision).
+    #[inline]
     pub(crate) fn push_decision(&mut self, l: Lit) {
-        self.trail_lim.push(self.trail.len());
-        self.unchecked_enqueue(l, None);
+        self.trail.push_decision(l);
     }
 
-    /// Undoes all assignments above `level`.
+    /// Undoes all assignments above `level`, returning freed variables
+    /// to the decision heap (under [`ActivityIndex::Heap`]).
     pub(crate) fn cancel_until(&mut self, level: usize) {
-        if self.decision_level() <= level {
-            return;
-        }
-        let bound = self.trail_lim[level];
-        for i in (bound..self.trail.len()).rev() {
-            let v = self.trail[i].var();
-            self.assigns[v.index()] = LBool::Undef;
-            self.reason[v.index()] = None;
-            if self.config.activity_index == ActivityIndex::Heap {
-                self.heap.insert(v, &self.var_activity);
+        let heap = &mut self.heap;
+        let var_activity = &self.var_activity;
+        let use_heap = self.config.activity_index == ActivityIndex::Heap;
+        self.trail.backtrack_to(level, |v| {
+            if use_heap {
+                heap.insert(v, var_activity);
             }
-        }
-        self.trail.truncate(bound);
-        self.trail_lim.truncate(level);
-        self.qhead = bound;
+        });
     }
 
-    /// Registers the two watched literals of `cref` (positions 0 and 1).
-    /// Binary clauses go to the inline [`Solver::bin_watches`] lists, longer
-    /// clauses to the blocker-carrying [`Solver::watches`] lists.
-    pub(crate) fn attach(&mut self, cref: ClauseRef) {
-        debug_assert!(!self.db.is_garbage(cref), "attach of deleted {cref:?}");
-        let (l0, l1, binary) = {
-            let lits = self.db.lits(cref);
-            (lits[0], lits[1], lits.len() == 2)
-        };
-        if binary {
-            self.bin_watches[(!l0).code()].push(BinWatcher { other: l1, cref });
-            self.bin_watches[(!l1).code()].push(BinWatcher { other: l0, cref });
-        } else {
-            self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-            self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    /// Bumps `var_activity(v)` by 1 (paper §4) and fixes up the heap index.
+    #[inline]
+    pub(crate) fn bump_var(&mut self, v: Var) {
+        self.var_activity[v.index()] += 1;
+        if self.config.activity_index == ActivityIndex::Heap {
+            self.heap.bumped(v, &self.var_activity);
         }
-    }
-
-    /// Rebuilds every watch list (long and binary) from the live clause
-    /// set. Only valid at decision level 0 with an empty propagation queue
-    /// (i.e. during database reduction).
-    pub(crate) fn rebuild_watches(&mut self) {
-        debug_assert_eq!(self.decision_level(), 0);
-        for w in &mut self.watches {
-            w.clear();
-        }
-        for w in &mut self.bin_watches {
-            w.clear();
-        }
-        let live: Vec<ClauseRef> = self.db.iter_live().collect();
-        for cref in live {
-            debug_assert!(self.db.len(cref) >= 2);
-            self.attach(cref);
-        }
-    }
-
-    /// Boolean constraint propagation with two watched literals, structured
-    /// as blocker-check → binary-pass → long-clause-pass: for each newly
-    /// true literal the inline binary watchers are drained first (no arena
-    /// access at all), then the long-clause watchers with the Chaff blocker
-    /// fast path in front of any arena read.
-    ///
-    /// Returns the conflicting clause, if any. On conflict the propagation
-    /// queue is drained so the caller sees a consistent trail.
-    pub(crate) fn propagate(&mut self) -> Option<ClauseRef> {
-        let mut conflict = None;
-        'queue: while self.qhead < self.trail.len() {
-            let p = self.trail[self.qhead];
-            self.qhead += 1;
-            let false_lit = !p;
-
-            // --- binary pass: the watcher *is* the other literal. ---
-            let bins = std::mem::take(&mut self.bin_watches[p.code()]);
-            for w in &bins {
-                match self.lit_value(w.other) {
-                    LBool::True => {}
-                    LBool::Undef => {
-                        self.stats.propagations += 1;
-                        self.unchecked_enqueue(w.other, Some(w.cref));
-                    }
-                    LBool::False => {
-                        conflict = Some(w.cref);
-                        break;
-                    }
-                }
-            }
-            self.bin_watches[p.code()] = bins;
-            if conflict.is_some() {
-                self.qhead = self.trail.len();
-                break 'queue;
-            }
-
-            // --- long-clause pass. ---
-            let mut ws = std::mem::take(&mut self.watches[p.code()]);
-            let mut i = 0;
-            while i < ws.len() {
-                let w = ws[i];
-                // Fast path: the blocker literal already satisfies the clause.
-                if self.lit_value(w.blocker) == LBool::True {
-                    i += 1;
-                    continue;
-                }
-                let cref = w.cref;
-                {
-                    let c = self.db.lits_mut(cref);
-                    if c[0] == false_lit {
-                        c.swap(0, 1);
-                    }
-                    debug_assert_eq!(c[1], false_lit, "watch invariant violated");
-                }
-                let first = self.db.lits(cref)[0];
-                if first != w.blocker && self.lit_value(first) == LBool::True {
-                    ws[i] = Watcher {
-                        cref,
-                        blocker: first,
-                    };
-                    i += 1;
-                    continue;
-                }
-                // Look for a non-false literal to move the watch to.
-                let mut relocated = None;
-                for (k, &lk) in self.db.lits(cref).iter().enumerate().skip(2) {
-                    if self.lit_value(lk) != LBool::False {
-                        relocated = Some((k, lk));
-                        break;
-                    }
-                }
-                if let Some((k, lk)) = relocated {
-                    self.db.lits_mut(cref).swap(1, k);
-                    self.watches[(!lk).code()].push(Watcher {
-                        cref,
-                        blocker: first,
-                    });
-                    ws.swap_remove(i);
-                    continue;
-                }
-                // Clause is unit (or conflicting) under the current trail.
-                ws[i] = Watcher {
-                    cref,
-                    blocker: first,
-                };
-                i += 1;
-                if self.lit_value(first) == LBool::False {
-                    conflict = Some(cref);
-                    self.qhead = self.trail.len();
-                    debug_assert!(self.watches[p.code()].is_empty());
-                    self.watches[p.code()] = ws;
-                    break 'queue;
-                }
-                self.stats.propagations += 1;
-                self.unchecked_enqueue(first, Some(cref));
-            }
-            debug_assert!(self.watches[p.code()].is_empty());
-            self.watches[p.code()] = ws;
-        }
-        conflict
-    }
-
-    /// Runs the compacting clause-arena garbage collector: reclaims every
-    /// record marked deleted (emitting its DRAT `d` line), slides the
-    /// survivors to the front of the arena, and rewrites every outstanding
-    /// [`ClauseRef`] — the conflict-clause stack, the trail's reason
-    /// pointers, and (by rebuilding) the watch lists. A reason whose clause
-    /// was deleted belongs to a level-0 fact, whose reason is never
-    /// consulted again, so it is dropped.
-    ///
-    /// Only valid at decision level 0 with a fully propagated trail; run at
-    /// every §8 database reduction.
-    pub(crate) fn collect_garbage<S: ProofSink + ?Sized>(&mut self, proof: &mut S) {
-        debug_assert_eq!(self.decision_level(), 0);
-        self.db.compact_stack();
-        if self.db.garbage_words() == 0 {
-            // Nothing was deleted or shrunk: every outstanding reference
-            // (watches included) is still valid — skip the whole collection.
-            return;
-        }
-        let (map, reclaimed) = self.db.collect(proof);
-        self.stats.gc_runs += 1;
-        self.stats.gc_words_reclaimed += reclaimed as u64;
-        for r in &mut self.reason {
-            if let Some(cref) = *r {
-                *r = map.remap_live(cref);
-            }
-        }
-        self.rebuild_watches();
     }
 
     /// Stages an assumption for the next [`Solver::solve`] call
     /// (IPASIR-style). Assumptions accumulate until the next solve, which
     /// consumes them all — afterwards the solver is unconstrained again.
-    ///
-    /// During that call they act as *pseudo-decisions* at levels
-    /// `1..=k` below every real decision, so the search explores only
-    /// total assignments extending them. They are **not** clauses: nothing
-    /// is added to the database, the learnt clauses derived during the run
-    /// are consequences of the formula alone, and the next call may use a
-    /// completely different assumption set while reusing the warm
-    /// learnt-clause database, activities and saved polarities.
+    /// During that call they act as *pseudo-decisions* at levels `1..=k`
+    /// below every real decision. They are **not** clauses: nothing is
+    /// added to the database, learnt clauses stay consequences of the
+    /// formula alone, and the next call may assume a different set while
+    /// reusing the warm database, activities and saved polarities.
     ///
     /// # Examples
     ///
@@ -786,10 +416,8 @@ impl Solver {
     ///
     /// # Panics
     ///
-    /// Panics if `lit`'s variable has been eliminated by the preprocessor —
-    /// see the freeze/melt contract on [`Solver::freeze`]. (Assumption
-    /// variables of a solve call are frozen automatically, so this can only
-    /// fire for a variable assumed for the *first* time after elimination.)
+    /// Panics if `lit`'s variable has been eliminated by the preprocessor
+    /// — see the freeze/melt contract on [`Solver::freeze`].
     pub fn assume(&mut self, lit: Lit) {
         if self
             .eliminated
@@ -818,9 +446,8 @@ impl Solver {
     /// Incremental users must therefore freeze every variable they intend
     /// to constrain or assume *after* the next solve call. Assumption
     /// variables of each call are frozen automatically, as are variables
-    /// with no occurrences (e.g. [`Solver::reserve_vars`] headroom — there
-    /// is nothing to dissolve). [`Solver::melt`] lifts the protection
-    /// again once a variable's incremental role is over.
+    /// with no occurrences. [`Solver::melt`] lifts the protection again
+    /// once a variable's incremental role is over.
     pub fn freeze(&mut self, var: Var) {
         self.ensure_vars(var.index() + 1);
         self.frozen[var.index()] = true;
@@ -847,686 +474,26 @@ impl Solver {
 
     /// Solves the formula under the assumptions staged by
     /// [`Solver::assume`] since the last call (consuming them), reporting
-    /// learnt clauses and deletions to the construction-time proof sink
-    /// (see [`SolverBuilder::proof`](crate::SolverBuilder::proof)).
+    /// learnt clauses and deletions to the construction-time proof sink.
     ///
     /// May be called repeatedly: a previous answer's search tree is undone
-    /// first, so clauses can be added between calls (incremental use) while
-    /// learnt clauses, variable activities and saved heuristic state stay
+    /// first, so clauses can be added between calls (incremental use)
+    /// while learnt clauses, activities and saved heuristic state stay
     /// warm. Budgets are accounted per call, so a budget-aborted run
-    /// continues by simply calling again (optionally after
-    /// [`Solver::set_budget`]).
+    /// continues by calling again (optionally after [`Solver::set_budget`]).
     ///
     /// Returns [`SolveStatus::Unsat`] both when the formula is refuted
     /// outright and when it merely conflicts with the assumptions;
-    /// [`Solver::failed_assumptions`] distinguishes the two (empty vs
-    /// non-empty core). An assumption-UNSAT answer emits **no** empty
-    /// clause to the proof sink (the formula itself is not refuted); only
-    /// an absolute refutation concludes the proof.
+    /// [`Solver::failed_assumptions`] distinguishes the two. An
+    /// assumption-UNSAT answer emits **no** empty clause to the proof sink
+    /// (the formula itself is not refuted); only an absolute refutation
+    /// concludes the proof.
     pub fn solve(&mut self) -> SolveStatus {
         // The sink is swapped out for the duration of the call so the
-        // search (which borrows `self` mutably throughout) can report to
-        // it; `NoProof` stands in should anything inspect `self.proof`.
+        // search (which borrows `self` mutably) can report to it.
         let mut sink = std::mem::replace(&mut self.proof, Box::new(NoProof));
         let status = self.solve_session(&mut *sink);
         self.proof = sink;
         status
-    }
-
-    /// Deprecated pre-session entry point: stages `assumptions` and runs
-    /// [`Solver::solve`] (so the construction-time proof sink, terminate
-    /// callback and learnt-clause callback all still apply).
-    #[deprecated(note = "stage assumptions with `assume(lit)` and call `solve()`")]
-    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveStatus {
-        for &a in assumptions {
-            self.assume(a);
-        }
-        self.solve()
-    }
-
-    /// Deprecated pre-session entry point: runs one [`Solver::solve`] call
-    /// reporting to `proof` instead of the construction-time sink (attach
-    /// the sink once via [`SolverBuilder::proof`](crate::SolverBuilder::proof)
-    /// instead).
-    #[deprecated(
-        note = "attach the sink at construction time with `SolverBuilder::proof` and call `solve()`"
-    )]
-    pub fn solve_with_proof<S: ProofSink>(&mut self, proof: &mut S) -> SolveStatus {
-        self.solve_session(proof)
-    }
-
-    /// Deprecated pre-session entry point: stages `assumptions` and runs
-    /// one [`Solver::solve`] call reporting to `proof`.
-    #[deprecated(note = "use `SolverBuilder::proof`, `assume(lit)` and `solve()`")]
-    pub fn solve_with_assumptions_and_proof<S: ProofSink>(
-        &mut self,
-        assumptions: &[Lit],
-        proof: &mut S,
-    ) -> SolveStatus {
-        for &a in assumptions {
-            self.assume(a);
-        }
-        self.solve_session(proof)
-    }
-
-    /// One solve session: consumes the pending assumptions, emits the
-    /// [`SolveEvent::SolveStart`]/[`SolveEvent::SolveDone`] bracket, and
-    /// runs the CDCL loop ([`Solver::search`]), reporting to `proof`. The
-    /// single implementation behind [`Solver::solve`] and the deprecated
-    /// wrappers.
-    fn solve_session(&mut self, proof: &mut dyn ProofSink) -> SolveStatus {
-        self.begin_solve();
-        if self.events.observer.is_some() {
-            let event = SolveEvent::SolveStart {
-                call: self.stats.solve_calls,
-                num_vars: self.num_vars,
-                num_clauses: self.db.num_live(),
-                assumptions: self.assumptions.len(),
-            };
-            self.emit(event);
-        }
-        let status = self.search(proof);
-        if self.events.observer.is_some() {
-            let event = SolveEvent::SolveDone {
-                verdict: SolveVerdict::from(&status),
-                conflicts: self.stats.conflicts - self.budget_base.conflicts,
-                decisions: self.stats.decisions - self.budget_base.decisions,
-                propagations: self.stats.propagations - self.budget_base.propagations,
-                restarts: self.stats.restarts - self.budget_base.restarts,
-            };
-            self.emit(event);
-        }
-        status
-    }
-
-    /// The CDCL search proper: entry checks, import poll, then the
-    /// propagate/analyze/decide loop until an answer or a stop.
-    fn search(&mut self, proof: &mut dyn ProofSink) -> SolveStatus {
-        if self.should_terminate() {
-            return SolveStatus::Unknown(StopReason::Callback);
-        }
-        if !self.ok {
-            return self.conclude_unsat(proof);
-        }
-        if self.decision_level() == 0 && self.propagate().is_some() {
-            self.ok = false;
-            return self.conclude_unsat(proof);
-        }
-        // Preprocess at solve entry, over the propagated level-0 trail:
-        // subsumption, strengthening and bounded variable elimination (see
-        // `crate::preprocess`), with every change reported to the proof
-        // sink and eliminated variables pushed onto the reconstruction
-        // stack.
-        self.simplify_formula(proof);
-        if !self.ok {
-            return self.conclude_unsat(proof);
-        }
-        // Import shared clauses at solve entry as well as at restart
-        // boundaries: a budget-sliced driver (the deterministic portfolio
-        // schedule) may never search long enough to restart, and entry is
-        // an equally valid level-0 "between search trees" point.
-        self.import_shared_clauses();
-        if !self.ok {
-            return self.conclude_unsat(proof);
-        }
-        loop {
-            if let Some(confl) = self.propagate() {
-                self.stats.conflicts += 1;
-                self.conflicts_since_restart += 1;
-                if self.decision_level() == 0 {
-                    self.ok = false;
-                    return self.conclude_unsat(proof);
-                }
-                let (learnt, bt_level, lbd) = self.analyze(confl);
-                proof.add_clause(&learnt);
-                if let Some((cap, callback)) = &mut self.events.on_learnt {
-                    if learnt.len() <= *cap {
-                        callback(&learnt);
-                    }
-                }
-                // Share export: short clauses are always worth the wire,
-                // longer ones only when their glue is low (paper-era
-                // portfolio practice; the LBD cap is the one knob).
-                let mut exported = false;
-                if let Some((max_lbd, callback)) = &mut self.events.export {
-                    if learnt.len() <= 2 || lbd <= *max_lbd {
-                        self.stats.clauses_exported += 1;
-                        callback(&learnt, lbd);
-                        exported = true;
-                    }
-                }
-                if exported && self.events.observer.is_some() {
-                    let event = SolveEvent::ShareExport {
-                        len: learnt.len(),
-                        lbd,
-                    };
-                    self.emit(event);
-                }
-                self.cancel_until(bt_level);
-                self.record_learnt(learnt);
-                self.on_conflict_maintenance();
-                self.paranoid_audit("after conflict handling");
-                if self.events.observer.is_some() {
-                    let per_call = self.spent(self.stats.conflicts, self.budget_base.conflicts);
-                    if self.config.progress_every > 0 && per_call % self.config.progress_every == 0
-                    {
-                        let event = SolveEvent::Progress {
-                            conflicts: self.stats.conflicts,
-                            trail: self.trail.len(),
-                            heap: self.heap.len(),
-                            learnt: self.db.num_learnt(),
-                            avg_lbd: self.stats.avg_lbd(),
-                        };
-                        self.emit(event);
-                    }
-                }
-                // Restart boundaries alone can starve the terminate
-                // callback (RestartPolicy::Never, FixedInterval(u64::MAX),
-                // or a huge Luby leg), so it is also polled on a fixed
-                // conflict cadence. Budgets stay untouched.
-                if self.spent(self.stats.conflicts, self.budget_base.conflicts)
-                    % TERMINATE_POLL_CONFLICTS
-                    == 0
-                    && self.should_terminate()
-                {
-                    return SolveStatus::Unknown(StopReason::Callback);
-                }
-                if self.spent(self.stats.conflicts, self.budget_base.conflicts)
-                    >= self.config.budget.max_conflicts
-                {
-                    return SolveStatus::Unknown(StopReason::ConflictBudget);
-                }
-            } else {
-                self.paranoid_audit("after propagation");
-                if self.spent(self.stats.propagations, self.budget_base.propagations)
-                    >= self.config.budget.max_propagations
-                {
-                    return SolveStatus::Unknown(StopReason::PropagationBudget);
-                }
-                if self.restart_due() {
-                    // The terminate callback is polled at every restart
-                    // boundary — the natural "between search trees" point
-                    // the IC3/BMC drivers expect. Budgets are untouched.
-                    if self.should_terminate() {
-                        return SolveStatus::Unknown(StopReason::Callback);
-                    }
-                    self.restart(proof);
-                    if !self.ok {
-                        // An imported clause collapsed to the empty clause
-                        // under the level-0 assignment: absolute refutation.
-                        return self.conclude_unsat(proof);
-                    }
-                    self.paranoid_audit("after restart");
-                    continue;
-                }
-                // Enqueue pending assumptions as pseudo-decisions: the
-                // assumption at index `i` owns decision level `i + 1`. An
-                // already-implied assumption opens a *dummy* level (keeping
-                // index and level in lockstep); a falsified one means the
-                // formula conflicts with the assumption set — extract the
-                // core and answer UNSAT without touching `ok`.
-                let mut asserted_assumption = false;
-                while self.decision_level() < self.assumptions.len() {
-                    let a = self.assumptions[self.decision_level()];
-                    match self.lit_value(a) {
-                        LBool::True => self.trail_lim.push(self.trail.len()),
-                        LBool::Undef => {
-                            self.push_decision(a);
-                            asserted_assumption = true;
-                            break;
-                        }
-                        LBool::False => {
-                            self.failed = self.analyze_final(a);
-                            self.stats.assumption_conflicts += 1;
-                            self.cancel_until(0);
-                            self.paranoid_audit("after failed-assumption backtrack");
-                            return SolveStatus::Unsat;
-                        }
-                    }
-                }
-                if asserted_assumption {
-                    continue; // propagate the assumption before deciding
-                }
-                if self.spent(self.stats.decisions, self.budget_base.decisions)
-                    >= self.config.budget.max_decisions
-                {
-                    return SolveStatus::Unknown(StopReason::DecisionBudget);
-                }
-                match self.decide() {
-                    None => {
-                        self.paranoid_audit("at SAT");
-                        return SolveStatus::Sat(self.extract_model());
-                    }
-                    Some(l) => {
-                        self.stats.decisions += 1;
-                        if self.config.record_decisions {
-                            self.stats.decision_log.push(l.var());
-                        }
-                        self.push_decision(l);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Per-call budget spend: how much `counter` has grown since the
-    /// baseline snapshot taken at solve entry.
-    #[inline]
-    fn spent(&self, counter: u64, base: u64) -> u64 {
-        counter - base
-    }
-
-    /// Resets the per-call state at the top of every solve session: the
-    /// previous search tree is undone, the pending assumptions are consumed
-    /// and installed (their variables materialized), the stale failed core
-    /// is dropped, and the budget baseline and restart scratch are re-armed
-    /// so no limit or conflict-count leaks in from an earlier call.
-    fn begin_solve(&mut self) {
-        self.cancel_until(0);
-        self.assumptions = std::mem::take(&mut self.pending_assumptions);
-        let max_var = self
-            .assumptions
-            .iter()
-            .map(|l| l.var().index() + 1)
-            .max()
-            .unwrap_or(0);
-        self.ensure_vars(max_var);
-        self.failed.clear();
-        self.conflicts_since_restart = 0;
-        self.budget_base = BudgetBase {
-            conflicts: self.stats.conflicts,
-            decisions: self.stats.decisions,
-            propagations: self.stats.propagations,
-            restarts: self.stats.restarts,
-        };
-        self.stats.solve_calls += 1;
-        debug_assert!(
-            self.seen.iter().all(|&s| !s),
-            "conflict-analysis scratch leaked across solve calls"
-        );
-    }
-
-    fn conclude_unsat(&mut self, proof: &mut dyn ProofSink) -> SolveStatus {
-        if !self.emitted_empty {
-            proof.add_clause(&[]);
-            self.emitted_empty = true;
-        }
-        SolveStatus::Unsat
-    }
-
-    /// Delivers `event` to the observer, if one is attached. Emission
-    /// sites that would *construct* a non-trivial event first check
-    /// `self.events.observer.is_some()` so an observer-less solver pays
-    /// only that one branch.
-    #[inline]
-    pub(crate) fn emit(&mut self, event: SolveEvent) {
-        if let Some(observer) = &mut self.events.observer {
-            observer.on_event(&event);
-        }
-    }
-
-    /// Whether a telemetry observer is attached (the emission-site gate
-    /// for code outside this module).
-    #[inline]
-    pub(crate) fn has_observer(&self) -> bool {
-        self.events.observer.is_some()
-    }
-
-    /// Installs (or clears) the structured telemetry observer — the typed
-    /// counterpart of the `c`-line progress output. See
-    /// [`crate::telemetry`] for the event vocabulary and ordering
-    /// guarantees. Usually installed at construction time via
-    /// [`SolverBuilder::on_event`](crate::SolverBuilder::on_event).
-    pub fn set_observer(&mut self, observer: Option<Box<dyn SolveObserver>>) {
-        self.events.observer = observer;
-    }
-
-    /// Polls the terminate callback, if any.
-    fn should_terminate(&mut self) -> bool {
-        match &mut self.events.terminate {
-            Some(callback) => callback(),
-            None => false,
-        }
-    }
-
-    /// Installs (or clears) the terminate callback — polled at solve entry,
-    /// at every restart boundary, and every 1024 conflicts (so even a
-    /// restart-free search honors it); returning `true` makes the current
-    /// and any later [`Solver::solve`] call return
-    /// [`SolveStatus::Unknown`]\([`StopReason::Callback`]\) until the
-    /// callback is cleared or starts returning `false`. Budgets are never
-    /// consumed by a callback stop. Usually installed at construction time
-    /// via [`SolverBuilder::on_terminate`](crate::SolverBuilder::on_terminate).
-    pub fn set_terminate(&mut self, callback: Option<TerminateCallback>) {
-        self.events.terminate = callback;
-    }
-
-    /// Installs (or clears) the learnt-clause callback: fired once per
-    /// conflict-derived learnt clause of length ≤ `max_len` (asserting
-    /// literal first), after the clause is reported to the proof sink and
-    /// before search resumes. Every delivered clause is a logical
-    /// consequence of the original formula (never of the assumptions).
-    /// Usually installed at construction time via
-    /// [`SolverBuilder::on_learnt`](crate::SolverBuilder::on_learnt).
-    pub fn set_learnt_callback(&mut self, callback: Option<(usize, LearntCallback)>) {
-        self.events.on_learnt = callback;
-    }
-
-    /// Installs (or clears) the share-export callback: fired once per
-    /// conflict-derived learnt clause that passes the sharing filter
-    /// (length ≤ 2, or LBD ≤ `max_lbd`), with the clause's literals and its
-    /// glue. Every exported clause is a logical consequence of the original
-    /// formula, so it is sound for any solver working on the same formula
-    /// to add it. Usually installed at construction time via
-    /// [`SolverBuilder::share_export`](crate::SolverBuilder::share_export).
-    pub fn set_export_callback(&mut self, callback: Option<(u32, ExportCallback)>) {
-        self.events.export = callback;
-    }
-
-    /// Installs (or clears) the share-import source: polled at solve entry
-    /// and at every restart boundary (trail at level 0) with a scratch
-    /// buffer the source fills with foreign clauses. **Every supplied clause must be implied by the
-    /// original formula** — the solver attaches them without re-deriving
-    /// them, so an unsound import corrupts verdicts. For the same reason an
-    /// import source cannot be combined with a proof sink (the imports are
-    /// not RUP-derivable in this solver's proof);
-    /// [`SolverBuilder::build`](crate::SolverBuilder::build) enforces this.
-    /// Usually installed at construction time via
-    /// [`SolverBuilder::share_import`](crate::SolverBuilder::share_import).
-    pub fn set_import_source(&mut self, source: Option<ImportCallback>) {
-        self.events.import = source;
-    }
-
-    /// Replaces the construction-time proof sink, returning the previous
-    /// one — how a caller that attached a shared sink reclaims sole
-    /// ownership (e.g. to `Rc::try_unwrap` it) without dropping the solver.
-    pub fn replace_proof_sink(&mut self, sink: Box<dyn ProofSink>) -> Box<dyn ProofSink> {
-        std::mem::replace(&mut self.proof, sink)
-    }
-
-    /// Installs a freshly learnt clause: records activities, attaches
-    /// watches, pushes it on the conflict-clause stack and asserts its
-    /// first literal. Assumes the trail has been backtracked to the
-    /// asserting level already.
-    pub(crate) fn record_learnt(&mut self, lits: Vec<Lit>) {
-        self.stats.learnt_total += 1;
-        self.stats.learnt_lits_total += lits.len() as u64;
-        for &l in &lits {
-            // lit_activity censuses every deduced conflict clause (§7).
-            self.lit_activity[l.code()] += 1;
-            self.vsids[l.code()] += 1;
-        }
-        if lits.len() == 1 {
-            // Unit conflict clause: becomes a retained level-0 fact (§8).
-            self.stats.learnt_units += 1;
-            debug_assert_eq!(self.decision_level(), 0);
-            self.unchecked_enqueue(lits[0], None);
-        } else {
-            let asserting = lits[0];
-            let cref = self.db.add_learnt(&lits);
-            self.attach(cref);
-            self.unchecked_enqueue(asserting, Some(cref));
-        }
-        let live = self.db.num_live() as u64;
-        self.stats.max_live_clauses = self.stats.max_live_clauses.max(live);
-    }
-
-    /// Periodic work after each conflict: activity aging (§1/§5) and VSIDS
-    /// halving for the Chaff baseline.
-    fn on_conflict_maintenance(&mut self) {
-        let c = self.stats.conflicts;
-        if self.config.activity_decay_interval > 0
-            && c % self.config.activity_decay_interval == 0
-            && self.config.activity_decay_divisor > 1
-        {
-            let d = self.config.activity_decay_divisor;
-            for a in &mut self.var_activity {
-                *a /= d;
-            }
-            if self.config.activity_index == ActivityIndex::Heap {
-                self.heap.rebuild(&self.var_activity);
-            }
-        }
-        if self.config.decision == DecisionStrategy::Vsids
-            && self.config.vsids_decay_interval > 0
-            && c % self.config.vsids_decay_interval == 0
-        {
-            for a in &mut self.vsids {
-                *a /= 2;
-            }
-        }
-    }
-
-    /// Whether the restart policy calls for abandoning the current tree.
-    fn restart_due(&self) -> bool {
-        if self.decision_level() == 0 && self.conflicts_since_restart == 0 {
-            return false;
-        }
-        match self.config.restart {
-            RestartPolicy::FixedInterval(n) => self.conflicts_since_restart >= n,
-            RestartPolicy::Luby(base) => {
-                self.conflicts_since_restart >= base * luby(self.stats.restarts + 1)
-            }
-            RestartPolicy::Never => false,
-        }
-    }
-
-    /// Abandons the current search tree and runs database management (§8),
-    /// then integrates any clauses offered by the share-import source —
-    /// the "between search trees" point where foreign clauses can be
-    /// attached with the trail at level 0.
-    fn restart(&mut self, mut proof: &mut dyn ProofSink) {
-        self.stats.restarts += 1;
-        self.conflicts_since_restart = 0;
-        self.cancel_until(0);
-        if self.events.observer.is_some() {
-            let event = SolveEvent::Restart {
-                restarts: self.stats.restarts,
-                conflicts: self.stats.conflicts,
-            };
-            self.emit(event);
-        }
-        self.reduce_db(&mut proof);
-        self.import_shared_clauses();
-    }
-
-    /// Drains the share-import source and installs its clauses at decision
-    /// level 0. Each clause is simplified against the level-0 assignment
-    /// (satisfied ⇒ skipped, false literals stripped), then attached as a
-    /// *learnt* clause — imports compete under the §8 retention policy like
-    /// any other conflict clause instead of bloating the original formula.
-    /// A clause degenerating to a unit becomes a level-0 fact (propagated
-    /// by the main loop); degenerating to the empty clause refutes the
-    /// formula (`ok = false` — legal because import sources only supply
-    /// formula-implied clauses).
-    ///
-    /// Imported clauses are **not** reported to the proof sink: they are
-    /// not RUP-derivable from this solver's own deductions, so a DRAT log
-    /// would become unsound. [`SolverBuilder`](crate::SolverBuilder)
-    /// therefore rejects attaching both a proof sink and an import source.
-    fn import_shared_clauses(&mut self) {
-        if self.events.import.is_none() {
-            return;
-        }
-        debug_assert_eq!(self.decision_level(), 0);
-        let imported_before = self.stats.clauses_imported;
-        let mut buf = std::mem::take(&mut self.import_buf);
-        buf.clear();
-        if let Some(source) = &mut self.events.import {
-            source(&mut buf);
-        }
-        'clauses: for lits in &mut buf {
-            lits.sort_unstable();
-            lits.dedup();
-            if lits.windows(2).any(|w| w[0].var() == w[1].var()) {
-                continue; // tautology (defensive; learnt clauses never are)
-            }
-            if lits.iter().any(|&l| self.lit_value(l) == LBool::True) {
-                continue 'clauses; // already satisfied at level 0
-            }
-            lits.retain(|&l| self.lit_value(l) != LBool::False);
-            match lits.len() {
-                0 => {
-                    self.ok = false;
-                    self.stats.clauses_imported += 1;
-                    break;
-                }
-                1 => {
-                    self.stats.clauses_imported += 1;
-                    self.unchecked_enqueue(lits[0], None);
-                }
-                _ => {
-                    self.stats.clauses_imported += 1;
-                    let cref = self.db.add_learnt(lits);
-                    self.attach(cref);
-                    let live = self.db.num_live() as u64;
-                    self.stats.max_live_clauses = self.stats.max_live_clauses.max(live);
-                }
-            }
-        }
-        buf.clear();
-        self.import_buf = buf;
-        let imported = self.stats.clauses_imported - imported_before;
-        if imported > 0 && self.events.observer.is_some() {
-            self.emit(SolveEvent::ShareImport { count: imported });
-        }
-    }
-
-    /// Bumps `var_activity(v)` by 1 (paper §4) and fixes up the heap index.
-    #[inline]
-    pub(crate) fn bump_var(&mut self, v: Var) {
-        self.var_activity[v.index()] += 1;
-        if self.config.activity_index == ActivityIndex::Heap {
-            self.heap.bumped(v, &self.var_activity);
-        }
-    }
-
-    fn extract_model(&self) -> Assignment {
-        let mut model = Assignment::new(self.num_vars);
-        for (i, &v) in self.assigns.iter().enumerate() {
-            // Unconstrained variables default to false.
-            model.assign(Var::new(i as u32), v == LBool::True);
-        }
-        // Extend the model back over the variables the preprocessor
-        // eliminated, in reverse elimination order, so it satisfies the
-        // *original* formula rather than just the simplified one.
-        self.reconstructor.extend_model(&mut model);
-        model
-    }
-}
-
-/// The Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
-pub(crate) fn luby(i: u64) -> u64 {
-    // Find the subsequence containing index i.
-    let mut k = 1u32;
-    while (1u64 << k) - 1 < i {
-        k += 1;
-    }
-    let mut i = i;
-    let mut kk = k;
-    while (1u64 << kk) - 1 != i {
-        i -= (1u64 << (kk - 1)) - 1;
-        kk = 1;
-        while (1u64 << kk) - 1 < i {
-            kk += 1;
-        }
-    }
-    1u64 << (kk - 1)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn luby_prefix_matches_reference() {
-        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
-        let got: Vec<u64> = (1..=15).map(luby).collect();
-        assert_eq!(got, expected);
-    }
-
-    #[test]
-    fn empty_formula_is_sat() {
-        let mut s = Solver::with_config(SolverConfig::berkmin());
-        assert!(s.solve().is_sat());
-    }
-
-    #[test]
-    fn single_unit_clause() {
-        let mut s = Solver::with_config(SolverConfig::berkmin());
-        let x = Lit::from_dimacs(1);
-        s.add_clause([x]);
-        match s.solve() {
-            SolveStatus::Sat(m) => assert!(m.satisfies(x)),
-            other => panic!("expected SAT, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn contradictory_units_are_unsat() {
-        let mut s = Solver::with_config(SolverConfig::berkmin());
-        s.add_clause([Lit::from_dimacs(1)]);
-        s.add_clause([Lit::from_dimacs(-1)]);
-        assert!(s.solve().is_unsat());
-        assert!(!s.is_ok());
-    }
-
-    #[test]
-    fn empty_clause_is_unsat() {
-        let mut s = Solver::with_config(SolverConfig::berkmin());
-        assert!(!s.add_clause([]));
-        assert!(s.solve().is_unsat());
-    }
-
-    #[test]
-    fn tautologies_are_dropped() {
-        let mut s = Solver::with_config(SolverConfig::berkmin());
-        s.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(-1)]);
-        assert_eq!(s.db.num_live(), 0);
-        assert!(s.solve().is_sat());
-    }
-
-    #[test]
-    fn duplicate_literals_are_merged() {
-        let mut s = Solver::with_config(SolverConfig::berkmin());
-        s.add_clause([Lit::from_dimacs(1), Lit::from_dimacs(1)]);
-        // Collapses to a unit clause, asserted immediately.
-        assert_eq!(s.db.num_live(), 0);
-        assert_eq!(s.value(Var::new(0)), LBool::True);
-    }
-
-    #[test]
-    fn propagation_chain_resolves_without_decisions() {
-        // x1 ∧ (¬x1∨x2) ∧ (¬x2∨x3): all forced.
-        let mut s = Solver::with_config(SolverConfig::berkmin());
-        s.add_clause([Lit::from_dimacs(1)]);
-        s.add_clause([Lit::from_dimacs(-1), Lit::from_dimacs(2)]);
-        s.add_clause([Lit::from_dimacs(-2), Lit::from_dimacs(3)]);
-        let status = s.solve();
-        let m = status.model().unwrap();
-        assert!(m.satisfies(Lit::from_dimacs(3)));
-        assert_eq!(s.stats().decisions, 0);
-    }
-
-    #[test]
-    fn budget_abort_reports_unknown() {
-        // A formula needing work: small pigeonhole, 1-conflict budget.
-        let mut s = Solver::with_config(SolverConfig::berkmin().with_budget(Budget::conflicts(1)));
-        // PHP(2): 3 pigeons, 2 holes.
-        let lit = |p: usize, h: usize| Lit::from_dimacs((p * 2 + h + 1) as i32);
-        for p in 0..3 {
-            s.add_clause([lit(p, 0), lit(p, 1)]);
-        }
-        for h in 0..2 {
-            for p1 in 0..3 {
-                for p2 in (p1 + 1)..3 {
-                    s.add_clause([!lit(p1, h), !lit(p2, h)]);
-                }
-            }
-        }
-        match s.solve() {
-            SolveStatus::Unknown(StopReason::ConflictBudget) => {}
-            other => panic!("expected budget abort, got {other:?}"),
-        }
     }
 }

@@ -27,7 +27,7 @@
 //!   the emitted JSON back, which is how the test suite round-trips the
 //!   CLI's `--stats-json` output against `engine.stats()`.
 
-use crate::solver::SolveStatus;
+use crate::search::SolveStatus;
 use crate::stats::Stats;
 
 /// The decided-or-not outcome of a solve call, stripped of its payload

@@ -1,0 +1,366 @@
+//! The assignment trail: one typed owner for every piece of
+//! variable-assignment state.
+//!
+//! [`Trail`] bundles the per-variable value/level/reason tables with the
+//! chronological assignment trail, its per-level decision markers and the
+//! propagation-queue head. The search, conflict analysis, the preprocessor
+//! and the auditors all read through the accessors here; mutation goes
+//! through the handful of typed operations below. In particular,
+//! [`Trail::backtrack_to`] is the *only* place where a variable becomes
+//! unassigned — the "clear value, drop reason, notify the decision
+//! heuristic" steps can never drift apart across the restart,
+//! conflict-backtrack and solve-entry paths again.
+//!
+//! encapsulation-guard: every field of `Trail` is private by design.
+//! `tests/encapsulation_guard.rs` greps the rest of `crates/core/src` for
+//! raw accesses to the moved state (`assigns`, `trail_lim`, `qhead`, …);
+//! new state-touching code belongs behind a method in this file.
+
+use berkmin_cnf::{LBool, Lit, Var};
+
+use crate::clause_db::ClauseRef;
+
+/// The solver's assignment state: values, levels, implication reasons, the
+/// chronological trail with its decision-level markers, and the BCP queue
+/// head.
+///
+/// A `Trail` tracks assignments for the variables `0..n` it has been
+/// [grown](Trail::grow) to cover. Assignments are pushed in chronological
+/// order by [`Trail::assign`] (implications) and [`Trail::push_decision`]
+/// (decisions, which open a new level); [`Trail::backtrack_to`] undoes
+/// every assignment above a given level. The propagation queue is the
+/// not-yet-propagated suffix of the trail, consumed via
+/// [`Trail::next_queued`].
+#[derive(Default)]
+pub struct Trail {
+    /// Current value per variable (`Undef` when unassigned).
+    assigns: Vec<LBool>,
+    /// Decision level at which each variable was assigned (garbage when
+    /// unassigned).
+    level: Vec<u32>,
+    /// Implying clause per variable; `None` for decisions, assumptions and
+    /// level-0 facts.
+    reason: Vec<Option<ClauseRef>>,
+    /// Assigned literals in chronological order.
+    trail: Vec<Lit>,
+    /// `trail_lim[d]` is the trail length at which decision level `d + 1`
+    /// opened; its length is the current decision level.
+    trail_lim: Vec<usize>,
+    /// Index of the first trail literal BCP has not yet propagated.
+    qhead: usize,
+}
+
+impl Trail {
+    /// Creates an empty trail covering no variables.
+    pub fn new() -> Self {
+        Trail::default()
+    }
+
+    /// Grows the per-variable tables to cover `n` variables.
+    pub fn grow(&mut self, n: usize) {
+        self.assigns.resize(n, LBool::Undef);
+        self.level.resize(n, 0);
+        self.reason.resize(n, None);
+    }
+
+    /// Number of variables the per-variable tables cover.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Current value of `v`. `v` must be a known variable; see
+    /// [`Trail::value_opt`] for the forgiving variant.
+    #[inline]
+    pub fn value(&self, v: Var) -> LBool {
+        self.assigns[v.index()]
+    }
+
+    /// Current value of `v`, or `Undef` if `v` is beyond the known
+    /// variables.
+    #[inline]
+    pub fn value_opt(&self, v: Var) -> LBool {
+        self.assigns.get(v.index()).copied().unwrap_or(LBool::Undef)
+    }
+
+    /// Value of a literal under the current partial assignment.
+    #[inline]
+    pub fn lit_value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().index()];
+        if l.is_negative() {
+            !v
+        } else {
+            v
+        }
+    }
+
+    /// Decision level at which `v` was assigned (garbage if unassigned).
+    #[inline]
+    pub fn level_of(&self, v: Var) -> u32 {
+        self.level[v.index()]
+    }
+
+    /// The clause that implied `v`, or `None` for decisions, assumptions
+    /// and level-0 facts (and for unassigned variables).
+    #[inline]
+    pub fn reason_of(&self, v: Var) -> Option<ClauseRef> {
+        self.reason[v.index()]
+    }
+
+    /// Current decision level (0 = root).
+    #[inline]
+    pub fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Number of assigned literals on the trail.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Whether the trail holds no assignments at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trail.is_empty()
+    }
+
+    /// The `i`-th trail literal, in chronological assignment order.
+    #[inline]
+    pub fn lit_at(&self, i: usize) -> Lit {
+        self.trail[i]
+    }
+
+    /// The whole trail as a slice, in chronological assignment order.
+    #[inline]
+    pub fn as_slice(&self) -> &[Lit] {
+        &self.trail
+    }
+
+    /// Iterates over the trail in chronological assignment order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.trail.iter()
+    }
+
+    /// Trail length at which decision level `level + 1` opened — i.e. the
+    /// index of that level's first literal (its decision, for real
+    /// decision levels).
+    #[inline]
+    pub fn level_start(&self, level: usize) -> usize {
+        self.trail_lim[level]
+    }
+
+    /// Iterates over the decision of each level `1..=decision_level()`, in
+    /// order. A *dummy* level — opened by [`Trail::open_dummy_level`] for
+    /// an already-implied assumption — has no literal of its own and
+    /// yields `None`.
+    pub fn decisions(&self) -> impl Iterator<Item = Option<Lit>> + '_ {
+        (0..self.trail_lim.len()).map(move |d| {
+            let start = self.trail_lim[d];
+            let end = self
+                .trail_lim
+                .get(d + 1)
+                .copied()
+                .unwrap_or(self.trail.len());
+            (start < end).then(|| self.trail[start])
+        })
+    }
+
+    /// Assigns `l` true with `reason`, pushing it on the trail at the
+    /// current decision level.
+    ///
+    /// `l`'s variable must be unassigned (checked in debug builds).
+    pub fn assign(&mut self, l: Lit, reason: Option<ClauseRef>) {
+        debug_assert!(
+            self.lit_value(l).is_undef(),
+            "assign of already-assigned literal {l:?}"
+        );
+        let v = l.var().index();
+        self.assigns[v] = LBool::from(l.is_positive());
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Opens a new decision level and assigns the decision literal.
+    pub fn push_decision(&mut self, l: Lit) {
+        self.trail_lim.push(self.trail.len());
+        self.assign(l, None);
+    }
+
+    /// Opens a new decision level *without* assigning anything — used for
+    /// an assumption that is already implied, so assumption index and
+    /// decision level stay in lockstep.
+    pub fn open_dummy_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    /// Undoes every assignment above `level`, calling `on_unassign` for
+    /// each variable as it is unassigned, in reverse assignment order.
+    ///
+    /// This is the **only** operation that unassigns variables. The hook
+    /// exists so the decision heuristic can re-index freed variables (heap
+    /// re-insertion order is part of the solver's deterministic behavior).
+    pub fn backtrack_to(&mut self, level: usize, mut on_unassign: impl FnMut(Var)) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level];
+        for i in (bound..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            on_unassign(v);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(level);
+        self.qhead = bound;
+    }
+
+    /// Pops the next not-yet-propagated literal off the BCP queue, if any.
+    #[inline]
+    pub fn next_queued(&mut self) -> Option<Lit> {
+        let l = self.trail.get(self.qhead).copied();
+        if l.is_some() {
+            self.qhead += 1;
+        }
+        l
+    }
+
+    /// Whether BCP has consumed the whole trail.
+    #[inline]
+    pub fn queue_drained(&self) -> bool {
+        self.qhead == self.trail.len()
+    }
+
+    /// Marks the remaining queue as consumed — used when a conflict makes
+    /// further propagation pointless.
+    #[inline]
+    pub fn drain_queue(&mut self) {
+        self.qhead = self.trail.len();
+    }
+
+    /// Rewrites every reason reference through `map` after a clause-arena
+    /// compaction. A reason whose clause was deleted belongs to a level-0
+    /// fact (whose reason is never consulted again), so `None` is fine.
+    pub fn remap_reasons(&mut self, map: impl Fn(ClauseRef) -> Option<ClauseRef>) {
+        for r in &mut self.reason {
+            if let Some(cref) = *r {
+                *r = map(cref);
+            }
+        }
+    }
+
+    /// Structural self-check, appending one message per violation to
+    /// `out`. Table-size violations are prefixed `tables:` (the caller
+    /// stops before deeper checks that would index out of bounds); the
+    /// trail/assignment cross-checks use the `trail:`/`assigns:`/`reason:`
+    /// prefixes. Reason-*clause* checks (liveness, containment) need the
+    /// clause arena and live in `audit.rs`.
+    pub(crate) fn self_check(&self, num_vars: usize, out: &mut Vec<String>) {
+        let mut sized_ok = true;
+        for (name, len) in [
+            ("assigns", self.assigns.len()),
+            ("level", self.level.len()),
+            ("reason", self.reason.len()),
+        ] {
+            if len != num_vars {
+                out.push(format!(
+                    "tables: {name} covers {len} vars, expected {num_vars}"
+                ));
+                sized_ok = false;
+            }
+        }
+        if self.qhead > self.trail.len() {
+            out.push(format!(
+                "trail: qhead {} beyond trail length {}",
+                self.qhead,
+                self.trail.len()
+            ));
+        }
+        let mut prev = 0usize;
+        for (i, &lim) in self.trail_lim.iter().enumerate() {
+            if lim > self.trail.len() || lim < prev {
+                out.push(format!(
+                    "trail: decision marker {i} at {lim} is out of order \
+                     (prev {prev}, trail length {})",
+                    self.trail.len()
+                ));
+            }
+            prev = lim;
+        }
+        if !sized_ok {
+            return;
+        }
+        let mut on_trail = vec![false; num_vars];
+        let mut next_lim = 0usize;
+        let mut level_here = 0u32;
+        for (i, &l) in self.trail.iter().enumerate() {
+            while next_lim < self.trail_lim.len() && self.trail_lim[next_lim] <= i {
+                next_lim += 1;
+                level_here = next_lim as u32;
+            }
+            let v = l.var().index();
+            if v >= num_vars {
+                out.push(format!("trail[{i}]: unknown var {v}"));
+                continue;
+            }
+            if on_trail[v] {
+                out.push(format!("trail[{i}]: var {v} appears twice"));
+            }
+            on_trail[v] = true;
+            if self.lit_value(l) != LBool::True {
+                out.push(format!("trail[{i}]: literal {l:?} is not assigned true"));
+            }
+            if self.level[v] != level_here {
+                out.push(format!(
+                    "trail[{i}]: var {v} records level {}, decision markers \
+                     say {level_here}",
+                    self.level[v]
+                ));
+            }
+        }
+        for (v, &trailed) in on_trail.iter().enumerate().take(num_vars) {
+            let assigned = !self.assigns[v].is_undef();
+            if assigned != trailed {
+                out.push(format!(
+                    "assigns: var {v} is {} but {} the trail",
+                    if assigned { "assigned" } else { "unassigned" },
+                    if trailed { "on" } else { "off" }
+                ));
+            }
+            if !assigned && self.reason[v].is_some() {
+                out.push(format!("reason: unassigned var {v} keeps a reason"));
+            }
+        }
+    }
+
+    /// Corrupts the recorded value of `v` (test-only): flips the
+    /// assignment out from under the trail so the auditors can prove they
+    /// catch it.
+    #[cfg(test)]
+    pub(crate) fn test_flip_assign(&mut self, v: Var) {
+        self.assigns[v.index()] = !self.assigns[v.index()];
+    }
+}
+
+impl std::fmt::Debug for Trail {
+    /// Summarizes the search position: total height, queue state and the
+    /// per-level segment heights ("what level am I at and why").
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut heights = Vec::with_capacity(self.trail_lim.len() + 1);
+        let mut prev = 0usize;
+        for &lim in &self.trail_lim {
+            heights.push(lim - prev);
+            prev = lim;
+        }
+        heights.push(self.trail.len() - prev);
+        f.debug_struct("Trail")
+            .field("num_vars", &self.assigns.len())
+            .field("len", &self.trail.len())
+            .field("decision_level", &self.trail_lim.len())
+            .field("queued", &(self.trail.len() - self.qhead))
+            .field("level_heights", &heights)
+            .finish()
+    }
+}

@@ -1,7 +1,6 @@
 //! Session-API behavior: builder assembly, IPASIR-style assumption
-//! staging, solve-event hooks (terminate + learnt-clause callbacks), trait
-//! objects, and the deprecated wrappers' equivalence with the session
-//! calls they forward to.
+//! staging, solve-event hooks (terminate + learnt-clause callbacks), and
+//! trait objects.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -211,37 +210,6 @@ fn learnt_callback_never_sees_assumption_dependent_clauses() {
             "assumption-era clause {clause:?} is not formula-implied"
         );
     }
-}
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_agree_with_the_session_calls() {
-    // solve_with_assumptions ≡ assume* ; solve — same verdicts, same cores.
-    let build = || {
-        let mut s = Solver::with_config(SolverConfig::berkmin());
-        s.add_clause([lit(-1), lit(2)]);
-        s.add_clause([lit(-2), lit(3)]);
-        s
-    };
-    let assumptions = [lit(1), lit(-3)];
-
-    let mut old = build();
-    assert!(old.solve_with_assumptions(&assumptions).is_unsat());
-    let old_core = old.failed_assumptions().to_vec();
-
-    let mut new = build();
-    for &a in &assumptions {
-        new.assume(a);
-    }
-    assert!(new.solve().is_unsat());
-    assert_eq!(old_core, new.failed_assumptions());
-
-    // solve_with_proof routes the same session through a per-call sink.
-    let mut proof = berkmin::NoProof;
-    let mut s = build();
-    s.add_clause([lit(1)]);
-    s.add_clause([lit(-3)]);
-    assert!(s.solve_with_proof(&mut proof).is_unsat());
 }
 
 #[test]

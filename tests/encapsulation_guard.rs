@@ -1,0 +1,130 @@
+//! Guards the Solver decomposition: the assignment state lives in
+//! `Trail`, the watched-literal indexes in `Watches`, and both keep every
+//! field private — the rest of the solver goes through their methods, so
+//! each subsystem's invariants are enforced at one narrow interface. A
+//! refactor that reopens a field as `pub(crate)` (or grows `solver.rs`
+//! back into a god-object) fails here instead of rotting silently.
+//!
+//! The assertions are comment-anchored: `crates/core/src/trail.rs` and
+//! `crates/core/src/watch.rs` carry `encapsulation-guard:` marker comments
+//! pointing back at this file.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn core_src(file: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/core/src")
+        .join(file);
+    let text =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    (path, text)
+}
+
+/// Strips `//`-comments and string literals well enough for the raw-access
+/// scans below (doc comments routinely *mention* field names).
+fn code_only(text: &str) -> String {
+    text.lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn trail_fields_stay_private() {
+    let (path, text) = core_src("trail.rs");
+    assert!(
+        text.contains("encapsulation-guard:"),
+        "{} lost its marker comment linking back to tests/encapsulation_guard.rs",
+        path.display()
+    );
+    // Each state table must be declared without any `pub` qualifier.
+    for field in [
+        "    assigns: Vec<LBool>,",
+        "    level: Vec<u32>,",
+        "    reason: Vec<Option<ClauseRef>>,",
+        "    trail: Vec<Lit>,",
+        "    trail_lim: Vec<usize>,",
+        "    qhead: usize,",
+    ] {
+        assert!(
+            text.contains(field),
+            "trail.rs no longer declares `{}` as a private field — the \
+             Trail owns the assignment state behind its methods; reopening \
+             a field breaks the subsystem's invariant boundary",
+            field.trim()
+        );
+    }
+}
+
+#[test]
+fn watch_fields_stay_private() {
+    let (path, text) = core_src("watch.rs");
+    assert!(
+        text.contains("encapsulation-guard:"),
+        "{} lost its marker comment linking back to tests/encapsulation_guard.rs",
+        path.display()
+    );
+    for field in [
+        "    long: Vec<Vec<Watcher>>,",
+        "    binary: Vec<Vec<BinWatcher>>,",
+    ] {
+        assert!(
+            text.contains(field),
+            "watch.rs no longer declares `{}` as a private field — the \
+             Watches own the 2WL indexes behind attach/detach/rebuild",
+            field.trim()
+        );
+    }
+}
+
+#[test]
+fn no_module_bypasses_the_trail_or_watch_interfaces() {
+    // Raw accessor spellings of the pre-decomposition Solver fields. Any
+    // file outside the owning subsystem reaching for them has bypassed the
+    // typed interface.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/core/src");
+    let mut stack = vec![dir];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d).expect("readable source dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if !name.ends_with(".rs") || name == "trail.rs" || name == "watch.rs" {
+                continue;
+            }
+            let text = code_only(&fs::read_to_string(&path).expect("readable source file"));
+            for forbidden in [
+                ".assigns",
+                ".trail_lim",
+                ".qhead",
+                ".bin_watches",
+                ".watches[",
+                ".trail[",
+            ] {
+                assert!(
+                    !text.contains(forbidden),
+                    "{} reaches around the subsystem API with `{forbidden}` — \
+                     go through Trail/Watches methods instead",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn solver_facade_stays_thin() {
+    let (path, text) = core_src("solver.rs");
+    let lines = text.lines().count();
+    assert!(
+        lines < 520,
+        "{} has grown to {lines} lines — the facade holds construction, \
+         clause ingestion and session plumbing only; search logic belongs \
+         in search.rs and state logic in its subsystem module",
+        path.display()
+    );
+}
